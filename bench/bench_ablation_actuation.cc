@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation bench for the design choices called out in DESIGN.md:
+ *
+ *  - actuation policy: minimal-speedup vs race-to-idle (paper section
+ *    2.3.3 presents both solutions of the constraint system);
+ *  - time quantum: the paper fixes 20 heartbeats "heuristically" — we
+ *    sweep it;
+ *  - controller gain: the paper's deadbeat k = 1 vs slower gains;
+ *  - Pareto restriction: actuating over the Pareto frontier vs the
+ *    raw point set (via a QoS cap that mimics a degraded frontier).
+ *
+ * Scenario: swaptions under the section 5.4 power cap; metrics are
+ * capped-region performance error, estimated QoS loss, and energy.
+ */
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace powerdial;
+using namespace powerdial::bench;
+
+namespace {
+
+struct Outcome
+{
+    double perf_err;   //!< Mean |perf - 1| over the capped region.
+    double qos_loss;   //!< Work-weighted calibrated QoS loss.
+    double energy_j;   //!< Full-run machine energy.
+};
+
+Outcome
+scenario(core::App &app, const CalibratedApp &cal,
+         const core::RuntimeOptions &options)
+{
+    const auto input = app.productionInputs().front();
+    const auto baseline =
+        core::runFixed(app, input, app.defaultCombination());
+    core::RuntimeOptions opt = options;
+    app.loadInput(input);
+    opt.target_rate = static_cast<double>(app.unitCount()) /
+                      baseline.seconds;
+
+    core::Runtime runtime(app, cal.ident.table, cal.training.model,
+                          opt);
+    sim::Machine machine;
+    auto governor = sim::DvfsGovernor::powerCap(
+        machine, 0.25 * baseline.seconds, 0.75 * baseline.seconds);
+    const auto run = runtime.run(input, machine, &governor);
+
+    Outcome out{};
+    const std::size_t lo = run.beats.size() * 2 / 5;
+    const std::size_t hi = run.beats.size() * 3 / 5;
+    for (std::size_t i = lo; i < hi; ++i)
+        out.perf_err += std::abs(run.beats[i].normalized_perf - 1.0);
+    out.perf_err /= static_cast<double>(hi - lo);
+    out.qos_loss = run.mean_qos_loss_estimate;
+    out.energy_j = machine.energyJoules();
+    return out;
+}
+
+void
+report(const char *label, const Outcome &o)
+{
+    std::printf("%-34s %12.4f %12.3f %12.0f\n", label, o.perf_err,
+                100.0 * o.qos_loss, o.energy_j);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto sweep = makeSwaptions();
+    auto app = makeSwaptions(RunLength::Series);
+    auto cal = calibrateTransfer(*sweep, *app);
+
+    std::printf("%-34s %12s %12s %12s\n", "configuration",
+                "perf_err", "qos_loss%", "energy_J");
+    std::printf("%s\n", std::string(74, '-').c_str());
+
+    banner("Actuation policy");
+    {
+        core::RuntimeOptions opt;
+        opt.policy = core::ActuationPolicy::MinimalSpeedup;
+        report("minimal-speedup (paper default)", scenario(*app, cal, opt));
+        opt.policy = core::ActuationPolicy::RaceToIdle;
+        report("race-to-idle", scenario(*app, cal, opt));
+    }
+
+    banner("Time quantum (heartbeats)");
+    for (const std::size_t quantum : {5u, 10u, 20u, 40u, 80u}) {
+        core::RuntimeOptions opt;
+        opt.quantum_beats = quantum;
+        const std::string label =
+            "quantum = " + std::to_string(quantum) +
+            (quantum == 20 ? " (paper)" : "");
+        report(label.c_str(), scenario(*app, cal, opt));
+    }
+
+    banner("Controller gain");
+    for (const double gain : {0.25, 0.5, 1.0, 1.5}) {
+        core::RuntimeOptions opt;
+        opt.gain = gain;
+        char label[64];
+        std::snprintf(label, sizeof(label), "gain = %.2f%s", gain,
+                      gain == 1.0 ? " (paper deadbeat)" : "");
+        report(label, scenario(*app, cal, opt));
+    }
+
+    banner("Frontier restriction (QoS cap during calibration)");
+    {
+        report("full frontier", scenario(*app, cal, {}));
+        auto capped = calibrateTransfer(*sweep, *app, 0.01);
+        report("frontier capped at 1% QoS", scenario(*app, capped, {}));
+    }
+    return 0;
+}

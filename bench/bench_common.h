@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper
+ * (see DESIGN.md section 4). The app configurations here are the
+ * "paper-scale, laptop-budget" sizes: every knob range keeps the
+ * paper's structure while input sizes are scaled so the full bench
+ * suite completes in minutes on one core.
+ */
+#ifndef POWERDIAL_BENCH_COMMON_H
+#define POWERDIAL_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "apps/searchx/searchx_app.h"
+#include "apps/swaptions/swaptions_app.h"
+#include "apps/videnc/videnc_app.h"
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/runtime.h"
+#include "sim/energy_meter.h"
+
+namespace powerdial::bench {
+
+/** Units-per-input profile: short for sweeps, long for time series. */
+enum class RunLength
+{
+    Sweep, //!< Calibration sweeps over many knob combinations.
+    Series //!< Long single runs (the Figure 7 time series).
+};
+
+inline std::unique_ptr<apps::swaptions::SwaptionsApp>
+makeSwaptions(RunLength length = RunLength::Sweep)
+{
+    apps::swaptions::SwaptionsConfig config;
+    config.inputs = 8;
+    config.swaptions_per_input =
+        length == RunLength::Series ? 800 : 24;
+    return std::make_unique<apps::swaptions::SwaptionsApp>(config);
+}
+
+inline std::unique_ptr<apps::videnc::VidencApp>
+makeVidenc(RunLength length = RunLength::Sweep)
+{
+    apps::videnc::VidencConfig config;
+    config.inputs = 8;
+    config.video.width = 64;
+    config.video.height = 48;
+    config.video.frames = length == RunLength::Series ? 240 : 10;
+    return std::make_unique<apps::videnc::VidencApp>(config);
+}
+
+inline std::unique_ptr<apps::bodytrack::BodytrackApp>
+makeBodytrack(RunLength length = RunLength::Sweep)
+{
+    apps::bodytrack::BodytrackConfig config;
+    config.inputs = 6;
+    config.frames = length == RunLength::Series ? 400 : 40;
+    return std::make_unique<apps::bodytrack::BodytrackApp>(config);
+}
+
+inline std::unique_ptr<apps::searchx::SearchxApp>
+makeSearchx(RunLength length = RunLength::Sweep)
+{
+    apps::searchx::SearchxConfig config;
+    config.inputs = 8;
+    config.queries_per_input =
+        length == RunLength::Series ? 1200 : 50;
+    return std::make_unique<apps::searchx::SearchxApp>(config);
+}
+
+/** The identification + calibration front half of the pipeline. */
+struct CalibratedApp
+{
+    core::IdentificationResult ident;
+    core::CalibrationResult training;
+};
+
+inline CalibratedApp
+calibrateOnTraining(core::App &app, double qos_cap = -1.0)
+{
+    CalibratedApp out;
+    out.ident = core::identifyKnobs(app);
+    if (!out.ident.analysis.accepted) {
+        std::fprintf(stderr, "%s: knob identification REJECTED\n%s\n",
+                     app.name().c_str(), out.ident.report.c_str());
+        std::abort();
+    }
+    core::CalibrationOptions options;
+    options.qos_cap = qos_cap;
+    out.training = core::calibrate(app, app.trainingInputs(), options);
+    return out;
+}
+
+/**
+ * Calibrate a response model on the cheap sweep-sized instance of an
+ * application while binding the knob table to a long-input (series)
+ * instance of the same application. Valid because both instances share
+ * the identical knob space and per-unit work; only the number of
+ * main-loop iterations differs.
+ */
+inline CalibratedApp
+calibrateTransfer(core::App &sweep, core::App &series,
+                  double qos_cap = -1.0)
+{
+    CalibratedApp out;
+    out.ident = core::identifyKnobs(series);
+    if (!out.ident.analysis.accepted) {
+        std::fprintf(stderr, "%s: knob identification REJECTED\n%s\n",
+                     series.name().c_str(), out.ident.report.c_str());
+        std::abort();
+    }
+    core::CalibrationOptions options;
+    options.qos_cap = qos_cap;
+    out.training =
+        core::calibrate(sweep, sweep.trainingInputs(), options);
+    return out;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace powerdial::bench
+
+#endif // POWERDIAL_BENCH_COMMON_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Figure 5 (a-d): QoS loss versus speedup for each
+ * benchmark — all knob settings on the training inputs, the Pareto-
+ * optimal settings on the training inputs, and the same Pareto
+ * settings re-measured on the production inputs.
+ *
+ * Paper shape: swaptions up to ~100x under 1.5% loss; x264 up to ~4.5x
+ * under 7%; bodytrack ~7x (<= 6% below 6x); swish++ ~1.5x with QoS
+ * loss linear in the knob.
+ */
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace powerdial;
+using namespace powerdial::bench;
+
+namespace {
+
+void
+figurePanel(core::App &app)
+{
+    banner("Figure 5: " + app.name());
+    const auto train = core::calibrate(app, app.trainingInputs());
+    const auto prod = core::calibrate(app, app.productionInputs());
+
+    // Series 1: every knob setting (training means), decimated for
+    // readability on big spaces.
+    const auto &all = train.model.allPoints();
+    std::printf("-- all knobs (training): %zu settings "
+                "(printing <= 20)\n", all.size());
+    std::printf("%12s %12s %12s\n", "combination", "speedup",
+                "qos_loss%");
+    const std::size_t stride = std::max<std::size_t>(1, all.size() / 20);
+    for (std::size_t i = 0; i < all.size(); i += stride) {
+        std::printf("%12zu %12.3f %12.3f\n", all[i].combination,
+                    all[i].speedup, 100.0 * all[i].qos_loss);
+    }
+
+    // Series 2: Pareto-optimal settings (training).
+    std::printf("-- optimal knobs (training)\n");
+    std::printf("%12s %12s %12s\n", "combination", "speedup",
+                "qos_loss%");
+    for (const auto &p : train.model.pareto()) {
+        std::printf("%12zu %12.3f %12.3f\n", p.combination, p.speedup,
+                    100.0 * p.qos_loss);
+    }
+
+    // Series 3: the same Pareto settings measured on production.
+    std::printf("-- optimal knobs (production)\n");
+    std::printf("%12s %12s %12s\n", "combination", "speedup",
+                "qos_loss%");
+    for (const auto &p : train.model.pareto()) {
+        const auto &pp = prod.model.allPoints()[p.combination];
+        std::printf("%12zu %12.3f %12.3f\n", pp.combination, pp.speedup,
+                    100.0 * pp.qos_loss);
+    }
+
+    std::printf("-- summary: max speedup %.2fx at %.2f%% loss "
+                "(training), %.2fx at %.2f%% (production)\n",
+                train.model.maxSpeedup(),
+                100.0 * train.model.fastest().qos_loss,
+                prod.model.allPoints()[train.model.fastest().combination]
+                    .speedup,
+                100.0 *
+                    prod.model
+                        .allPoints()[train.model.fastest().combination]
+                        .qos_loss);
+}
+
+} // namespace
+
+int
+main()
+{
+    {
+        auto app = makeSwaptions();
+        figurePanel(*app);
+    }
+    {
+        auto app = makeVidenc();
+        figurePanel(*app);
+    }
+    {
+        auto app = makeBodytrack();
+        figurePanel(*app);
+    }
+    {
+        auto app = makeSearchx();
+        figurePanel(*app);
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenches for the section 5.1 overhead claim:
+ * "The overhead of the PowerDial control system is insignificant."
+ *
+ * Measures the real (host) cost of the control-plane primitives — a
+ * heartbeat emission, a controller step, an actuation re-plan, a knob
+ * application — against the per-unit work of the cheapest benchmark
+ * kernel, which dwarfs them.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/swaptions/pricer.h"
+#include "core/actuator.h"
+#include "core/controller.h"
+#include "core/knob.h"
+#include "heartbeats/heartbeat.h"
+
+using namespace powerdial;
+
+namespace {
+
+static void
+BM_HeartbeatEmission(benchmark::State &state)
+{
+    hb::Monitor monitor(20, {1.0, 1.0});
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 1e-3;
+        benchmark::DoNotOptimize(monitor.beat(t));
+    }
+}
+BENCHMARK(BM_HeartbeatEmission);
+
+static void
+BM_ControllerStep(benchmark::State &state)
+{
+    core::ControllerConfig cc;
+    cc.baseline_rate = 1000.0;
+    cc.target_rate = 1000.0;
+    cc.max_speedup = 50.0;
+    core::HeartRateController controller(cc);
+    double rate = 900.0;
+    for (auto _ : state) {
+        rate = rate < 1000.0 ? 1100.0 : 900.0;
+        benchmark::DoNotOptimize(controller.update(rate));
+    }
+}
+BENCHMARK(BM_ControllerStep);
+
+core::ResponseModel
+benchModel()
+{
+    std::vector<core::OperatingPoint> points;
+    for (std::size_t c = 0; c < 40; ++c) {
+        points.push_back({c, 1.0 + 0.25 * static_cast<double>(c),
+                          0.002 * static_cast<double>(c)});
+    }
+    return core::ResponseModel(points, 0, 10.0, 100.0);
+}
+
+static void
+BM_ActuatorPlan(benchmark::State &state)
+{
+    const auto model = benchModel();
+    core::Actuator actuator(model,
+                            core::ActuationPolicy::MinimalSpeedup);
+    double cmd = 1.0;
+    for (auto _ : state) {
+        cmd = cmd > 9.0 ? 1.0 : cmd + 0.37;
+        benchmark::DoNotOptimize(actuator.plan(cmd));
+    }
+}
+BENCHMARK(BM_ActuatorPlan);
+
+static void
+BM_KnobTableApply(benchmark::State &state)
+{
+    core::KnobTable table;
+    double sink = 0.0;
+    table.bind({"a", [&](const std::vector<double> &v) { sink = v[0]; }});
+    table.bind({"b", [&](const std::vector<double> &v) { sink += v[0]; }});
+    for (std::size_t c = 0; c < 8; ++c) {
+        table.record(c, 0, {static_cast<double>(c)});
+        table.record(c, 1, {static_cast<double>(c) * 2.0});
+    }
+    std::size_t combo = 0;
+    for (auto _ : state) {
+        table.apply(combo);
+        combo = (combo + 1) % 8;
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_KnobTableApply);
+
+/** The work one heartbeat governs, at the *cheapest* knob setting. */
+static void
+BM_AppUnitWork_SwaptionsMinKnob(benchmark::State &state)
+{
+    apps::swaptions::Swaption s;
+    s.forward_rate = 0.05;
+    s.strike = 0.045;
+    s.volatility = 0.2;
+    s.maturity = 2.0;
+    s.tenor = 5.0;
+    s.discount_rate = 0.03;
+    s.notional = 100.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(apps::swaptions::price(s, 250, 1));
+}
+BENCHMARK(BM_AppUnitWork_SwaptionsMinKnob);
+
+} // namespace
+
+BENCHMARK_MAIN();

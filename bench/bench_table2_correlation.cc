@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 2: correlation coefficient of observed values from
+ * training with measured values on production inputs, for both the
+ * speedup and QoS-loss metrics of every knob combination.
+ *
+ * Paper values: x264 0.995/0.975, bodytrack 0.999/0.839,
+ * swaptions 1.000/0.999, swish++ 0.996/0.999.
+ */
+#include "bench_common.h"
+
+using namespace powerdial;
+using namespace powerdial::bench;
+
+namespace {
+
+void
+tableRow(core::App &app, double paper_speedup_r, double paper_qos_r)
+{
+    const auto train = core::calibrate(app, app.trainingInputs());
+    const auto prod = core::calibrate(app, app.productionInputs());
+
+    std::vector<double> ts, ps, tq, pq;
+    const std::size_t combos = app.knobSpace().combinations();
+    for (std::size_t c = 0; c < combos; ++c) {
+        ts.push_back(train.model.allPoints()[c].speedup);
+        ps.push_back(prod.model.allPoints()[c].speedup);
+        tq.push_back(train.model.allPoints()[c].qos_loss);
+        pq.push_back(prod.model.allPoints()[c].qos_loss);
+    }
+    std::printf("%-10s | %10.3f | %10.3f | %10.3f | %10.3f\n",
+                app.name().c_str(), core::correlation(ts, ps),
+                paper_speedup_r, core::correlation(tq, pq),
+                paper_qos_r);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 2: Training vs Production Correlation");
+    std::printf("%-10s | %10s | %10s | %10s | %10s\n", "benchmark",
+                "speedup r", "(paper)", "qos r", "(paper)");
+    std::printf("%s\n", std::string(66, '-').c_str());
+
+    {
+        auto app = makeVidenc();
+        tableRow(*app, 0.995, 0.975);
+    }
+    {
+        auto app = makeBodytrack();
+        tableRow(*app, 0.999, 0.839);
+    }
+    {
+        auto app = makeSwaptions();
+        tableRow(*app, 1.000, 0.999);
+    }
+    {
+        auto app = makeSearchx();
+        tableRow(*app, 0.996, 0.999);
+    }
+    std::printf("\nexpected shape: all correlations close to 1 — "
+                "training predicts production.\n");
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * How to put your own application under PowerDial control.
+ *
+ * Implements core::App for a small image-sharpening service with one
+ * quality knob (filter taps), showing each integration point:
+ *
+ *   - declaring the knob parameter range;
+ *   - the init phase deriving a control variable from the parameter;
+ *   - the influence-traced mirror of that init phase;
+ *   - write bindings for the control variable;
+ *   - the unit-structured main loop costing cycles on the machine;
+ *   - an output abstraction for the QoS metric.
+ *
+ * Build & run:  ./build/examples/custom_app
+ */
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/runtime.h"
+#include "workload/rng.h"
+
+using namespace powerdial;
+
+namespace {
+
+/** A toy sharpening service: more filter taps = better, slower. */
+class SharpenApp final : public core::App
+{
+  public:
+    SharpenApp() : space_({{"taps", {3, 5, 9, 17, 33}}})
+    {
+        // Synthesize deterministic "images" (1-D signals here).
+        workload::Rng rng(0xcafe);
+        for (std::size_t i = 0; i < 6; ++i) {
+            std::vector<double> signal(512);
+            for (auto &v : signal)
+                v = rng.gaussian(128.0, 30.0);
+            images_.push_back(std::move(signal));
+        }
+    }
+
+    std::string name() const override { return "sharpen"; }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+
+    /** Most taps = highest quality = the baseline. */
+    std::size_t defaultCombination() const override { return 4; }
+
+    void
+    configure(const std::vector<double> &params) override
+    {
+        taps_ = static_cast<int>(params.at(0));
+    }
+
+    void
+    traceRun(influence::TraceRun &trace,
+             const std::vector<double> &params) override
+    {
+        // Init phase under influence tracing: "taps" flows into the
+        // control variable; the fixed gain constant does not.
+        influence::Value<double> taps(params.at(0),
+                                      influence::paramBit(0));
+        trace.store("filter_taps", taps, "custom_app.cpp:configure");
+        trace.store("gain", influence::Value<double>(1.5),
+                    "custom_app.cpp:configure");
+        trace.firstHeartbeat();
+        trace.read("filter_taps", "custom_app.cpp:processUnit");
+        trace.read("gain", "custom_app.cpp:processUnit");
+    }
+
+    void
+    bindControlVariables(core::KnobTable &table) override
+    {
+        table.bind({"filter_taps", [this](const std::vector<double> &v) {
+                        taps_ = static_cast<int>(v.at(0));
+                    }});
+    }
+
+    std::size_t inputCount() const override { return images_.size(); }
+
+    std::vector<std::size_t>
+    trainingInputs() const override
+    {
+        return {0, 1, 2};
+    }
+
+    std::vector<std::size_t>
+    productionInputs() const override
+    {
+        return {3, 4, 5};
+    }
+
+    void
+    loadInput(std::size_t index) override
+    {
+        current_ = index;
+        sharpness_.clear();
+    }
+
+    std::size_t unitCount() const override { return 64; }
+
+    void
+    processUnit(std::size_t unit, sim::Machine &machine) override
+    {
+        // One unit = sharpen one tile with a windowed filter whose
+        // width is the control variable.
+        const auto &img = images_[current_];
+        const std::size_t tile = unit * 8 % (img.size() - 64);
+        double acc = 0.0;
+        for (std::size_t i = tile; i < tile + 64; ++i) {
+            double local = 0.0;
+            for (int t = -taps_ / 2; t <= taps_ / 2; ++t) {
+                const std::size_t j = std::min(
+                    img.size() - 1,
+                    static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+                        0, static_cast<std::ptrdiff_t>(i) + t)));
+                local += img[j] / static_cast<double>(taps_);
+            }
+            acc += std::abs(img[i] - local); // Edge energy recovered.
+        }
+        machine.execute(64.0 * static_cast<double>(taps_) * 40.0);
+        sharpness_.push_back(acc);
+    }
+
+    qos::OutputAbstraction
+    output() const override
+    {
+        const double mean =
+            std::accumulate(sharpness_.begin(), sharpness_.end(), 0.0) /
+            static_cast<double>(sharpness_.size());
+        return {{mean}, {}};
+    }
+
+  private:
+    core::KnobSpace space_;
+    std::vector<std::vector<double>> images_;
+    int taps_ = 33;
+    std::size_t current_ = 0;
+    std::vector<double> sharpness_;
+};
+
+} // namespace
+
+int
+main()
+{
+    SharpenApp app;
+    auto ident = core::identifyKnobs(app);
+    std::printf("%s\n", ident.report.c_str());
+    if (!ident.analysis.accepted)
+        return 1;
+
+    const auto cal = core::calibrate(app, app.trainingInputs());
+    std::printf("%12s %12s %12s\n", "taps", "speedup", "qos_loss%");
+    for (const auto &p : cal.model.allPoints()) {
+        std::printf("%12g %12.2f %12.3f\n",
+                    app.knobSpace().valuesOf(p.combination)[0],
+                    p.speedup, 100.0 * p.qos_loss);
+    }
+
+    // Hold the baseline rate on a machine stuck at 1.6 GHz.
+    core::Runtime runtime(app, ident.table, cal.model);
+    sim::Machine machine;
+    machine.setPState(machine.scale().lowestState());
+    const auto run = runtime.run(3, machine);
+    std::printf("\nat 1.6 GHz: final perf %.2f of target, QoS loss "
+                "%.2f%%\n", run.beats.back().normalized_perf,
+                100.0 * run.mean_qos_loss_estimate);
+    return 0;
+}

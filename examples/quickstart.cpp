@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PowerDial quickstart: the full pipeline on the swaptions benchmark
+ * in ~60 lines of user code.
+ *
+ *   1. Build an application that follows the PowerDial pattern.
+ *   2. Identify its dynamic knobs (influence tracing + checks).
+ *   3. Calibrate the speedup/QoS response model on training inputs.
+ *   4. Run under closed-loop control while a power cap hits.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "apps/swaptions/swaptions_app.h"
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/runtime.h"
+
+using namespace powerdial;
+
+int
+main()
+{
+    // 1. The application: a Monte Carlo swaption pricer whose "-sm"
+    //    parameter (simulations per swaption) becomes a dynamic knob.
+    apps::swaptions::SwaptionsConfig config;
+    config.inputs = 4;
+    config.swaptions_per_input = 400;
+    apps::swaptions::SwaptionsApp app(config);
+
+    // 2. Dynamic knob identification (paper section 2.1): trace every
+    //    parameter combination, run the control-variable checks, and
+    //    build the knob table.
+    auto ident = core::identifyKnobs(app);
+    std::printf("%s\n", ident.report.c_str());
+    if (!ident.analysis.accepted)
+        return 1;
+
+    // 3. Calibration (section 2.2): explore the trade-off space on the
+    //    training inputs and keep the Pareto-optimal settings.
+    const auto cal = core::calibrate(app, app.trainingInputs());
+    std::printf("calibrated %zu knob settings; Pareto frontier has %zu "
+                "points, max speedup %.1fx at %.2f%% QoS loss\n",
+                cal.model.allPoints().size(), cal.model.pareto().size(),
+                cal.model.maxSpeedup(),
+                100.0 * cal.model.fastest().qos_loss);
+
+    // 4. Closed-loop control (section 2.3) under a power cap: the
+    //    machine drops from 2.4 GHz to 1.6 GHz a quarter of the way
+    //    in; PowerDial trades a little accuracy to stay responsive.
+    core::Runtime runtime(app, ident.table, cal.model);
+    sim::Machine machine;
+    const double duration =
+        400.0 / cal.model.baselineRate(); // Expected run time.
+    auto cap = sim::DvfsGovernor::powerCap(machine, 0.25 * duration,
+                                           0.75 * duration);
+    const auto run =
+        runtime.run(app.productionInputs().front(), machine, &cap);
+
+    const auto &mid = run.beats[run.beats.size() / 2];
+    std::printf("\nunder the cap (beat %llu): performance %.2f of "
+                "target, knob gain %.2fx\n",
+                static_cast<unsigned long long>(run.beats.size() / 2),
+                mid.normalized_perf, mid.knob_gain);
+    std::printf("run finished in %.2f virtual seconds, estimated QoS "
+                "loss %.2f%%, energy %.0f J\n", run.seconds,
+                100.0 * run.mean_qos_loss_estimate,
+                machine.energyJoules());
+    return 0;
+}

@@ -1,0 +1,208 @@
+#include "apps/bodytrack/bodytrack_app.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/corpus.h"
+
+namespace powerdial::apps::bodytrack {
+
+std::vector<double>
+BodytrackConfig::makeRange(int lo, int hi, int step)
+{
+    std::vector<double> v;
+    for (int x = lo; x <= hi; x += step)
+        v.push_back(static_cast<double>(x));
+    return v;
+}
+
+namespace {
+
+core::KnobSpace
+makeSpace(const BodytrackConfig &config)
+{
+    return core::KnobSpace({{"argv[4]:particles", config.particle_values},
+                            {"argv[5]:layers", config.layer_values}});
+}
+
+constexpr double kCyclesPerOp = 1.0;
+
+/**
+ * Fixed per-frame work independent of the knobs: the real bodytrack
+ * computes edge and foreground maps for every camera image before the
+ * particle filter runs. This floor is what bounds the paper's speedup
+ * near 7x despite a 200x knob-work range.
+ */
+constexpr std::uint64_t kFixedOpsPerFrame = 120000;
+
+} // namespace
+
+BodytrackApp::BodytrackApp(const BodytrackConfig &config)
+    : config_(config), space_(makeSpace(config))
+{
+    sequences_.reserve(config_.inputs);
+    for (std::size_t i = 0; i < config_.inputs; ++i) {
+        workload::BodyMotionParams mp;
+        mp.frames = config_.frames;
+        mp.seed = config_.seed + i * 0x9e37ULL;
+        // Vary gait across inputs so production differs from training.
+        mp.swing_period = 18.0 + static_cast<double>(i % 5) * 4.0;
+        mp.walk_speed = 0.25 + 0.05 * static_cast<double>(i % 4);
+        sequences_.push_back(workload::makeBodySequence(mp, dims_));
+    }
+}
+
+std::size_t
+BodytrackApp::defaultCombination() const
+{
+    // PARSEC native defaults are the maxima: 4000 particles, 5 layers
+    // (scaled here to the top of each configured range).
+    return space_.findCombination({config_.particle_values.back(),
+                                   config_.layer_values.back()});
+}
+
+void
+BodytrackApp::configure(const std::vector<double> &params)
+{
+    if (params.size() != 2)
+        throw std::invalid_argument("BodytrackApp: expected 2 parameters");
+    params_.particles = static_cast<std::size_t>(params[0]);
+    params_.layers = static_cast<std::size_t>(params[1]);
+    makeSchedules(params_.layers, params_.betas, params_.sigmas);
+}
+
+void
+BodytrackApp::traceRun(influence::TraceRun &trace,
+                       const std::vector<double> &params)
+{
+    using influence::Value;
+    const Value<double> particles(params.at(0), influence::paramBit(0));
+    const Value<double> layers(params.at(1), influence::paramBit(1));
+
+    trace.store("num_particles", particles * Value<double>(1.0),
+                "bodytrack_app.cc:configure");
+    trace.store("num_layers", layers * Value<double>(1.0),
+                "bodytrack_app.cc:configure");
+
+    // The annealing schedules are *vector* control variables whose
+    // length and content derive from the layer count.
+    std::vector<double> betas, sigmas;
+    makeSchedules(static_cast<std::size_t>(params.at(1)), betas, sigmas);
+    trace.storeVector("anneal_betas", betas, influence::paramBit(1),
+                      "particle_filter.cc:makeSchedules");
+    trace.storeVector("anneal_sigmas", sigmas, influence::paramBit(1),
+                      "particle_filter.cc:makeSchedules");
+
+    trace.firstHeartbeat();
+    trace.read("num_particles", "particle_filter.cc:step");
+    trace.read("num_layers", "particle_filter.cc:step");
+    trace.read("anneal_betas", "particle_filter.cc:step");
+    trace.read("anneal_sigmas", "particle_filter.cc:step");
+}
+
+void
+BodytrackApp::bindControlVariables(core::KnobTable &table)
+{
+    table.bind({"num_particles", [this](const std::vector<double> &v) {
+                    params_.particles = static_cast<std::size_t>(v.at(0));
+                }});
+    table.bind({"num_layers", [this](const std::vector<double> &v) {
+                    params_.layers = static_cast<std::size_t>(v.at(0));
+                }});
+    table.bind({"anneal_betas", [this](const std::vector<double> &v) {
+                    params_.betas = v;
+                }});
+    table.bind({"anneal_sigmas", [this](const std::vector<double> &v) {
+                    params_.sigmas = v;
+                }});
+}
+
+std::size_t
+BodytrackApp::inputCount() const
+{
+    return sequences_.size();
+}
+
+std::vector<std::size_t>
+BodytrackApp::trainingInputs() const
+{
+    return workload::splitInputs(sequences_.size(), config_.seed ^ 0x7e57)
+        .training;
+}
+
+std::vector<std::size_t>
+BodytrackApp::productionInputs() const
+{
+    return workload::splitInputs(sequences_.size(), config_.seed ^ 0x7e57)
+        .production;
+}
+
+void
+BodytrackApp::loadInput(std::size_t index)
+{
+    if (index >= sequences_.size())
+        throw std::out_of_range("BodytrackApp: bad input index");
+    current_input_ = index;
+    track_.clear();
+    filter_ = std::make_unique<AnnealedParticleFilter>(
+        dims_, config_.seed ^ (index * 0x517cc1b7ULL));
+    filter_->initialize(sequences_[index].front().truth, params_);
+}
+
+std::size_t
+BodytrackApp::unitCount() const
+{
+    return sequences_[current_input_].size();
+}
+
+void
+BodytrackApp::processUnit(std::size_t unit, sim::Machine &machine)
+{
+    const auto &frame = sequences_[current_input_].at(unit);
+    const TrackResult r = filter_->step(frame.observation, params_);
+    machine.execute(static_cast<double>(r.work_ops + kFixedOpsPerFrame) *
+                    kCyclesPerOp);
+    track_.push_back(workload::forwardKinematics(r.estimate, dims_));
+}
+
+qos::OutputAbstraction
+BodytrackApp::output() const
+{
+    // Output abstraction: per body part, the time-mean position (the
+    // "series of vectors representing the positions of body
+    // components") plus the mean frame-to-frame displacement (how
+    // smoothly the part tracks). Weights are proportional to component
+    // magnitude, as in the paper.
+    qos::OutputAbstraction abs;
+    if (track_.empty())
+        return abs;
+    const double n = static_cast<double>(track_.size());
+    for (std::size_t p = 0; p < workload::kBodyParts; ++p) {
+        double mx = 0.0, my = 0.0, jitter = 0.0;
+        for (std::size_t f = 0; f < track_.size(); ++f) {
+            mx += track_[f].x[p];
+            my += track_[f].y[p];
+            if (f > 0) {
+                const double dx = track_[f].x[p] - track_[f - 1].x[p];
+                const double dy = track_[f].y[p] - track_[f - 1].y[p];
+                jitter += std::sqrt(dx * dx + dy * dy);
+            }
+        }
+        abs.components.push_back(mx / n);
+        abs.components.push_back(my / n);
+        abs.components.push_back(jitter / std::max(1.0, n - 1.0));
+    }
+    // Magnitude-proportional weights, normalised to mean 1 so QoS-loss
+    // scales stay comparable across benchmarks.
+    double total = 0.0;
+    for (const double c : abs.components)
+        total += std::abs(c);
+    const double mean =
+        total / static_cast<double>(abs.components.size());
+    for (const double c : abs.components) {
+        abs.weights.push_back(mean > 0.0 ? std::abs(c) / mean : 1.0);
+    }
+    return abs;
+}
+
+} // namespace powerdial::apps::bodytrack

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The bodytrack benchmark as a PowerDial application (paper section 4.3).
+ *
+ * Knobs: the positional parameters argv[4] (particles) and argv[5]
+ * (annealing layers). The main control loop processes one video frame
+ * per iteration. Outputs are the body-part position vectors over time;
+ * the QoS metric is their distortion with per-component weights
+ * proportional to component magnitude (so the torso counts more than a
+ * forearm, as in the paper).
+ */
+#ifndef POWERDIAL_APPS_BODYTRACK_APP_H
+#define POWERDIAL_APPS_BODYTRACK_APP_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/bodytrack/particle_filter.h"
+#include "core/app.h"
+
+namespace powerdial::apps::bodytrack {
+
+/** Benchmark sizing. */
+struct BodytrackConfig
+{
+    /** Admissible particle counts (paper: 100..4000 step 100). */
+    std::vector<double> particle_values = makeRange(100, 2000, 100);
+    /** Admissible annealing layer counts (paper: 1..5). */
+    std::vector<double> layer_values = {1, 2, 3, 4, 5};
+    /** Frames per sequence input. */
+    std::size_t frames = 60;
+    /** Number of sequence inputs. */
+    std::size_t inputs = 8;
+    std::uint64_t seed = 0xb0d70002;
+
+    static std::vector<double> makeRange(int lo, int hi, int step);
+};
+
+/** PowerDial App implementation for bodytrack. */
+class BodytrackApp final : public core::App
+{
+  public:
+    explicit BodytrackApp(const BodytrackConfig &config = {});
+
+    std::string name() const override { return "bodytrack"; }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override;
+    void configure(const std::vector<double> &params) override;
+    void traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params) override;
+    void bindControlVariables(core::KnobTable &table) override;
+    std::size_t inputCount() const override;
+    std::vector<std::size_t> trainingInputs() const override;
+    std::vector<std::size_t> productionInputs() const override;
+    void loadInput(std::size_t index) override;
+    std::size_t unitCount() const override;
+    void processUnit(std::size_t unit, sim::Machine &machine) override;
+    qos::OutputAbstraction output() const override;
+
+    /** Current filter parameters (the control variables; for tests). */
+    const FilterParams &filterParams() const { return params_; }
+
+  private:
+    BodytrackConfig config_;
+    core::KnobSpace space_;
+    workload::BodyDimensions dims_;
+    std::vector<std::vector<workload::BodyFrame>> sequences_;
+
+    // Control variables derived from {particles, layers} at init.
+    FilterParams params_;
+
+    // Per-run state.
+    std::unique_ptr<AnnealedParticleFilter> filter_;
+    std::size_t current_input_ = 0;
+    std::vector<workload::BodyObservation> track_; //!< Estimated parts.
+};
+
+} // namespace powerdial::apps::bodytrack
+
+#endif // POWERDIAL_APPS_BODYTRACK_APP_H

@@ -1,0 +1,145 @@
+#include "apps/bodytrack/particle_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::apps::bodytrack {
+
+void
+makeSchedules(std::size_t layers, std::vector<double> &betas,
+              std::vector<double> &sigmas)
+{
+    if (layers == 0)
+        throw std::invalid_argument("makeSchedules: need >= 1 layer");
+    betas.resize(layers);
+    sigmas.resize(layers);
+    // Geometric annealing: soft/broad first, sharp/narrow last.
+    for (std::size_t l = 0; l < layers; ++l) {
+        const double t = layers == 1
+            ? 1.0
+            : static_cast<double>(l) / static_cast<double>(layers - 1);
+        betas[l] = 0.5 * std::pow(8.0, t);   // 0.5 .. 4.0
+        sigmas[l] = 0.25 * std::pow(0.25, t); // 0.25 .. 0.0625
+    }
+}
+
+AnnealedParticleFilter::AnnealedParticleFilter(
+    const workload::BodyDimensions &dims, std::uint64_t seed)
+    : dims_(dims), rng_(seed)
+{
+}
+
+void
+AnnealedParticleFilter::initialize(const workload::BodyPose &initial,
+                                   const FilterParams &params)
+{
+    if (params.particles == 0)
+        throw std::invalid_argument("initialize: need >= 1 particle");
+    particles_.assign(params.particles, Particle{initial, 1.0});
+    for (auto &p : particles_) {
+        p.pose.root_x += rng_.gaussian(0.0, 0.1);
+        p.pose.root_y += rng_.gaussian(0.0, 0.1);
+        for (auto &a : p.pose.angles)
+            a += rng_.gaussian(0.0, 0.05);
+    }
+}
+
+double
+AnnealedParticleFilter::error(const workload::BodyPose &pose,
+                              const workload::BodyObservation &obs) const
+{
+    const auto predicted = workload::forwardKinematics(pose, dims_);
+    double err = 0.0;
+    for (std::size_t p = 0; p < workload::kBodyParts; ++p) {
+        const double dx = predicted.x[p] - obs.x[p];
+        const double dy = predicted.y[p] - obs.y[p];
+        err += dx * dx + dy * dy;
+    }
+    return err;
+}
+
+void
+AnnealedParticleFilter::resample(std::size_t count)
+{
+    double total = 0.0;
+    for (const auto &p : particles_)
+        total += p.weight;
+    if (total <= 0.0) {
+        // Degenerate weights: keep the cloud, reset weights.
+        for (auto &p : particles_)
+            p.weight = 1.0;
+        return;
+    }
+    // Systematic (low-variance) resampling.
+    std::vector<Particle> next;
+    next.reserve(count);
+    const double step = total / static_cast<double>(count);
+    double u = rng_.uniform() * step;
+    double acc = particles_.front().weight;
+    std::size_t i = 0;
+    for (std::size_t n = 0; n < count; ++n) {
+        const double target = u + step * static_cast<double>(n);
+        while (acc < target && i + 1 < particles_.size()) {
+            ++i;
+            acc += particles_[i].weight;
+        }
+        next.push_back({particles_[i].pose, 1.0});
+    }
+    particles_ = std::move(next);
+}
+
+TrackResult
+AnnealedParticleFilter::step(const workload::BodyObservation &observation,
+                             const FilterParams &params)
+{
+    if (params.betas.size() != params.layers ||
+        params.sigmas.size() != params.layers) {
+        throw std::invalid_argument("step: schedule length != layers");
+    }
+    if (particles_.empty())
+        throw std::logic_error("step: filter not initialised");
+
+    TrackResult result;
+
+    // The particle count knob may have changed since the last frame;
+    // adapt the cloud size via resampling.
+    if (particles_.size() != params.particles)
+        resample(params.particles);
+
+    for (std::size_t layer = 0; layer < params.layers; ++layer) {
+        const double sigma = params.sigmas[layer];
+        const double beta = params.betas[layer];
+        for (auto &p : particles_) {
+            // Diffuse.
+            p.pose.root_x += rng_.gaussian(0.0, sigma);
+            p.pose.root_y += rng_.gaussian(0.0, sigma);
+            for (auto &a : p.pose.angles)
+                a += rng_.gaussian(0.0, sigma);
+            // Weight against the observation.
+            p.weight = std::exp(-beta * error(p.pose, observation));
+        }
+        resample(params.particles);
+        // FK (~40 ops) + weighting (~30 ops) + diffusion (~14 ops)
+        // per particle per layer.
+        result.work_ops += params.particles * 84ULL;
+    }
+
+    // Estimate: mean pose of the resampled (uniform-weight) cloud.
+    workload::BodyPose mean{};
+    for (const auto &p : particles_) {
+        mean.root_x += p.pose.root_x;
+        mean.root_y += p.pose.root_y;
+        for (std::size_t a = 0; a < mean.angles.size(); ++a)
+            mean.angles[a] += p.pose.angles[a];
+    }
+    const double n = static_cast<double>(particles_.size());
+    mean.root_x /= n;
+    mean.root_y /= n;
+    for (auto &a : mean.angles)
+        a /= n;
+    result.estimate = mean;
+    return result;
+}
+
+} // namespace powerdial::apps::bodytrack

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Annealed particle filter for articulated body tracking.
+ *
+ * From-scratch stand-in for the PARSEC bodytrack kernel (paper section
+ * 4.3), which "uses an annealed particle filter and videos from
+ * multiple cameras to track a human's movement" [Deutscher & Reid].
+ * Each frame is processed through a sequence of annealing layers: the
+ * particle set is diffused, re-weighted against the observation with a
+ * progressively sharper likelihood, and resampled, so the posterior
+ * concentrates on the true pose. More particles and more layers give
+ * better tracking at linearly more work — the two PowerDial knobs.
+ */
+#ifndef POWERDIAL_APPS_BODYTRACK_PARTICLE_FILTER_H
+#define POWERDIAL_APPS_BODYTRACK_PARTICLE_FILTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/body_motion.h"
+#include "workload/rng.h"
+
+namespace powerdial::apps::bodytrack {
+
+/** One weighted pose hypothesis. */
+struct Particle
+{
+    workload::BodyPose pose;
+    double weight = 1.0;
+};
+
+/** Filter configuration (the control variables live here). */
+struct FilterParams
+{
+    std::size_t particles = 4000; //!< Knob: argv[4].
+    std::size_t layers = 5;       //!< Knob: argv[5].
+    /**
+     * Per-layer inverse-temperature (likelihood sharpness) schedule,
+     * length == layers, increasing. Derived from the layer count at
+     * initialisation — a *vector* control variable, exercising the
+     * paper's STL-vector support.
+     */
+    std::vector<double> betas;
+    /** Per-layer diffusion scale, length == layers, decreasing. */
+    std::vector<double> sigmas;
+};
+
+/** Build the annealing schedules for @p layers (paper-style geometric). */
+void makeSchedules(std::size_t layers, std::vector<double> &betas,
+                   std::vector<double> &sigmas);
+
+/** Result of tracking one frame. */
+struct TrackResult
+{
+    workload::BodyPose estimate;
+    std::uint64_t work_ops = 0;
+};
+
+/** The annealed particle filter. */
+class AnnealedParticleFilter
+{
+  public:
+    /**
+     * @param dims Body-part dimensions (fixed model).
+     * @param seed Deterministic RNG seed.
+     */
+    AnnealedParticleFilter(const workload::BodyDimensions &dims,
+                           std::uint64_t seed);
+
+    /**
+     * Initialise the particle cloud around @p initial (bodytrack is
+     * given the starting pose).
+     */
+    void initialize(const workload::BodyPose &initial,
+                    const FilterParams &params);
+
+    /** Process one observation, returning the pose estimate. */
+    TrackResult step(const workload::BodyObservation &observation,
+                     const FilterParams &params);
+
+    const std::vector<Particle> &particles() const { return particles_; }
+
+  private:
+    /** Negative log-likelihood: squared observation distance. */
+    double error(const workload::BodyPose &pose,
+                 const workload::BodyObservation &obs) const;
+
+    /** Systematic resampling into @p count particles. */
+    void resample(std::size_t count);
+
+    workload::BodyDimensions dims_;
+    workload::Rng rng_;
+    std::vector<Particle> particles_;
+};
+
+} // namespace powerdial::apps::bodytrack
+
+#endif // POWERDIAL_APPS_BODYTRACK_PARTICLE_FILTER_H

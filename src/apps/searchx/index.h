@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Inverted-index search engine core.
+ *
+ * From-scratch stand-in for swish++ (paper section 4.4): builds an
+ * inverted index over a document corpus and answers ranked queries with
+ * tf-idf scoring. The max-results knob truncates the ranked list — the
+ * paper's single swish++ dynamic knob — which shrinks both the
+ * selection work (a bounded heap) and the result-serialisation work.
+ */
+#ifndef POWERDIAL_APPS_SEARCHX_INDEX_H
+#define POWERDIAL_APPS_SEARCHX_INDEX_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qos/retrieval.h"
+#include "workload/corpus.h"
+
+namespace powerdial::apps::searchx {
+
+/** One posting: a document and the term's frequency within it. */
+struct Posting
+{
+    qos::DocId doc;
+    std::uint32_t tf;
+};
+
+/** One ranked search result. */
+struct SearchResult
+{
+    qos::DocId doc;
+    double score;
+};
+
+/** Outcome of one query, with a work estimate for cycle costing. */
+struct QueryOutcome
+{
+    std::vector<SearchResult> results; //!< Ranked, truncated list.
+    std::uint64_t work_ops = 0;        //!< Scoring + selection +
+                                       //!< serialisation operations.
+};
+
+/** An immutable inverted index over a corpus. */
+class InvertedIndex
+{
+  public:
+    explicit InvertedIndex(const std::vector<workload::Document> &docs);
+
+    /** Number of indexed documents. */
+    std::size_t documentCount() const { return doc_count_; }
+
+    /** Postings for @p word (empty if absent). */
+    const std::vector<Posting> &postings(workload::WordId word) const;
+
+    /**
+     * Rank documents for @p query by tf-idf sum and return the top
+     * @p max_results. Work accounting: one op per posting scored, a
+     * log2(max_results) factor per heap update, and a fixed
+     * serialisation cost per returned result.
+     */
+    QueryOutcome search(const workload::Query &query,
+                        std::size_t max_results) const;
+
+    /** Per-result serialisation cost, ops (tunes the knob's speedup). */
+    static constexpr std::uint64_t kSerializeOpsPerResult = 60;
+
+  private:
+    std::unordered_map<workload::WordId, std::vector<Posting>> index_;
+    std::vector<Posting> empty_;
+    std::size_t doc_count_ = 0;
+};
+
+} // namespace powerdial::apps::searchx
+
+#endif // POWERDIAL_APPS_SEARCHX_INDEX_H

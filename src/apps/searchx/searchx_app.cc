@@ -1,0 +1,162 @@
+#include "apps/searchx/searchx_app.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace powerdial::apps::searchx {
+namespace {
+
+core::KnobSpace
+makeSpace(const SearchxConfig &config)
+{
+    return core::KnobSpace({{"-m:max-results", config.max_results_values}});
+}
+
+constexpr double kCyclesPerOp = 1.0;
+
+} // namespace
+
+SearchxApp::SearchxApp(const SearchxConfig &config)
+    : config_(config), space_(makeSpace(config))
+{
+    corpus_ = std::make_unique<workload::Corpus>(config_.corpus);
+    index_ = std::make_unique<InvertedIndex>(corpus_->documents());
+
+    batches_.reserve(config_.inputs);
+    relevance_.reserve(config_.inputs);
+    for (std::size_t i = 0; i < config_.inputs; ++i) {
+        auto queries = corpus_->makeQueries(config_.queries_per_input,
+                                            config_.terms_per_query,
+                                            config_.seed + i * 0x9e37ULL);
+        // Ground-truth relevance: documents containing every query term
+        // (boolean AND), independent of any knob setting.
+        std::vector<std::vector<qos::DocId>> truth;
+        truth.reserve(queries.size());
+        for (const auto &q : queries) {
+            std::vector<qos::DocId> relevant;
+            bool first = true;
+            std::unordered_set<qos::DocId> acc;
+            for (const auto term : q.terms) {
+                std::unordered_set<qos::DocId> has;
+                for (const auto &p : index_->postings(term))
+                    has.insert(p.doc);
+                if (first) {
+                    acc = std::move(has);
+                    first = false;
+                } else {
+                    std::unordered_set<qos::DocId> both;
+                    for (const auto d : acc)
+                        if (has.count(d))
+                            both.insert(d);
+                    acc = std::move(both);
+                }
+            }
+            relevant.assign(acc.begin(), acc.end());
+            std::sort(relevant.begin(), relevant.end());
+            truth.push_back(std::move(relevant));
+        }
+        batches_.push_back(std::move(queries));
+        relevance_.push_back(std::move(truth));
+    }
+}
+
+std::size_t
+SearchxApp::defaultCombination() const
+{
+    // The default (highest QoS) setting is max-results = 100.
+    return space_.findCombination({config_.max_results_values.back()});
+}
+
+void
+SearchxApp::configure(const std::vector<double> &params)
+{
+    if (params.size() != 1)
+        throw std::invalid_argument("SearchxApp: expected 1 parameter");
+    max_results_ = static_cast<std::size_t>(params[0]);
+}
+
+void
+SearchxApp::traceRun(influence::TraceRun &trace,
+                     const std::vector<double> &params)
+{
+    using influence::Value;
+    const Value<double> m(params.at(0), influence::paramBit(0));
+    trace.store("max_results", m * Value<double>(1.0),
+                "searchx_app.cc:configure");
+    trace.firstHeartbeat();
+    trace.read("max_results", "index.cc:search");
+}
+
+void
+SearchxApp::bindControlVariables(core::KnobTable &table)
+{
+    table.bind({"max_results", [this](const std::vector<double> &v) {
+                    max_results_ = static_cast<std::size_t>(v.at(0));
+                }});
+}
+
+std::size_t
+SearchxApp::inputCount() const
+{
+    return batches_.size();
+}
+
+std::vector<std::size_t>
+SearchxApp::trainingInputs() const
+{
+    return workload::splitInputs(batches_.size(), config_.seed ^ 0x7e57)
+        .training;
+}
+
+std::vector<std::size_t>
+SearchxApp::productionInputs() const
+{
+    return workload::splitInputs(batches_.size(), config_.seed ^ 0x7e57)
+        .production;
+}
+
+void
+SearchxApp::loadInput(std::size_t index)
+{
+    if (index >= batches_.size())
+        throw std::out_of_range("SearchxApp: bad input index");
+    current_input_ = index;
+    f10_sum_ = 0.0;
+    f100_sum_ = 0.0;
+    answered_ = 0;
+}
+
+std::size_t
+SearchxApp::unitCount() const
+{
+    return batches_[current_input_].size();
+}
+
+void
+SearchxApp::processUnit(std::size_t unit, sim::Machine &machine)
+{
+    const auto &query = batches_[current_input_].at(unit);
+    const auto outcome = index_->search(query, max_results_);
+    machine.execute(static_cast<double>(outcome.work_ops) * kCyclesPerOp);
+
+    std::vector<qos::DocId> returned;
+    returned.reserve(outcome.results.size());
+    for (const auto &r : outcome.results)
+        returned.push_back(r.doc);
+
+    const auto &relevant = relevance_[current_input_].at(unit);
+    f10_sum_ += qos::score(returned, relevant, 10).f_measure;
+    f100_sum_ += qos::score(returned, relevant, 100).f_measure;
+    ++answered_;
+}
+
+qos::OutputAbstraction
+SearchxApp::output() const
+{
+    const double n = std::max<double>(1.0, static_cast<double>(answered_));
+    // F-measure at the two cutoffs the paper reports (P@10, P@100).
+    return {{f10_sum_ / n, f100_sum_ / n}, {1.0, 1.0}};
+}
+
+} // namespace powerdial::apps::searchx

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The search-engine benchmark as a PowerDial application (paper
+ * section 4.4, standing in for swish++).
+ *
+ * Knob: max-results ("-m"), the maximum number of returned search
+ * results, with the paper's settings {5, 10, 25, 50, 75, 100} (default
+ * 100). Inputs: batches of power-law queries over a synthetic corpus;
+ * one main-loop iteration services one query (the engine runs as a
+ * server). The QoS metric is F-measure at the P@10 and P@100 cutoffs
+ * against boolean-AND relevance ground truth.
+ */
+#ifndef POWERDIAL_APPS_SEARCHX_APP_H
+#define POWERDIAL_APPS_SEARCHX_APP_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/searchx/index.h"
+#include "core/app.h"
+
+namespace powerdial::apps::searchx {
+
+/** Benchmark sizing. */
+struct SearchxConfig
+{
+    /** The paper's max-results settings; 100 is the default. */
+    std::vector<double> max_results_values = {5, 10, 25, 50, 75, 100};
+    workload::CorpusParams corpus{};
+    std::size_t queries_per_input = 50;
+    std::size_t terms_per_query = 2;
+    /** Number of query-batch inputs. */
+    std::size_t inputs = 8;
+    std::uint64_t seed = 0x5ea20001;
+};
+
+/** PowerDial App implementation for the search engine. */
+class SearchxApp final : public core::App
+{
+  public:
+    explicit SearchxApp(const SearchxConfig &config = {});
+
+    std::string name() const override { return "searchx"; }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override;
+    void configure(const std::vector<double> &params) override;
+    void traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params) override;
+    void bindControlVariables(core::KnobTable &table) override;
+    std::size_t inputCount() const override;
+    std::vector<std::size_t> trainingInputs() const override;
+    std::vector<std::size_t> productionInputs() const override;
+    void loadInput(std::size_t index) override;
+    std::size_t unitCount() const override;
+    void processUnit(std::size_t unit, sim::Machine &machine) override;
+    qos::OutputAbstraction output() const override;
+
+    /** The control variable (for tests). */
+    std::size_t maxResults() const { return max_results_; }
+
+    /** The underlying index (for tests and examples). */
+    const InvertedIndex &index() const { return *index_; }
+
+  private:
+    SearchxConfig config_;
+    core::KnobSpace space_;
+    std::unique_ptr<workload::Corpus> corpus_;
+    std::unique_ptr<InvertedIndex> index_;
+    /** Query batches. */
+    std::vector<std::vector<workload::Query>> batches_;
+    /** Boolean-AND relevance ground truth per batch per query. */
+    std::vector<std::vector<std::vector<qos::DocId>>> relevance_;
+
+    // Control variable derived from "-m" at init.
+    std::size_t max_results_ = 0;
+
+    // Per-run state.
+    std::size_t current_input_ = 0;
+    double f10_sum_ = 0.0;
+    double f100_sum_ = 0.0;
+    std::size_t answered_ = 0;
+};
+
+} // namespace powerdial::apps::searchx
+
+#endif // POWERDIAL_APPS_SEARCHX_APP_H

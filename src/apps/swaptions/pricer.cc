@@ -1,0 +1,95 @@
+#include "apps/swaptions/pricer.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::apps::swaptions {
+namespace {
+
+/** Annuity (PV01) of the underlying swap with annual payments. */
+double
+annuity(const Swaption &s)
+{
+    double a = 0.0;
+    for (int i = 1; i <= static_cast<int>(s.tenor); ++i)
+        a += std::exp(-s.discount_rate * (s.maturity + i));
+    return a;
+}
+
+/** Standard normal CDF. */
+double
+normCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace
+
+double
+blackPrice(const Swaption &s)
+{
+    const double sig_sqrt_t = s.volatility * std::sqrt(s.maturity);
+    const double d1 =
+        (std::log(s.forward_rate / s.strike) +
+         0.5 * sig_sqrt_t * sig_sqrt_t) / sig_sqrt_t;
+    const double d2 = d1 - sig_sqrt_t;
+    return s.notional * annuity(s) *
+           (s.forward_rate * normCdf(d1) - s.strike * normCdf(d2));
+}
+
+PriceResult
+price(const Swaption &s, std::uint64_t paths, std::uint64_t seed)
+{
+    if (paths == 0)
+        throw std::invalid_argument("price: need at least one path");
+    if (s.forward_rate <= 0.0 || s.strike <= 0.0 || s.volatility <= 0.0 ||
+        s.maturity <= 0.0) {
+        throw std::invalid_argument("price: bad swaption parameters");
+    }
+
+    workload::Rng rng(seed);
+    const double dt = s.maturity / kPathSteps;
+    const double drift = -0.5 * s.volatility * s.volatility * dt;
+    const double diffusion = s.volatility * std::sqrt(dt);
+    const double a = annuity(s);
+    const double log_s0 = std::log(s.forward_rate);
+
+    // Antithetic variates: each draw prices a +z path and its mirrored
+    // -z path, halving the variance of the estimator at equal work —
+    // standard practice in production Monte Carlo pricers.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const std::uint64_t pairs = (paths + 1) / 2;
+    std::array<double, kPathSteps> z{};
+    for (std::uint64_t p = 0; p < pairs; ++p) {
+        for (int step = 0; step < kPathSteps; ++step)
+            z[step] = rng.gaussian();
+        double log_up = log_s0;
+        double log_dn = log_s0;
+        for (int step = 0; step < kPathSteps; ++step) {
+            log_up += drift + diffusion * z[step];
+            log_dn += drift - diffusion * z[step];
+        }
+        const double rate_up = std::exp(log_up);
+        const double rate_dn = std::exp(log_dn);
+        const double pay_up = rate_up > s.strike
+            ? (rate_up - s.strike) * a * s.notional : 0.0;
+        const double pay_dn = rate_dn > s.strike
+            ? (rate_dn - s.strike) * a * s.notional : 0.0;
+        const double payoff = 0.5 * (pay_up + pay_dn);
+        sum += payoff;
+        sum_sq += payoff * payoff;
+    }
+
+    PriceResult r{};
+    const double n = static_cast<double>(pairs);
+    r.price = sum / n;
+    const double var = sum_sq / n - r.price * r.price;
+    r.std_error = var > 0.0 ? std::sqrt(var / n) : 0.0;
+    // Work model: ~8 ops per step (gaussian + fma) plus payoff handling.
+    r.work_ops = paths * (static_cast<std::uint64_t>(kPathSteps) * 8 + 12);
+    return r;
+}
+
+} // namespace powerdial::apps::swaptions

@@ -1,0 +1,156 @@
+#include "apps/swaptions/swaptions_app.h"
+
+#include <stdexcept>
+
+#include "workload/corpus.h"
+
+namespace powerdial::apps::swaptions {
+
+std::vector<double>
+SwaptionsConfig::makeRange(int lo, int hi, int step)
+{
+    std::vector<double> v;
+    for (int x = lo; x <= hi; x += step)
+        v.push_back(static_cast<double>(x));
+    return v;
+}
+
+namespace {
+
+core::KnobSpace
+makeSpace(const SwaptionsConfig &config)
+{
+    return core::KnobSpace({{"-sm", config.sim_values}});
+}
+
+} // namespace
+
+SwaptionsApp::SwaptionsApp(const SwaptionsConfig &config)
+    : config_(config), space_(makeSpace(config))
+{
+    if (config_.sim_values.empty())
+        throw std::invalid_argument("SwaptionsApp: no -sm settings");
+    workload::Rng rng(config_.seed);
+    portfolios_.resize(config_.inputs);
+    for (auto &portfolio : portfolios_) {
+        portfolio.reserve(config_.swaptions_per_input);
+        for (std::size_t i = 0; i < config_.swaptions_per_input; ++i) {
+            Swaption s;
+            s.forward_rate = rng.uniform(0.02, 0.08);
+            // Strikes near the money so payoffs are non-degenerate.
+            s.strike = s.forward_rate * rng.uniform(0.75, 1.05);
+            s.volatility = rng.uniform(0.10, 0.30);
+            s.maturity = rng.uniform(1.0, 5.0);
+            s.tenor = 1.0 + static_cast<double>(rng.below(9));
+            s.discount_rate = rng.uniform(0.01, 0.05);
+            s.notional = 100.0;
+            portfolio.push_back(s);
+        }
+    }
+}
+
+std::size_t
+SwaptionsApp::defaultCombination() const
+{
+    // The largest simulation count delivers the highest QoS (PARSEC
+    // native default is the top of the range).
+    return space_.combinations() - 1;
+}
+
+void
+SwaptionsApp::configure(const std::vector<double> &params)
+{
+    if (params.size() != 1)
+        throw std::invalid_argument("SwaptionsApp: expected 1 parameter");
+    num_trials_ = static_cast<std::uint64_t>(params[0]);
+}
+
+void
+SwaptionsApp::traceRun(influence::TraceRun &trace,
+                       const std::vector<double> &params)
+{
+    // Initialization phase: -sm flows into the num_trials control
+    // variable (an untainted constant is mixed in to mirror realistic
+    // parameter processing; influence must still be {bit 0}).
+    influence::Value<double> sm(params.at(0), influence::paramBit(0));
+    influence::Value<double> trials = sm * influence::Value<double>(1.0);
+    trace.store("num_trials", trials, "swaptions_app.cc:configure");
+
+    // An init-phase variable *not* derived from the knob: the RNG seed
+    // base. The analysis must leave it out of the control-variable set.
+    influence::Value<double> seed_base(
+        static_cast<double>(config_.seed));
+    trace.store("seed_base", seed_base, "swaptions_app.cc:configure");
+
+    // Main control loop phase: prices each swaption, reading the
+    // control variable every iteration.
+    trace.firstHeartbeat();
+    trace.read("num_trials", "pricer.cc:price");
+    trace.read("seed_base", "pricer.cc:price");
+}
+
+void
+SwaptionsApp::bindControlVariables(core::KnobTable &table)
+{
+    table.bind({"num_trials", [this](const std::vector<double> &v) {
+                    num_trials_ = static_cast<std::uint64_t>(v.at(0));
+                }});
+}
+
+std::size_t
+SwaptionsApp::inputCount() const
+{
+    return portfolios_.size();
+}
+
+std::vector<std::size_t>
+SwaptionsApp::trainingInputs() const
+{
+    return workload::splitInputs(portfolios_.size(), config_.seed ^ 0x7e57)
+        .training;
+}
+
+std::vector<std::size_t>
+SwaptionsApp::productionInputs() const
+{
+    return workload::splitInputs(portfolios_.size(), config_.seed ^ 0x7e57)
+        .production;
+}
+
+void
+SwaptionsApp::loadInput(std::size_t index)
+{
+    if (index >= portfolios_.size())
+        throw std::out_of_range("SwaptionsApp: bad input index");
+    current_input_ = index;
+    prices_.clear();
+}
+
+std::size_t
+SwaptionsApp::unitCount() const
+{
+    return portfolios_[current_input_].size();
+}
+
+void
+SwaptionsApp::processUnit(std::size_t unit, sim::Machine &machine)
+{
+    const auto &s = portfolios_[current_input_].at(unit);
+    // Deterministic per-swaption seed: QoS differences across knob
+    // settings come from the path count, not from reseeding.
+    const std::uint64_t seed =
+        config_.seed ^ (current_input_ * 1315423911ULL) ^ (unit * 2654435761ULL);
+    const PriceResult r = price(s, num_trials_, seed);
+    machine.execute(static_cast<double>(r.work_ops) * kCyclesPerOp);
+    prices_.push_back(r.price);
+}
+
+qos::OutputAbstraction
+SwaptionsApp::output() const
+{
+    // The output abstraction is the vector of swaption prices, weighted
+    // equally (paper section 4.1).
+    return {prices_, {}};
+}
+
+} // namespace powerdial::apps::swaptions

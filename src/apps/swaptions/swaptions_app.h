@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The swaptions benchmark as a PowerDial application (paper section 4.1).
+ *
+ * Knob: the single command line parameter "-sm" controlling the number
+ * of Monte Carlo simulations per swaption. Inputs: portfolios of
+ * randomly generated swaptions (the paper augments the PARSEC native
+ * input, which repeats one contract, with random contracts). The main
+ * control loop prices one swaption per iteration. The QoS metric is the
+ * distortion of the computed prices, weighted equally.
+ */
+#ifndef POWERDIAL_APPS_SWAPTIONS_APP_H
+#define POWERDIAL_APPS_SWAPTIONS_APP_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/swaptions/pricer.h"
+#include "core/app.h"
+
+namespace powerdial::apps::swaptions {
+
+/** Benchmark sizing (scaled-down defaults keep experiments fast). */
+struct SwaptionsConfig
+{
+    /** Admissible "-sm" settings, ascending. The largest is the
+     *  baseline default, as in PARSEC native. */
+    std::vector<double> sim_values =
+        makeRange(250, 10000, 250);
+    /** Number of portfolio inputs to synthesise. */
+    std::size_t inputs = 16;
+    /** Swaptions per portfolio (main-loop iterations per input). */
+    std::size_t swaptions_per_input = 24;
+    std::uint64_t seed = 0x5a5a0001;
+
+    /** Helper: {lo, lo+step, ..., hi}. */
+    static std::vector<double> makeRange(int lo, int hi, int step);
+};
+
+/** PowerDial App implementation for swaptions. */
+class SwaptionsApp final : public core::App
+{
+  public:
+    explicit SwaptionsApp(const SwaptionsConfig &config = {});
+
+    std::string name() const override { return "swaptions"; }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override;
+    void configure(const std::vector<double> &params) override;
+    void traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params) override;
+    void bindControlVariables(core::KnobTable &table) override;
+    std::size_t inputCount() const override;
+    std::vector<std::size_t> trainingInputs() const override;
+    std::vector<std::size_t> productionInputs() const override;
+    void loadInput(std::size_t index) override;
+    std::size_t unitCount() const override;
+    void processUnit(std::size_t unit, sim::Machine &machine) override;
+    qos::OutputAbstraction output() const override;
+
+    /** The control variable (for tests). */
+    std::uint64_t numTrials() const { return num_trials_; }
+
+  private:
+    SwaptionsConfig config_;
+    core::KnobSpace space_;
+    /** Inputs: portfolios of swaption contracts. */
+    std::vector<std::vector<Swaption>> portfolios_;
+
+    // Control variable: number of Monte Carlo trials per swaption,
+    // derived from "-sm" during initialization.
+    std::uint64_t num_trials_ = 0;
+
+    // Per-run state.
+    std::size_t current_input_ = 0;
+    std::vector<double> prices_;
+};
+
+} // namespace powerdial::apps::swaptions
+
+#endif // POWERDIAL_APPS_SWAPTIONS_APP_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Motion estimation: diamond search plus sub-pixel refinement.
+ *
+ * The analysis half of the from-scratch encoder standing in for x264
+ * (paper section 4.2). The three x264 knobs map onto it directly:
+ *
+ *  - merange: bound on the motion search radius (diamond-search steps);
+ *  - subme:   number of sub-pixel refinement rounds (half-pel, then
+ *             quarter-pel, then iterative quarter-pel polishing);
+ *  - ref:     number of reconstructed reference frames searched.
+ *
+ * x264 itself uses pattern searches rather than exhaustive search, so a
+ * diamond search reproduces both the cost growth and the diminishing-
+ * returns quality behaviour of the real knobs.
+ */
+#ifndef POWERDIAL_APPS_VIDENC_MOTION_H
+#define POWERDIAL_APPS_VIDENC_MOTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/video_source.h"
+
+namespace powerdial::apps::videnc {
+
+/** Macroblock edge length. */
+inline constexpr int kMacroblock = 16;
+
+/** Sub-pel precision: motion vectors are in 1/4-pel units. */
+inline constexpr int kSubpelScale = 4;
+
+/** A motion vector in quarter-pel units. */
+struct MotionVector
+{
+    int x = 0;
+    int y = 0;
+};
+
+/** Result of a motion search for one macroblock. */
+struct MotionResult
+{
+    MotionVector mv;          //!< Best vector, quarter-pel units.
+    std::size_t reference;    //!< Index of the best reference frame.
+    std::uint64_t sad;        //!< SAD at the best vector.
+    std::uint64_t work_ops;   //!< Pixel operations spent searching.
+};
+
+/**
+ * Sample a reference plane at quarter-pel position via bilinear
+ * interpolation, clamping at the borders.
+ *
+ * @param ref Reference frame.
+ * @param qx  X in quarter-pel units.
+ * @param qy  Y in quarter-pel units.
+ */
+double samplePlane(const workload::Frame &ref, int qx, int qy);
+
+/**
+ * SAD between the macroblock of @p cur at (bx, by) and the reference
+ * block at quarter-pel offset @p mv.
+ */
+std::uint64_t blockSad(const workload::Frame &cur, int bx, int by,
+                       const workload::Frame &ref, MotionVector mv);
+
+/** Motion-search effort parameters (the encoder's control variables). */
+struct SearchParams
+{
+    int merange = 16;     //!< Max search radius, integer pixels.
+    int subpel_rounds = 6;//!< Sub-pel refinement rounds (0 = none).
+    int refs = 5;         //!< Reference frames to search.
+};
+
+/**
+ * Search for the best motion vector for the macroblock at (bx, by) of
+ * @p cur over @p references (most recent first), with effort bounded
+ * by @p params.
+ */
+MotionResult searchMotion(const workload::Frame &cur, int bx, int by,
+                          const std::vector<workload::Frame> &references,
+                          const SearchParams &params);
+
+/**
+ * Build the motion-compensated 16x16 prediction for (bx, by) from
+ * @p ref at quarter-pel vector @p mv, raster order.
+ */
+std::vector<double> predictBlock(const workload::Frame &ref, int bx,
+                                 int by, MotionVector mv);
+
+} // namespace powerdial::apps::videnc
+
+#endif // POWERDIAL_APPS_VIDENC_MOTION_H

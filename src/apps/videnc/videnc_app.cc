@@ -1,0 +1,164 @@
+#include "apps/videnc/videnc_app.h"
+
+#include <stdexcept>
+
+#include "workload/corpus.h"
+
+namespace powerdial::apps::videnc {
+namespace {
+
+core::KnobSpace
+makeSpace(const VidencConfig &config)
+{
+    return core::KnobSpace({{"subme", config.subme_values},
+                            {"merange", config.merange_values},
+                            {"ref", config.ref_values}});
+}
+
+/** Approximate cycles per pixel-level arithmetic operation. */
+constexpr double kCyclesPerOp = 1.0;
+
+} // namespace
+
+VidencApp::VidencApp(const VidencConfig &config)
+    : config_(config), space_(makeSpace(config)),
+      encoder_(config.encoder)
+{
+    clips_.reserve(config_.inputs);
+    for (std::size_t i = 0; i < config_.inputs; ++i) {
+        workload::VideoParams vp = config_.video;
+        vp.seed = config_.seed + i * 0x9e37ULL;
+        clips_.push_back(workload::VideoSource(vp).frames());
+    }
+}
+
+int
+VidencApp::submeToRounds(double subme)
+{
+    // subme 1 = integer-pel only; each level adds a refinement round,
+    // mirroring x264's progressively deeper sub-pel search.
+    return static_cast<int>(subme) - 1;
+}
+
+std::size_t
+VidencApp::defaultCombination() const
+{
+    // PARSEC native defaults: subme 7, merange 16, ref 5 — the last
+    // value of each range.
+    return space_.findCombination({config_.subme_values.back(),
+                                   config_.merange_values.back(),
+                                   config_.ref_values.back()});
+}
+
+void
+VidencApp::configure(const std::vector<double> &params)
+{
+    if (params.size() != 3)
+        throw std::invalid_argument("VidencApp: expected 3 parameters");
+    effort_.subpel_rounds = submeToRounds(params[0]);
+    effort_.merange = static_cast<int>(params[1]);
+    effort_.refs = static_cast<int>(params[2]);
+}
+
+void
+VidencApp::traceRun(influence::TraceRun &trace,
+                    const std::vector<double> &params)
+{
+    using influence::Value;
+    const Value<double> subme(params.at(0), influence::paramBit(0));
+    const Value<double> merange(params.at(1), influence::paramBit(1));
+    const Value<double> ref(params.at(2), influence::paramBit(2));
+
+    // Init phase: control variables derived from the parameters.
+    const Value<double> rounds = subme - Value<double>(1.0);
+    trace.store("subpel_rounds", rounds, "videnc_app.cc:configure");
+    trace.store("merange", merange * Value<double>(1.0),
+                "videnc_app.cc:configure");
+    trace.store("ref_frames", ref * Value<double>(1.0),
+                "videnc_app.cc:configure");
+    // Untainted init variable (the quantisation step): must be excluded.
+    trace.store("qstep", Value<double>(config_.encoder.qstep),
+                "videnc_app.cc:configure");
+
+    // Main loop: the motion search reads all three every macroblock.
+    trace.firstHeartbeat();
+    trace.read("subpel_rounds", "motion.cc:searchMotion");
+    trace.read("merange", "motion.cc:searchMotion");
+    trace.read("ref_frames", "motion.cc:searchMotion");
+    trace.read("qstep", "encoder.cc:encodeFrame");
+}
+
+void
+VidencApp::bindControlVariables(core::KnobTable &table)
+{
+    table.bind({"subpel_rounds", [this](const std::vector<double> &v) {
+                    effort_.subpel_rounds = static_cast<int>(v.at(0));
+                }});
+    table.bind({"merange", [this](const std::vector<double> &v) {
+                    effort_.merange = static_cast<int>(v.at(0));
+                }});
+    table.bind({"ref_frames", [this](const std::vector<double> &v) {
+                    effort_.refs = static_cast<int>(v.at(0));
+                }});
+}
+
+std::size_t
+VidencApp::inputCount() const
+{
+    return clips_.size();
+}
+
+std::vector<std::size_t>
+VidencApp::trainingInputs() const
+{
+    return workload::splitInputs(clips_.size(), config_.seed ^ 0x7e57)
+        .training;
+}
+
+std::vector<std::size_t>
+VidencApp::productionInputs() const
+{
+    return workload::splitInputs(clips_.size(), config_.seed ^ 0x7e57)
+        .production;
+}
+
+void
+VidencApp::loadInput(std::size_t index)
+{
+    if (index >= clips_.size())
+        throw std::out_of_range("VidencApp: bad input index");
+    current_input_ = index;
+    encoder_.reset();
+    total_bits_ = 0;
+    psnr_sum_db_ = 0.0;
+    frames_done_ = 0;
+}
+
+std::size_t
+VidencApp::unitCount() const
+{
+    return clips_[current_input_].size();
+}
+
+void
+VidencApp::processUnit(std::size_t unit, sim::Machine &machine)
+{
+    const auto &frame = clips_[current_input_].at(unit);
+    const FrameStats stats = encoder_.encodeFrame(frame, effort_);
+    machine.execute(static_cast<double>(stats.work_ops) * kCyclesPerOp);
+    total_bits_ += stats.bits;
+    psnr_sum_db_ += stats.psnr_db;
+    ++frames_done_;
+}
+
+qos::OutputAbstraction
+VidencApp::output() const
+{
+    // Paper section 4.2: PSNR and bitrate, weighted equally.
+    const double mean_psnr = frames_done_ > 0
+        ? psnr_sum_db_ / static_cast<double>(frames_done_)
+        : 0.0;
+    return {{mean_psnr, static_cast<double>(total_bits_)}, {1.0, 1.0}};
+}
+
+} // namespace powerdial::apps::videnc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The video encoder benchmark as a PowerDial application (paper
+ * section 4.2, standing in for x264).
+ *
+ * Knobs: subme (sub-pixel refinement effort, 1-7), merange (motion
+ * search range, up to 16), ref (reference frames, 1-5); the PARSEC
+ * native defaults — 7, 16, 5 — are the baseline. Inputs: synthetic
+ * procedural clips (stand-ins for the 1080p PARSEC/xiph videos). One
+ * main-loop iteration encodes one frame. The QoS metric is the
+ * distortion of {PSNR, bitrate}, weighted equally.
+ */
+#ifndef POWERDIAL_APPS_VIDENC_APP_H
+#define POWERDIAL_APPS_VIDENC_APP_H
+
+#include <vector>
+
+#include "apps/videnc/encoder.h"
+#include "core/app.h"
+#include "workload/video_source.h"
+
+namespace powerdial::apps::videnc {
+
+/** Benchmark sizing. */
+struct VidencConfig
+{
+    std::vector<double> subme_values = {1, 2, 3, 4, 5, 6, 7};
+    std::vector<double> merange_values = {1, 2, 4, 8, 16};
+    std::vector<double> ref_values = {1, 3, 5};
+    /** Clip geometry (scaled-down stand-in for 1080p). */
+    workload::VideoParams video{};
+    /** Number of clips to synthesise. */
+    std::size_t inputs = 8;
+    EncoderConfig encoder{};
+    std::uint64_t seed = 0x26400001;
+};
+
+/** PowerDial App implementation for the video encoder. */
+class VidencApp final : public core::App
+{
+  public:
+    explicit VidencApp(const VidencConfig &config = {});
+
+    std::string name() const override { return "videnc"; }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override;
+    void configure(const std::vector<double> &params) override;
+    void traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params) override;
+    void bindControlVariables(core::KnobTable &table) override;
+    std::size_t inputCount() const override;
+    std::vector<std::size_t> trainingInputs() const override;
+    std::vector<std::size_t> productionInputs() const override;
+    void loadInput(std::size_t index) override;
+    std::size_t unitCount() const override;
+    void processUnit(std::size_t unit, sim::Machine &machine) override;
+    qos::OutputAbstraction output() const override;
+
+    /** Current search effort (the control variables; for tests). */
+    const SearchParams &effort() const { return effort_; }
+
+  private:
+    /** Map the subme parameter (1-7) to refinement rounds. */
+    static int submeToRounds(double subme);
+
+    VidencConfig config_;
+    core::KnobSpace space_;
+    std::vector<std::vector<workload::Frame>> clips_;
+
+    // Control variables, derived from {subme, merange, ref} at init.
+    SearchParams effort_;
+
+    // Per-run state.
+    Encoder encoder_;
+    std::size_t current_input_ = 0;
+    std::uint64_t total_bits_ = 0;
+    double psnr_sum_db_ = 0.0;
+    std::size_t frames_done_ = 0;
+};
+
+} // namespace powerdial::apps::videnc
+
+#endif // POWERDIAL_APPS_VIDENC_APP_H

@@ -1,0 +1,113 @@
+#include "core/actuator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::core {
+
+double
+ActuationPlan::averageSpeedup() const
+{
+    double avg = 0.0;
+    for (const auto &s : slices)
+        avg += s.speedup * s.fraction;
+    return avg;
+}
+
+double
+ActuationPlan::averageQosLoss() const
+{
+    // QoS loss accrues per unit of *output*: a slice at speedup s
+    // produces s * fraction units of work, so weight by work share.
+    double work = 0.0;
+    double weighted = 0.0;
+    for (const auto &s : slices) {
+        work += s.fraction * s.speedup;
+        weighted += s.fraction * s.speedup * s.qos_loss;
+    }
+    return work > 0.0 ? weighted / work : 0.0;
+}
+
+Actuator::Actuator(const ResponseModel &model, ActuationPolicy policy,
+                   std::size_t quantum_beats)
+    : model_(&model), policy_(policy), quantum_beats_(quantum_beats)
+{
+    if (quantum_beats_ == 0)
+        throw std::invalid_argument("Actuator: quantum must be >= 1 beat");
+}
+
+ActuationPlan
+Actuator::plan(double speedup) const
+{
+    ActuationPlan out;
+    const auto &base = model_->baselinePoint();
+    const double s_cmd = std::max(speedup, base.speedup);
+
+    if (policy_ == ActuationPolicy::RaceToIdle) {
+        // t_min = t_default = 0: sprint at s_max, idle the rest.
+        const auto &fast = model_->fastest();
+        const double frac = std::min(1.0, s_cmd / fast.speedup);
+        out.slices.push_back(
+            {fast.combination, frac, fast.speedup, fast.qos_loss});
+        out.idle_fraction = 1.0 - frac;
+        return out;
+    }
+
+    // MinimalSpeedup: t_max = 0. Find the slowest Pareto point with
+    // speedup >= command (s_min of the paper), mix with the default
+    // setting so the quantum average equals the command.
+    const auto &hi = model_->atLeast(s_cmd);
+    if (hi.speedup <= s_cmd || hi.combination == base.combination) {
+        // Command at or above s_max (run flat out), or command within
+        // rounding of the baseline.
+        out.slices.push_back(
+            {hi.combination, 1.0, hi.speedup, hi.qos_loss});
+        return out;
+    }
+    if (s_cmd <= base.speedup) {
+        out.slices.push_back(
+            {base.combination, 1.0, base.speedup, base.qos_loss});
+        return out;
+    }
+    const double t_min =
+        (s_cmd - base.speedup) / (hi.speedup - base.speedup);
+    const double t_default = 1.0 - t_min;
+    if (t_min > 0.0)
+        out.slices.push_back(
+            {hi.combination, t_min, hi.speedup, hi.qos_loss});
+    if (t_default > 0.0)
+        out.slices.push_back(
+            {base.combination, t_default, base.speedup, base.qos_loss});
+    return out;
+}
+
+std::size_t
+Actuator::combinationForBeat(const ActuationPlan &plan,
+                             std::size_t beat) const
+{
+    if (plan.slices.empty())
+        throw std::logic_error("Actuator: empty plan");
+    const double pos = (static_cast<double>(beat % quantum_beats_) + 0.5) /
+                       static_cast<double>(quantum_beats_);
+    // Beats are laid out over the busy portion of the quantum.
+    const double busy = 1.0 - plan.idle_fraction;
+    double acc = 0.0;
+    for (const auto &s : plan.slices) {
+        acc += s.fraction / (busy > 0.0 ? busy : 1.0);
+        if (pos * 1.0 <= acc * 1.0 + 1e-12)
+            return s.combination;
+    }
+    return plan.slices.back().combination;
+}
+
+double
+Actuator::idlePerBusySecond(const ActuationPlan &plan) const
+{
+    const double busy = 1.0 - plan.idle_fraction;
+    if (busy <= 0.0)
+        return 0.0;
+    return plan.idle_fraction / busy;
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The PowerDial actuator (paper section 2.3.3).
+ *
+ * Converts the controller's continuous speedup command into a schedule
+ * of discrete knob settings over a time quantum ("heuristically
+ * established as the time required to process twenty heartbeats") by
+ * solving the constraint system of Equations 9-11:
+ *
+ *     s_max*t_max + s_min*t_min + (h/g)*t_default = 1
+ *     t_max + t_min + t_default <= 1,   t_* >= 0
+ *
+ * Two solutions of interest (both implemented):
+ *  - MinimalSpeedup: t_max = 0, run the slowest Pareto setting with
+ *    speedup >= the command, mixed with the default setting so the
+ *    quantum-average speedup equals the command. Lowest feasible QoS
+ *    loss.
+ *  - RaceToIdle: t_min = t_default = 0, run the fastest setting for the
+ *    fraction of the quantum needed, idle for the remainder. Best for
+ *    platforms with low idle power.
+ */
+#ifndef POWERDIAL_CORE_ACTUATOR_H
+#define POWERDIAL_CORE_ACTUATOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/response_model.h"
+
+namespace powerdial::core {
+
+/** Which solution of the constraint system the actuator uses. */
+enum class ActuationPolicy
+{
+    MinimalSpeedup, //!< t_max = 0: minimal feasible QoS loss.
+    RaceToIdle,     //!< t_min = t_default = 0: sprint then idle.
+};
+
+/** One slice of an actuation plan. */
+struct ActuationSlice
+{
+    std::size_t combination; //!< Knob combination to install.
+    double fraction;         //!< Fraction of the quantum, in (0, 1].
+    double speedup;          //!< Calibrated speedup of the combination.
+    double qos_loss;         //!< Calibrated QoS loss of the combination.
+};
+
+/** The schedule for one time quantum. */
+struct ActuationPlan
+{
+    std::vector<ActuationSlice> slices;
+    /** Fraction of the quantum spent idle (race-to-idle only). */
+    double idle_fraction = 0.0;
+
+    /** Quantum-average speedup delivered by the plan (idle counts 0). */
+    double averageSpeedup() const;
+
+    /** Average QoS loss of the plan, weighting slices by time. */
+    double averageQosLoss() const;
+};
+
+/** Converts speedup commands into per-beat knob schedules. */
+class Actuator
+{
+  public:
+    /**
+     * @param model         Calibrated response model (not owned; must
+     *                      outlive the actuator).
+     * @param policy        Constraint-system solution to use.
+     * @param quantum_beats Heartbeats per quantum (paper: 20).
+     */
+    Actuator(const ResponseModel &model, ActuationPolicy policy,
+             std::size_t quantum_beats = 20);
+
+    /** Build the plan realising @p speedup over the next quantum. */
+    ActuationPlan plan(double speedup) const;
+
+    /**
+     * The knob combination to run for beat @p beat (0-based within the
+     * quantum) under @p plan. Slices are laid out contiguously.
+     */
+    std::size_t combinationForBeat(const ActuationPlan &plan,
+                                   std::size_t beat) const;
+
+    /**
+     * Idle time to insert at beat @p beat, as a multiple of the beat's
+     * busy duration (race-to-idle spreads its idle slack evenly).
+     */
+    double idlePerBusySecond(const ActuationPlan &plan) const;
+
+    std::size_t quantumBeats() const { return quantum_beats_; }
+    ActuationPolicy policy() const { return policy_; }
+
+  private:
+    const ResponseModel *model_;
+    ActuationPolicy policy_;
+    std::size_t quantum_beats_;
+};
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_ACTUATOR_H

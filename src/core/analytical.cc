@@ -1,0 +1,102 @@
+#include "core/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::core::analytical {
+
+double
+energyNoDvfs(const DvfsPowers &p, const TaskTiming &t)
+{
+    return p.p_nodvfs * t.t1 + p.p_idle * t.t_delay;
+}
+
+double
+energyDvfs(const DvfsPowers &p, const TaskTiming &t)
+{
+    const double t2 = t.t1 + t.t_delay;
+    return p.p_dvfs * t2;
+}
+
+double
+dvfsSavings(const DvfsPowers &p, const TaskTiming &t)
+{
+    return energyNoDvfs(p, t) - energyDvfs(p, t);
+}
+
+double
+stretchedTime(double t1, double f_nodvfs, double f_dvfs)
+{
+    if (f_dvfs <= 0.0 || f_nodvfs <= 0.0)
+        throw std::invalid_argument("stretchedTime: bad frequencies");
+    return (f_nodvfs / f_dvfs) * t1;
+}
+
+double
+energyElasticDvfs(const DvfsPowers &p, const TaskTiming &t, double speedup)
+{
+    if (speedup < 1.0)
+        throw std::invalid_argument("energyElasticDvfs: speedup < 1");
+    const double t2 = t.t1 + t.t_delay;
+
+    // Equation 13-14: race-to-idle at the high frequency.
+    const double t1p = t.t1 / speedup;
+    const double tdelayp = t.t_delay + t.t1 - t1p;
+    const double e1 = p.p_nodvfs * t1p + p.p_idle * tdelayp;
+
+    // Equation 15-16: run at the low-power state.
+    const double t2p = t2 / speedup;
+    const double tdelaypp = t2 - t2p;
+    const double e2 = p.p_dvfs * t2p + p.p_idle * tdelaypp;
+
+    // Equation 17.
+    return std::min(e1, e2);
+}
+
+double
+elasticSavings(const DvfsPowers &p, const TaskTiming &t, double speedup)
+{
+    // Equation 18: the better of plain-speed-then-idle and DVFS.
+    const double e_dvfs = std::min(energyNoDvfs(p, t), energyDvfs(p, t));
+    // Equation 19.
+    return e_dvfs - energyElasticDvfs(p, t, speedup);
+}
+
+ConsolidationResult
+consolidate(const ConsolidationModel &model)
+{
+    if (model.n_orig == 0)
+        throw std::invalid_argument("consolidate: no machines");
+    if (model.speedup < 1.0)
+        throw std::invalid_argument("consolidate: speedup < 1");
+    if (model.u_orig < 0.0 || model.u_orig > 1.0)
+        throw std::invalid_argument("consolidate: bad utilisation");
+
+    ConsolidationResult r{};
+    // Equation 20: W_total = W_machine * N_orig.
+    const double w_total =
+        model.work_per_machine * static_cast<double>(model.n_orig);
+    // Equation 21: N_new = ceil(W_total / S(QoS) / W_machine).
+    r.n_new = static_cast<std::size_t>(std::ceil(
+        w_total / model.speedup / model.work_per_machine));
+    r.n_new = std::max<std::size_t>(r.n_new, 1);
+
+    // U_new = N_orig / N_new * U_orig capped at 1: the same offered work
+    // concentrates on fewer machines.
+    r.u_new = std::min(1.0, model.u_orig *
+                                static_cast<double>(model.n_orig) /
+                                static_cast<double>(r.n_new));
+
+    // Equations 22-24.
+    r.p_orig_watts = static_cast<double>(model.n_orig) *
+                     (model.u_orig * model.p_load +
+                      (1.0 - model.u_orig) * model.p_idle);
+    r.p_new_watts = static_cast<double>(r.n_new) *
+                    (r.u_new * model.p_load +
+                     (1.0 - r.u_new) * model.p_idle);
+    r.p_save_watts = r.p_orig_watts - r.p_new_watts;
+    return r;
+}
+
+} // namespace powerdial::core::analytical

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Analytical models of paper section 3.
+ *
+ * Three model families:
+ *  - DVFS energy accounting for a fixed task (Equation 12, Figure 3);
+ *  - combined DVFS + dynamic-knob energy savings with the race-to-idle
+ *    and low-power-state strategies (Equations 13-19, Figure 4);
+ *  - server consolidation: machine counts, utilisation, and power
+ *    savings (Equations 20-24).
+ */
+#ifndef POWERDIAL_CORE_ANALYTICAL_H
+#define POWERDIAL_CORE_ANALYTICAL_H
+
+#include <cstddef>
+
+namespace powerdial::core::analytical {
+
+/** Platform power levels for the DVFS energy models. */
+struct DvfsPowers
+{
+    double p_nodvfs; //!< Active power at the high frequency, watts.
+    double p_dvfs;   //!< Active power at the reduced frequency, watts.
+    double p_idle;   //!< Idle power, watts.
+};
+
+/** Timing of a task with a latency budget. */
+struct TaskTiming
+{
+    double t1;      //!< Execution time at the high frequency, seconds.
+    double t_delay; //!< Slack before the deadline, seconds (t2 = t1 + t_delay).
+};
+
+/** Energy to complete the task without DVFS: run at speed, then idle. */
+double energyNoDvfs(const DvfsPowers &p, const TaskTiming &t);
+
+/** Energy with DVFS stretching the task over the whole budget. */
+double energyDvfs(const DvfsPowers &p, const TaskTiming &t);
+
+/**
+ * DVFS energy savings, Equation 12:
+ * E_dvfs_savings = (P_nodvfs*t1 + P_idle*t_delay) - P_dvfs*t2.
+ */
+double dvfsSavings(const DvfsPowers &p, const TaskTiming &t);
+
+/**
+ * Predicted stretched execution time for a CPU-bound task:
+ * t2 = (f_nodvfs / f_dvfs) * t1.
+ */
+double stretchedTime(double t1, double f_nodvfs, double f_dvfs);
+
+/**
+ * Energy with DVFS + dynamic knobs (Equations 13-17): the knob speedup
+ * S(QoS) shrinks the work; the system either races to idle at the high
+ * frequency (E1) or runs at the low-power state (E2) and takes the
+ * cheaper of the two.
+ *
+ * @param speedup S(QoS) >= 1, the speedup bought by acceptable QoS loss.
+ */
+double energyElasticDvfs(const DvfsPowers &p, const TaskTiming &t,
+                         double speedup);
+
+/**
+ * Energy savings of DVFS + knobs over plain best-of DVFS
+ * (Equations 18-19).
+ */
+double elasticSavings(const DvfsPowers &p, const TaskTiming &t,
+                      double speedup);
+
+/** Consolidation model inputs (Equations 20-24). */
+struct ConsolidationModel
+{
+    std::size_t n_orig;       //!< Machines in the original system.
+    double work_per_machine;  //!< W_machine (work units at peak).
+    double speedup;           //!< S(QoS) from the response model.
+    double u_orig;            //!< Average utilisation, original system.
+    double p_load;            //!< Per-machine power under load, watts.
+    double p_idle;            //!< Per-machine idle power, watts.
+};
+
+/** Consolidation model outputs. */
+struct ConsolidationResult
+{
+    std::size_t n_new;   //!< Machines after consolidation (Eq. 21).
+    double u_new;        //!< Average utilisation, consolidated (=
+                         //!< N_orig * U_orig / N_new scaled by speedup
+                         //!< absorbed work; see implementation note).
+    double p_orig_watts; //!< Average power, original system (Eq. 22).
+    double p_new_watts;  //!< Average power, consolidated (Eq. 23).
+    double p_save_watts; //!< Power savings (Eq. 24).
+};
+
+/** Evaluate Equations 20-24. */
+ConsolidationResult consolidate(const ConsolidationModel &model);
+
+} // namespace powerdial::core::analytical
+
+#endif // POWERDIAL_CORE_ANALYTICAL_H

@@ -1,0 +1,54 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace powerdial::core {
+
+HeartRateController::HeartRateController(const ControllerConfig &config)
+    : config_(config)
+{
+    if (config_.baseline_rate <= 0.0)
+        throw std::invalid_argument("Controller: baseline rate must be > 0");
+    if (config_.target_rate <= 0.0)
+        throw std::invalid_argument("Controller: target rate must be > 0");
+    if (config_.max_speedup < config_.min_speedup)
+        throw std::invalid_argument("Controller: max < min speedup");
+    if (config_.gain <= 0.0)
+        throw std::invalid_argument("Controller: gain must be > 0");
+    speedup_ = std::isnan(config_.initial_speedup)
+        ? config_.min_speedup
+        : config_.initial_speedup;
+}
+
+double
+HeartRateController::update(double observed_rate)
+{
+    const double error = config_.target_rate - observed_rate;
+    speedup_ += config_.gain * error / config_.baseline_rate;
+    speedup_ =
+        std::clamp(speedup_, config_.min_speedup, config_.max_speedup);
+    return speedup_;
+}
+
+void
+HeartRateController::setTarget(double target_rate)
+{
+    if (target_rate <= 0.0)
+        throw std::invalid_argument("Controller: target rate must be > 0");
+    config_.target_rate = target_rate;
+}
+
+double
+HeartRateController::convergencePeriods(double gain)
+{
+    const double pole = std::abs(closedLoopPole(gain));
+    if (pole <= 0.0)
+        return 0.0; // Deadbeat: converges in one period.
+    if (pole >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return -4.0 / std::log10(pole);
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The PowerDial heart-rate controller (paper section 2.3.2).
+ *
+ * Implements the integral control law of Equations 3-4:
+ *
+ *     e(t) = g - h(t)
+ *     s(t) = s(t-1) + e(t) / b
+ *
+ * where g is the target heart rate, h(t) the observed heart rate, b the
+ * baseline speed (heart rate with all knobs at their defaults on an
+ * unloaded machine), and s(t) the speedup to apply next.
+ *
+ * With the application model h(t+1) = b * s(t) (Equation 2) the closed
+ * loop has transfer function F(z) = 1/z (Equation 8): unit steady-state
+ * gain (it converges to g), a single pole at z = 0 (stable, no
+ * oscillation, deadbeat convergence). A gain parameter generalises the
+ * law to s(t) = s(t-1) + k * e(t)/b, moving the pole to z = 1 - k; the
+ * test suite and the ablation bench verify the textbook behaviour
+ * (k = 1 deadbeat; 0 < k < 1 slower; k > 2 unstable).
+ */
+#ifndef POWERDIAL_CORE_CONTROLLER_H
+#define POWERDIAL_CORE_CONTROLLER_H
+
+#include <limits>
+#include <stdexcept>
+
+namespace powerdial::core {
+
+/** Configuration of the heart-rate controller. */
+struct ControllerConfig
+{
+    double baseline_rate;   //!< b: heart rate at default knobs, beats/s.
+    double target_rate;     //!< g: desired heart rate, beats/s.
+    double gain = 1.0;      //!< k: 1.0 is the paper's deadbeat law.
+    double min_speedup = 1.0; //!< Actuation floor (baseline setting).
+    double max_speedup;     //!< Fastest calibrated knob speedup.
+    /** Initial integrator state; NaN means "start at min_speedup". */
+    double initial_speedup = std::numeric_limits<double>::quiet_NaN();
+};
+
+/** The integral heart-rate controller. */
+class HeartRateController
+{
+  public:
+    explicit HeartRateController(const ControllerConfig &config);
+
+    /**
+     * One control step: observe heart rate @p observed_rate, return the
+     * speedup to apply over the next quantum (clamped to the
+     * [min_speedup, max_speedup] actuation range).
+     */
+    double update(double observed_rate);
+
+    /** Current (last returned) speedup command. */
+    double speedup() const { return speedup_; }
+
+    /** Reset the integrator to the baseline operating point. */
+    void reset() { speedup_ = config_.min_speedup; }
+
+    /** Re-aim the controller at a new target heart rate. */
+    void setTarget(double target_rate);
+
+    const ControllerConfig &config() const { return config_; }
+
+    /**
+     * Closed-loop pole location for gain @p k: z = 1 - k.
+     * |pole| < 1 iff the loop is stable (paper's k = 1 gives z = 0).
+     */
+    static double closedLoopPole(double gain) { return 1.0 - gain; }
+
+    /**
+     * Approximate convergence time in control periods,
+     * t_c ~ -4 / log10(|p|) (paper section 2.3.2); 0 for a deadbeat
+     * pole at the origin.
+     */
+    static double convergencePeriods(double gain);
+
+  private:
+    ControllerConfig config_;
+    double speedup_;
+};
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_CONTROLLER_H

@@ -1,0 +1,55 @@
+#include "core/identify.h"
+
+#include <stdexcept>
+
+namespace powerdial::core {
+
+IdentificationResult
+identifyKnobs(App &app)
+{
+    const KnobSpace &space = app.knobSpace();
+
+    // One instrumented execution per combination of parameter settings.
+    std::vector<influence::TraceRun> runs;
+    runs.reserve(space.combinations());
+    for (std::size_t c = 0; c < space.combinations(); ++c) {
+        influence::TraceRun trace;
+        app.traceRun(trace, space.valuesOf(c));
+        runs.push_back(std::move(trace));
+    }
+
+    // The specified parameters occupy bits 0 .. parameterCount()-1.
+    influence::InfluenceMask specified = 0;
+    std::vector<std::string> param_names;
+    for (std::size_t p = 0; p < space.parameterCount(); ++p) {
+        specified |= influence::paramBit(static_cast<unsigned>(p));
+        param_names.push_back(space.parameter(p).name);
+    }
+
+    IdentificationResult result;
+    result.analysis = influence::identifyControlVariables(runs, specified);
+    result.report = influence::renderReport(result.analysis, param_names);
+    if (!result.analysis.accepted)
+        return result;
+
+    // Materialise the knob table: the application registers its write
+    // bindings; we pair them with the recorded values by variable name.
+    app.bindControlVariables(result.table);
+    for (std::size_t i = 0; i < result.table.variableCount(); ++i) {
+        const auto &name = result.table.binding(i).name;
+        const int cv = result.analysis.indexOf(name);
+        if (cv < 0) {
+            throw std::logic_error(
+                "identifyKnobs: app binds '" + name +
+                "' but the influence analysis never saw it");
+        }
+        const auto &values =
+            result.analysis.control_variables[static_cast<std::size_t>(cv)]
+                .values_per_combination;
+        for (std::size_t c = 0; c < values.size(); ++c)
+            result.table.record(c, i, values[c]);
+    }
+    return result;
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dynamic knob identification pipeline (paper section 2.1).
+ *
+ * Runs the influence-traced application once per knob combination,
+ * applies the control-variable checks, and on acceptance materialises a
+ * KnobTable: bindings into the application plus the recorded
+ * control-variable values for every combination.
+ */
+#ifndef POWERDIAL_CORE_IDENTIFY_H
+#define POWERDIAL_CORE_IDENTIFY_H
+
+#include <string>
+
+#include "core/app.h"
+#include "influence/analysis.h"
+
+namespace powerdial::core {
+
+/** Result of knob identification for one application. */
+struct IdentificationResult
+{
+    influence::AnalysisResult analysis;
+    /** Populated only when analysis.accepted. */
+    KnobTable table;
+    /** The developer-auditable control variable report. */
+    std::string report;
+};
+
+/**
+ * Trace every knob combination of @p app, run the control-variable
+ * checks, and build the knob table.
+ */
+IdentificationResult identifyKnobs(App &app);
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_IDENTIFY_H

@@ -1,0 +1,44 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+namespace powerdial::core {
+
+bool
+dominates(const OperatingPoint &a, const OperatingPoint &b)
+{
+    const bool no_worse =
+        a.speedup >= b.speedup && a.qos_loss <= b.qos_loss;
+    const bool strictly_better =
+        a.speedup > b.speedup || a.qos_loss < b.qos_loss;
+    return no_worse && strictly_better;
+}
+
+std::vector<OperatingPoint>
+paretoFrontier(const std::vector<OperatingPoint> &points)
+{
+    std::vector<OperatingPoint> sorted = points;
+    // Sort by ascending QoS loss, descending speedup within ties.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OperatingPoint &a, const OperatingPoint &b) {
+                  if (a.qos_loss != b.qos_loss)
+                      return a.qos_loss < b.qos_loss;
+                  return a.speedup > b.speedup;
+              });
+
+    std::vector<OperatingPoint> frontier;
+    double best_speedup = -1.0;
+    for (const auto &p : sorted) {
+        if (p.speedup > best_speedup) {
+            frontier.push_back(p);
+            best_speedup = p.speedup;
+        }
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const OperatingPoint &a, const OperatingPoint &b) {
+                  return a.speedup < b.speedup;
+              });
+    return frontier;
+}
+
+} // namespace powerdial::core

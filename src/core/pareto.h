@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pareto-frontier computation over the speedup/QoS-loss plane.
+ *
+ * Calibration (paper section 2.2) keeps only the Pareto-optimal knob
+ * settings: a setting is dominated if some other setting is at least as
+ * fast and loses no more QoS. Figures 5 and 6 show that the suboptimal
+ * settings are plentiful, which is why the training exploration matters.
+ */
+#ifndef POWERDIAL_CORE_PARETO_H
+#define POWERDIAL_CORE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace powerdial::core {
+
+/** One knob combination's calibrated operating point. */
+struct OperatingPoint
+{
+    std::size_t combination; //!< Index into the KnobSpace.
+    double speedup;          //!< Mean speedup vs the baseline setting.
+    double qos_loss;         //!< Mean QoS loss (Eq. 1); 0 is best.
+};
+
+/**
+ * The Pareto-optimal subset of @p points, sorted by ascending speedup.
+ *
+ * A point is kept iff no other point has (speedup >= its speedup) and
+ * (qos_loss <= its qos_loss) with at least one strict inequality.
+ * Duplicate operating points collapse to one.
+ */
+std::vector<OperatingPoint>
+paretoFrontier(const std::vector<OperatingPoint> &points);
+
+/** True if @p a dominates @p b (faster-or-equal and no worse QoS). */
+bool dominates(const OperatingPoint &a, const OperatingPoint &b);
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_PARETO_H

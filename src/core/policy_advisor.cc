@@ -1,0 +1,51 @@
+#include "core/policy_advisor.h"
+
+#include <stdexcept>
+
+#include "core/analytical.h"
+
+namespace powerdial::core {
+
+PolicyAdvice
+advisePolicy(const sim::PowerModel &power,
+             const sim::FrequencyScale &scale, double speedup,
+             double sleep_watts)
+{
+    if (speedup < 1.0)
+        throw std::invalid_argument("advisePolicy: speedup < 1");
+    if (sleep_watts < 0.0)
+        sleep_watts = power.idleWatts(); // No deep-sleep state.
+
+    const double f_hi = scale.maxHz();
+    const double f_lo = scale.minHz();
+    const double p_hi = power.watts(f_hi, 1.0);
+    const double p_lo = power.watts(f_lo, 1.0);
+
+    // One second of work at the top frequency; the shared latency
+    // budget is the DVFS-stretched completion time t2 (section 3 with
+    // t_delay = 0). Slack time is spent in the sleep state.
+    const double t1 = 1.0;
+    const double t2 = analytical::stretchedTime(t1, f_hi, f_lo);
+    const double t1p = t1 / speedup; // Equation 13.
+    const double t2p = t2 / speedup; // Equation 15.
+
+    PolicyAdvice advice{};
+    advice.race_energy_j =
+        p_hi * t1p + sleep_watts * (t2 - t1p); // Equation 14.
+    advice.stretch_energy_j =
+        p_lo * t2p + sleep_watts * (t2 - t2p); // Equation 16.
+    advice.policy = advice.race_energy_j < advice.stretch_energy_j
+        ? ActuationPolicy::RaceToIdle
+        : ActuationPolicy::MinimalSpeedup;
+
+    // Sleep power at which the strategies break even:
+    // (p_hi - P_s) t1p = (p_lo - P_s) t2p  =>
+    // P_s = (p_hi t1p - p_lo t2p) / (t1p - t2p).
+    const double breakeven =
+        (p_hi * t1p - p_lo * t2p) / (t1p - t2p);
+    advice.breakeven_sleep_watts = breakeven;
+    advice.breakeven_idle_fraction = breakeven / p_hi;
+    return advice;
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Actuation-policy advisor.
+ *
+ * Paper section 2.3.3 gives two solutions of the actuation constraint
+ * system and section 3 explains when each wins: "for platforms with
+ * sufficiently low idle power consumption, PowerDial supports
+ * race-to-idle execution"; for the high idle power "common in current
+ * server class machines" the minimal-speedup (low-power-state)
+ * solution is better. The advisor makes that choice automatically by
+ * evaluating the section 3 energy models (Equations 13-17) against the
+ * platform's power model.
+ */
+#ifndef POWERDIAL_CORE_POLICY_ADVISOR_H
+#define POWERDIAL_CORE_POLICY_ADVISOR_H
+
+#include "core/actuator.h"
+#include "sim/power_model.h"
+
+namespace powerdial::core {
+
+/** Outcome of the policy analysis. */
+struct PolicyAdvice
+{
+    ActuationPolicy policy;
+    double race_energy_j;   //!< E1: sprint-then-sleep energy (Eq. 14).
+    double stretch_energy_j;//!< E2: low-power-state energy (Eq. 16).
+    /**
+     * Sleep power at which the two strategies break even; below it
+     * race-to-idle wins. Negative means race-to-idle can never win on
+     * this platform (its voltage scaling makes the low-power state
+     * strictly more work-efficient).
+     */
+    double breakeven_sleep_watts;
+    /** The same break-even expressed as a fraction of peak power. */
+    double breakeven_idle_fraction;
+};
+
+/**
+ * Choose the actuation policy for a platform.
+ *
+ * Evaluates one unit of slack-free work (the power-cap scenario of
+ * section 3, where t_delay = 0) at knob speedup @p speedup: racing at
+ * the top frequency then dropping into the sleep state versus
+ * stretching at the low-power state. Race-to-idle wins on platforms
+ * whose DVFS has little voltage headroom (weak energy savings per
+ * cycle) and whose sleep state is cheap — the "sufficiently low idle
+ * power" platforms of the paper.
+ *
+ * @param power       The platform's full-system power model.
+ * @param scale       The platform's frequency scale.
+ * @param speedup     S(QoS), the knob speedup available (>= 1).
+ * @param sleep_watts Deep-sleep power the platform reaches while
+ *                    parked; negative (default) means "no sleep state
+ *                    deeper than idle".
+ */
+PolicyAdvice advisePolicy(const sim::PowerModel &power,
+                          const sim::FrequencyScale &scale,
+                          double speedup, double sleep_watts = -1.0);
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_POLICY_ADVISOR_H

@@ -1,0 +1,126 @@
+#include "core/runtime.h"
+
+#include <stdexcept>
+
+namespace powerdial::core {
+
+Runtime::Runtime(App &app, const KnobTable &table,
+                 const ResponseModel &model, const RuntimeOptions &options)
+    : app_(&app), table_(&table), model_(&model), options_(options)
+{
+    if (options_.quantum_beats == 0)
+        throw std::invalid_argument("Runtime: quantum must be >= 1");
+    if (options_.window == 0)
+        throw std::invalid_argument("Runtime: window must be >= 1");
+}
+
+ControlledRun
+Runtime::run(std::size_t input, sim::Machine &machine,
+             sim::DvfsGovernor *governor)
+{
+    const double target = options_.target_rate > 0.0
+        ? options_.target_rate
+        : model_->baselineRate();
+
+    // Paper setup: min and max target are both the baseline rate.
+    hb::Monitor monitor(options_.window, {target, target});
+
+    ControllerConfig cc;
+    cc.baseline_rate = model_->baselineRate();
+    cc.target_rate = target;
+    cc.gain = options_.gain;
+    cc.min_speedup = model_->baselinePoint().speedup;
+    cc.max_speedup = model_->maxSpeedup();
+    HeartRateController controller(cc);
+
+    Actuator actuator(*model_, options_.policy, options_.quantum_beats);
+
+    // Start at the baseline (highest QoS) setting, like the paper.
+    const std::size_t baseline = model_->baselineCombination();
+    app_->configure(app_->knobSpace().valuesOf(baseline));
+    app_->loadInput(input);
+
+    ActuationPlan plan;
+    plan.slices.push_back({baseline, 1.0, model_->baselinePoint().speedup,
+                           model_->baselinePoint().qos_loss});
+
+    ControlledRun result;
+    const double start = machine.now();
+    const std::size_t units = app_->unitCount();
+    result.beats.reserve(units);
+
+    std::size_t applied = baseline;
+    double commanded = cc.min_speedup;
+    double qos_weighted = 0.0;
+    double qos_work = 0.0;
+
+    for (std::size_t u = 0; u < units; ++u) {
+        // Main control loop: heartbeat at the top of the loop.
+        monitor.beat(machine.now());
+        if (governor != nullptr)
+            governor->poll(machine);
+
+        // Quantum boundary: run the controller and re-plan.
+        if (options_.knobs_enabled && u > 0 &&
+            u % options_.quantum_beats == 0) {
+            const double rate = monitor.windowRate();
+            if (rate > 0.0) {
+                commanded = controller.update(rate);
+                plan = actuator.plan(commanded);
+            }
+        }
+
+        const std::size_t combo = options_.knobs_enabled
+            ? actuator.combinationForBeat(plan,
+                                          u % options_.quantum_beats)
+            : baseline;
+        if (combo != applied) {
+            table_->apply(combo);
+            applied = combo;
+        }
+
+        const double before = machine.now();
+        app_->processUnit(u, machine);
+        const double busy = machine.now() - before;
+
+        // Race-to-idle: insert the plan's idle slack after the work.
+        const double idle_ratio = options_.knobs_enabled
+            ? actuator.idlePerBusySecond(plan)
+            : 0.0;
+        if (idle_ratio > 0.0)
+            machine.idleFor(idle_ratio * busy);
+
+        // Account the calibrated QoS loss of the installed setting,
+        // weighted by the work (one unit) it produced.
+        double combo_qos = 0.0;
+        double combo_speedup = 1.0;
+        for (const auto &p : model_->allPoints()) {
+            if (p.combination == applied) {
+                combo_qos = p.qos_loss;
+                combo_speedup = p.speedup;
+                break;
+            }
+        }
+        qos_weighted += combo_qos;
+        qos_work += 1.0;
+
+        BeatTrace bt;
+        bt.time_s = machine.now();
+        bt.window_rate = monitor.windowRate();
+        bt.normalized_perf =
+            target > 0.0 ? bt.window_rate / target : 0.0;
+        bt.commanded_speedup = commanded;
+        bt.knob_gain = combo_speedup;
+        bt.combination = applied;
+        bt.pstate = machine.pstate();
+        result.beats.push_back(bt);
+    }
+
+    result.seconds = machine.now() - start;
+    result.output = app_->output();
+    result.mean_qos_loss_estimate =
+        qos_work > 0.0 ? qos_weighted / qos_work : 0.0;
+    return result;
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The PowerDial runtime control system (paper section 2.3, Figure 2).
+ *
+ * Composes the three components of the control system — the Application
+ * Heartbeats feedback mechanism, the integral heart-rate controller,
+ * and the knob actuator — around an application's main control loop.
+ * Each loop iteration emits a heartbeat; every quantum (twenty beats by
+ * default) the controller converts the heart-rate error into a speedup
+ * command, the actuator converts it into a knob schedule, and the
+ * runtime installs knob settings by writing the recorded control
+ * variable values into the application's address space.
+ */
+#ifndef POWERDIAL_CORE_RUNTIME_H
+#define POWERDIAL_CORE_RUNTIME_H
+
+#include <optional>
+#include <vector>
+
+#include "core/actuator.h"
+#include "core/app.h"
+#include "core/controller.h"
+#include "core/response_model.h"
+#include "heartbeats/heartbeat.h"
+#include "sim/dvfs_governor.h"
+
+namespace powerdial::core {
+
+/** Runtime configuration. */
+struct RuntimeOptions
+{
+    ActuationPolicy policy = ActuationPolicy::MinimalSpeedup;
+    std::size_t quantum_beats = 20; //!< Paper's heuristic quantum.
+    double gain = 1.0;              //!< Controller gain (1 = deadbeat).
+    std::size_t window = 20;        //!< Heartbeat sliding window.
+    /**
+     * Target heart rate; 0 means "use the calibrated baseline rate",
+     * the paper's standard setup (min == max == baseline rate).
+     */
+    double target_rate = 0.0;
+    /** If false, knobs are pinned at the default setting (the paper's
+     *  "without dynamic knobs" comparison runs). */
+    bool knobs_enabled = true;
+};
+
+/** Per-beat record, the raw series behind Figure 7. */
+struct BeatTrace
+{
+    double time_s;          //!< Virtual time of the beat.
+    double window_rate;     //!< Sliding-window heart rate.
+    double normalized_perf; //!< window_rate / target (1.0 = on target).
+    double commanded_speedup; //!< Controller output for this quantum.
+    double knob_gain;       //!< Calibrated speedup of the installed combo.
+    std::size_t combination;//!< Installed knob combination.
+    std::size_t pstate;     //!< Machine P-state at the beat.
+};
+
+/** Result of one controlled execution. */
+struct ControlledRun
+{
+    std::vector<BeatTrace> beats;
+    qos::OutputAbstraction output;
+    double seconds = 0.0;    //!< Total virtual execution time.
+    double mean_qos_loss_estimate = 0.0; //!< Work-weighted calibrated
+                                         //!< QoS loss of installed combos.
+};
+
+/**
+ * The PowerDial runtime for one application.
+ *
+ * The response model and knob table must outlive the runtime.
+ */
+class Runtime
+{
+  public:
+    /**
+     * @param app    The heartbeat-instrumented application.
+     * @param table  Recorded control-variable values + write bindings.
+     * @param model  Calibrated response model.
+     * @param options Control-system options.
+     */
+    Runtime(App &app, const KnobTable &table, const ResponseModel &model,
+            const RuntimeOptions &options = {});
+
+    /**
+     * Execute input @p input to completion on @p machine under closed-
+     * loop control, optionally with a DVFS governor imposing frequency
+     * changes (the power-cap scenario).
+     */
+    ControlledRun run(std::size_t input, sim::Machine &machine,
+                      sim::DvfsGovernor *governor = nullptr);
+
+    const RuntimeOptions &options() const { return options_; }
+    const ResponseModel &model() const { return *model_; }
+
+  private:
+    App *app_;
+    const KnobTable *table_;
+    const ResponseModel *model_;
+    RuntimeOptions options_;
+};
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_RUNTIME_H

@@ -1,0 +1,33 @@
+#include "core/trace_export.h"
+
+#include <stdexcept>
+
+namespace powerdial::core {
+
+void
+writeBeatsCsv(std::ostream &os, const ControlledRun &run,
+              std::size_t decimate)
+{
+    if (decimate == 0)
+        throw std::invalid_argument("writeBeatsCsv: zero decimation");
+    os << "beat,time_s,window_rate,normalized_perf,commanded_speedup,"
+          "knob_gain,combination,pstate\n";
+    for (std::size_t i = 0; i < run.beats.size(); i += decimate) {
+        const auto &b = run.beats[i];
+        os << i << ',' << b.time_s << ',' << b.window_rate << ','
+           << b.normalized_perf << ',' << b.commanded_speedup << ','
+           << b.knob_gain << ',' << b.combination << ',' << b.pstate
+           << '\n';
+    }
+}
+
+void
+writePowerCsv(std::ostream &os,
+              const std::vector<sim::PowerSample> &samples)
+{
+    os << "time_s,watts\n";
+    for (const auto &s : samples)
+        os << s.time_s << ',' << s.watts << '\n';
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV export of controlled-run traces and power samples.
+ *
+ * The paper's figures are time series (Figure 7) and sampled power
+ * (Figures 6, 8). This exporter renders a ControlledRun's beat trace
+ * and a machine's metered power into CSV so the figures can be
+ * re-plotted with any external tool.
+ */
+#ifndef POWERDIAL_CORE_TRACE_EXPORT_H
+#define POWERDIAL_CORE_TRACE_EXPORT_H
+
+#include <ostream>
+
+#include "core/runtime.h"
+#include "sim/energy_meter.h"
+
+namespace powerdial::core {
+
+/**
+ * Write a beat trace as CSV with header:
+ * `beat,time_s,window_rate,normalized_perf,commanded_speedup,
+ *  knob_gain,combination,pstate`.
+ *
+ * @param decimate Keep every n-th beat (1 = all). Must be >= 1.
+ */
+void writeBeatsCsv(std::ostream &os, const ControlledRun &run,
+                   std::size_t decimate = 1);
+
+/**
+ * Write power samples as CSV with header `time_s,watts`.
+ */
+void writePowerCsv(std::ostream &os,
+                   const std::vector<sim::PowerSample> &samples);
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_TRACE_EXPORT_H

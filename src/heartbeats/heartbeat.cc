@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <cmath>
+
+#include "heartbeats/heartbeat.h"
+
+namespace powerdial::hb {
+
+Monitor::Monitor(std::size_t window_size, HeartRateTarget target)
+    : window_size_(window_size), target_(target)
+{
+    if (window_size_ == 0)
+        throw std::invalid_argument("Monitor: window size must be >= 1");
+    if (target_.min_rate < 0.0 || target_.max_rate < target_.min_rate)
+        throw std::invalid_argument("Monitor: bad target range");
+}
+
+const HeartbeatRecord &
+Monitor::beat(double now)
+{
+    HeartbeatRecord rec{};
+    rec.tag = log_.size();
+    rec.timestamp = now;
+    if (!log_.empty()) {
+        const double prev = log_.back().timestamp;
+        if (now < prev)
+            throw std::invalid_argument("Monitor: time went backwards");
+        rec.latency = now - prev;
+        rec.instant_rate = rec.latency > 0.0 ? 1.0 / rec.latency : 0.0;
+
+        window_latencies_.push_back(rec.latency);
+        window_latency_sum_ += rec.latency;
+        if (window_latencies_.size() > window_size_) {
+            window_latency_sum_ -= window_latencies_.front();
+            window_latencies_.pop_front();
+        }
+    }
+    rec.window_rate = windowRate();
+    const double span = log_.empty() ? 0.0 : now - log_.front().timestamp;
+    rec.global_rate =
+        span > 0.0 ? static_cast<double>(log_.size()) / span : 0.0;
+    log_.push_back(rec);
+    return log_.back();
+}
+
+const HeartbeatRecord &
+Monitor::latest() const
+{
+    if (log_.empty())
+        throw std::logic_error("Monitor: no heartbeats yet");
+    return log_.back();
+}
+
+double
+Monitor::windowRate() const
+{
+    if (window_latencies_.empty() || window_latency_sum_ <= 0.0)
+        return 0.0;
+    return static_cast<double>(window_latencies_.size()) /
+           window_latency_sum_;
+}
+
+double
+Monitor::globalRate() const
+{
+    if (log_.size() < 2)
+        return 0.0;
+    const double span = log_.back().timestamp - log_.front().timestamp;
+    return span > 0.0
+        ? static_cast<double>(log_.size() - 1) / span
+        : 0.0;
+}
+
+WindowStats
+Monitor::windowStats() const
+{
+    WindowStats stats;
+    if (window_latencies_.empty())
+        return stats;
+    const double n = static_cast<double>(window_latencies_.size());
+    stats.min_latency = window_latencies_.front();
+    stats.max_latency = window_latencies_.front();
+    double sum = 0.0, sum_sq = 0.0;
+    for (const double lat : window_latencies_) {
+        stats.min_latency = std::min(stats.min_latency, lat);
+        stats.max_latency = std::max(stats.max_latency, lat);
+        sum += lat;
+        sum_sq += lat * lat;
+    }
+    stats.mean_latency = sum / n;
+    const double var =
+        sum_sq / n - stats.mean_latency * stats.mean_latency;
+    stats.stddev_latency = var > 0.0 ? std::sqrt(var) : 0.0;
+    return stats;
+}
+
+void
+Monitor::setTarget(HeartRateTarget target)
+{
+    if (target.min_rate < 0.0 || target.max_rate < target.min_rate)
+        throw std::invalid_argument("Monitor: bad target range");
+    target_ = target;
+}
+
+} // namespace powerdial::hb

@@ -1,0 +1,150 @@
+#include "influence/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace powerdial::influence {
+namespace {
+
+/** Render an influence mask as a parameter-name list. */
+std::string
+maskToNames(InfluenceMask mask, const std::vector<std::string> &names)
+{
+    std::string out;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        if (!(mask & paramBit(bit)))
+            continue;
+        if (!out.empty())
+            out += ", ";
+        if (bit < names.size())
+            out += names[bit];
+        else
+            out += "param#" + std::to_string(bit);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+} // namespace
+
+int
+AnalysisResult::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < control_variables.size(); ++i)
+        if (control_variables[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+AnalysisResult
+identifyControlVariables(const std::vector<TraceRun> &runs,
+                         InfluenceMask specified_mask)
+{
+    if (runs.empty())
+        throw std::invalid_argument("identifyControlVariables: no traces");
+
+    AnalysisResult result;
+
+    // Candidate set from the first run: all variables influenced before
+    // the first heartbeat (Complete), and the Relevance filter.
+    std::vector<std::string> candidates;
+    for (const auto &[name, var] : runs.front().variables()) {
+        if (var.mask == 0)
+            continue; // Not influenced by traced parameters.
+        if (!var.read_in_loop)
+            continue; // Relevance: main loop never reads it.
+        candidates.push_back(name);
+    }
+
+    // Consistency: every run must produce the identical candidate set,
+    // and within each run apply the Pure and Constant checks.
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const auto &run = runs[r];
+        for (const auto &[name, var] : run.variables()) {
+            const bool is_candidate = var.mask != 0 && var.read_in_loop;
+            const bool in_set =
+                std::find(candidates.begin(), candidates.end(), name) !=
+                candidates.end();
+            if (is_candidate != in_set) {
+                result.failures.push_back(
+                    {"consistent", name,
+                     "combination " + std::to_string(r) +
+                         (is_candidate ? " adds" : " drops") +
+                         " this control variable"});
+                continue;
+            }
+            if (!is_candidate)
+                continue;
+            if (var.mask & ~specified_mask) {
+                result.failures.push_back(
+                    {"pure", name,
+                     "value also influenced by unspecified parameters"});
+            }
+            if (var.written_in_loop) {
+                result.failures.push_back(
+                    {"constant", name,
+                     "main control loop writes this variable"});
+            }
+        }
+        // A candidate absent from some run is also a consistency failure.
+        for (const auto &name : candidates) {
+            if (run.variables().find(name) == run.variables().end()) {
+                result.failures.push_back(
+                    {"consistent", name,
+                     "combination " + std::to_string(r) +
+                         " never touches this control variable"});
+            }
+        }
+    }
+
+    if (!result.failures.empty()) {
+        result.accepted = false;
+        return result;
+    }
+
+    for (const auto &name : candidates) {
+        ControlVariable cv;
+        cv.name = name;
+        for (const auto &run : runs) {
+            const auto &var = run.variable(name);
+            cv.derived_from |= var.mask;
+            cv.values_per_combination.push_back(var.value);
+            cv.access_sites.insert(var.access_sites.begin(),
+                                   var.access_sites.end());
+        }
+        result.control_variables.push_back(std::move(cv));
+    }
+    result.accepted = true;
+    return result;
+}
+
+std::string
+renderReport(const AnalysisResult &result,
+             const std::vector<std::string> &param_names)
+{
+    std::ostringstream os;
+    os << "PowerDial control variable report\n"
+       << "=================================\n"
+       << "status: " << (result.accepted ? "ACCEPTED" : "REJECTED") << "\n";
+    if (!result.failures.empty()) {
+        os << "\nfailed checks:\n";
+        for (const auto &f : result.failures) {
+            os << "  [" << f.check << "] " << f.variable << ": " << f.detail
+               << "\n";
+        }
+    }
+    os << "\ncontrol variables: " << result.control_variables.size() << "\n";
+    for (const auto &cv : result.control_variables) {
+        os << "\n  " << cv.name << "\n"
+           << "    derived from: " << maskToNames(cv.derived_from,
+                                                  param_names)
+           << "\n    accessed at:\n";
+        if (cv.access_sites.empty())
+            os << "      (no recorded sites)\n";
+        for (const auto &site : cv.access_sites)
+            os << "      " << site << "\n";
+    }
+    return os.str();
+}
+
+} // namespace powerdial::influence

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Control-variable identification from influence traces.
+ *
+ * Implements the checks of paper section 2.1 over a set of TraceRuns
+ * (one per combination of configuration-parameter settings):
+ *
+ *  - Complete and Pure: every variable influenced before the first
+ *    heartbeat is a control variable, and its value is influenced *only*
+ *    by the specified configuration parameters.
+ *  - Relevance: variables the main control loop never reads are dropped.
+ *  - Constant: the main control loop must not write a control variable.
+ *  - Consistency: every combination of parameter settings must yield the
+ *    same set of control variables.
+ *
+ * On success the analysis yields, for each parameter-settings
+ * combination, the recorded control-variable values that the PowerDial
+ * runtime later re-installs at knob switches — plus the human-auditable
+ * control-variable report the paper describes.
+ */
+#ifndef POWERDIAL_INFLUENCE_ANALYSIS_H
+#define POWERDIAL_INFLUENCE_ANALYSIS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "influence/trace_run.h"
+
+namespace powerdial::influence {
+
+/** One identified control variable, with per-combination values. */
+struct ControlVariable
+{
+    std::string name;
+    /** Parameters (bit indices) its value derives from. */
+    InfluenceMask derived_from = 0;
+    /** Recorded value for each traced combination, indexed like runs. */
+    std::vector<std::vector<double>> values_per_combination;
+    /** Statements that access the variable (union over runs). */
+    std::set<std::string> access_sites;
+};
+
+/** Why the transformation was rejected (empty reason == accepted). */
+struct CheckFailure
+{
+    std::string check;    //!< "pure", "constant", or "consistent".
+    std::string variable; //!< Offending variable.
+    std::string detail;   //!< Human-readable explanation.
+};
+
+/** Result of control-variable identification. */
+struct AnalysisResult
+{
+    bool accepted = false;
+    std::vector<ControlVariable> control_variables;
+    std::vector<CheckFailure> failures;
+
+    /** Index of a control variable by name, or -1. */
+    int indexOf(const std::string &name) const;
+};
+
+/**
+ * Runs the paper's four checks over the traces.
+ *
+ * @param runs            One trace per parameter-settings combination.
+ * @param specified_mask  Bits of the user-specified configuration
+ *                        parameters (paper: "Parameter Identification").
+ */
+AnalysisResult identifyControlVariables(const std::vector<TraceRun> &runs,
+                                        InfluenceMask specified_mask);
+
+/**
+ * Renders the control-variable report of paper section 2.1: variables,
+ * the parameters their values derive from, and the statements that
+ * access them, so a developer can audit the analysis.
+ *
+ * @param result      Analysis result (accepted or not).
+ * @param param_names Display names, indexed by parameter bit.
+ */
+std::string renderReport(const AnalysisResult &result,
+                         const std::vector<std::string> &param_names);
+
+} // namespace powerdial::influence
+
+#endif // POWERDIAL_INFLUENCE_ANALYSIS_H

@@ -1,0 +1,47 @@
+#include "influence/trace_run.h"
+
+#include <stdexcept>
+
+namespace powerdial::influence {
+
+void
+TraceRun::storeVector(const std::string &name, std::vector<double> value,
+                      InfluenceMask mask, const std::string &site)
+{
+    auto &var = vars_[name];
+    if (in_main_loop_) {
+        var.written_in_loop = true;
+    } else {
+        var.mask |= mask;
+        var.value = std::move(value);
+    }
+    if (!site.empty())
+        var.access_sites.insert(site);
+}
+
+void
+TraceRun::read(const std::string &name, const std::string &site)
+{
+    auto &var = vars_[name];
+    if (in_main_loop_)
+        var.read_in_loop = true;
+    if (!site.empty())
+        var.access_sites.insert(site);
+}
+
+void
+TraceRun::firstHeartbeat()
+{
+    in_main_loop_ = true;
+}
+
+const VariableTrace &
+TraceRun::variable(const std::string &name) const
+{
+    auto it = vars_.find(name);
+    if (it == vars_.end())
+        throw std::out_of_range("TraceRun: unknown variable " + name);
+    return it->second;
+}
+
+} // namespace powerdial::influence

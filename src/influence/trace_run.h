@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Event log of one instrumented execution.
+ *
+ * One TraceRun corresponds to one execution of the instrumented
+ * application under a single combination of configuration-parameter
+ * settings (paper section 2.1). The application (or its traced init
+ * mirror) reports:
+ *   - stores to named variables during initialization (before the first
+ *     heartbeat), carrying influence masks and concrete values;
+ *   - the first heartbeat, which ends the initialization phase;
+ *   - reads and writes of named variables inside the main control loop.
+ */
+#ifndef POWERDIAL_INFLUENCE_TRACE_RUN_H
+#define POWERDIAL_INFLUENCE_TRACE_RUN_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "influence/value.h"
+
+namespace powerdial::influence {
+
+/** Observed state of one named variable across a traced execution. */
+struct VariableTrace
+{
+    /** Union of influence masks over all init-phase stores. */
+    InfluenceMask mask = 0;
+    /** Value at the end of initialization (scalars are 1-element). */
+    std::vector<double> value;
+    /** True if the main control loop read the variable. */
+    bool read_in_loop = false;
+    /** True if the main control loop wrote the variable. */
+    bool written_in_loop = false;
+    /** Source locations that accessed the variable (for the report). */
+    std::set<std::string> access_sites;
+};
+
+/** The event log of one instrumented execution. */
+class TraceRun
+{
+  public:
+    TraceRun() = default;
+
+    /** Record an init-phase (or loop-phase) scalar store. */
+    template <typename T>
+    void
+    store(const std::string &name, Value<T> v, const std::string &site = "")
+    {
+        storeVector(name, {static_cast<double>(v.raw())}, v.mask(), site);
+    }
+
+    /** Record a store of a vector value with a single mask. */
+    void storeVector(const std::string &name, std::vector<double> value,
+                     InfluenceMask mask, const std::string &site = "");
+
+    /** Record a read of a named variable. */
+    void read(const std::string &name, const std::string &site = "");
+
+    /** Mark the first heartbeat: ends init, starts the main loop phase. */
+    void firstHeartbeat();
+
+    /** True once firstHeartbeat() has been called. */
+    bool inMainLoop() const { return in_main_loop_; }
+
+    /** All variables observed, keyed by name. */
+    const std::map<std::string, VariableTrace> &
+    variables() const
+    {
+        return vars_;
+    }
+
+    /** Trace of one variable; throws if unknown. */
+    const VariableTrace &variable(const std::string &name) const;
+
+  private:
+    std::map<std::string, VariableTrace> vars_;
+    bool in_main_loop_ = false;
+};
+
+} // namespace powerdial::influence
+
+#endif // POWERDIAL_INFLUENCE_TRACE_RUN_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Influence-tracked values for dynamic influence tracing.
+ *
+ * Stands in for the paper's LLVM-based source instrumentation (section
+ * 2.1): "For each value, it computes the configuration parameters that
+ * influenced that value." Applications run their initialization phase on
+ * influence::Value<T> instead of plain scalars; every arithmetic
+ * operation propagates the set of configuration parameters (an influence
+ * mask) that flowed into the result.
+ *
+ * Like the paper's tracer, this analysis is a *data-flow* trace: it does
+ * not track indirect control-flow or array-index influence. The
+ * control-variable report (influence/analysis.h) exists so a developer
+ * can audit for those sources of imprecision, exactly as in the paper.
+ */
+#ifndef POWERDIAL_INFLUENCE_VALUE_H
+#define POWERDIAL_INFLUENCE_VALUE_H
+
+#include <cstdint>
+
+namespace powerdial::influence {
+
+/**
+ * A set of configuration-parameter indices, one bit per parameter.
+ * Supports up to 64 traced parameters, far beyond any PowerDial use.
+ */
+using InfluenceMask = std::uint64_t;
+
+/** The mask with only parameter @p index set. */
+constexpr InfluenceMask
+paramBit(unsigned index)
+{
+    return InfluenceMask{1} << index;
+}
+
+/**
+ * A value of type @p T tagged with the set of configuration parameters
+ * that influenced it. Arithmetic unions the operand masks.
+ */
+template <typename T>
+class Value
+{
+  public:
+    /** An untainted constant. */
+    constexpr Value(T v = T{}) : v_(v), mask_(0) {}
+
+    /** A value with an explicit influence mask. */
+    constexpr Value(T v, InfluenceMask mask) : v_(v), mask_(mask) {}
+
+    /** The underlying raw value. */
+    constexpr T raw() const { return v_; }
+
+    /** Parameters that influenced this value. */
+    constexpr InfluenceMask mask() const { return mask_; }
+
+    /** True if any traced parameter influenced this value. */
+    constexpr bool influenced() const { return mask_ != 0; }
+
+    friend constexpr Value
+    operator+(Value a, Value b)
+    {
+        return {static_cast<T>(a.v_ + b.v_), a.mask_ | b.mask_};
+    }
+    friend constexpr Value
+    operator-(Value a, Value b)
+    {
+        return {static_cast<T>(a.v_ - b.v_), a.mask_ | b.mask_};
+    }
+    friend constexpr Value
+    operator*(Value a, Value b)
+    {
+        return {static_cast<T>(a.v_ * b.v_), a.mask_ | b.mask_};
+    }
+    friend constexpr Value
+    operator/(Value a, Value b)
+    {
+        return {static_cast<T>(a.v_ / b.v_), a.mask_ | b.mask_};
+    }
+
+    Value &operator+=(Value o) { return *this = *this + o; }
+    Value &operator-=(Value o) { return *this = *this - o; }
+    Value &operator*=(Value o) { return *this = *this * o; }
+    Value &operator/=(Value o) { return *this = *this / o; }
+
+    /**
+     * Comparisons yield plain bool: control-flow influence is untracked,
+     * matching the paper's analysis.
+     */
+    friend constexpr bool operator==(Value a, Value b) { return a.v_ == b.v_; }
+    friend constexpr bool operator<(Value a, Value b) { return a.v_ < b.v_; }
+    friend constexpr bool operator>(Value a, Value b) { return a.v_ > b.v_; }
+    friend constexpr bool operator<=(Value a, Value b) { return a.v_ <= b.v_; }
+    friend constexpr bool operator>=(Value a, Value b) { return a.v_ >= b.v_; }
+
+  private:
+    T v_;
+    InfluenceMask mask_;
+};
+
+} // namespace powerdial::influence
+
+#endif // POWERDIAL_INFLUENCE_VALUE_H

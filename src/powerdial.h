@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Umbrella header: the complete public PowerDial API.
+ *
+ * Include this to use the library end to end:
+ *
+ *   #include "powerdial.h"
+ *
+ *   MyApp app;                                   // implements core::App
+ *   auto ident = powerdial::core::identifyKnobs(app);
+ *   auto cal = powerdial::core::calibrate(app, app.trainingInputs());
+ *   powerdial::core::Runtime rt(app, ident.table, cal.model);
+ *   powerdial::sim::Machine machine;
+ *   auto run = rt.run(input, machine);
+ *
+ * Individual headers remain includable on their own; this file only
+ * aggregates them.
+ */
+#ifndef POWERDIAL_POWERDIAL_H
+#define POWERDIAL_POWERDIAL_H
+
+// The paper's primary contribution.
+#include "core/actuator.h"
+#include "core/analytical.h"
+#include "core/app.h"
+#include "core/calibration.h"
+#include "core/controller.h"
+#include "core/identify.h"
+#include "core/knob.h"
+#include "core/pareto.h"
+#include "core/policy_advisor.h"
+#include "core/response_model.h"
+#include "core/runtime.h"
+#include "core/trace_export.h"
+
+// Substrates.
+#include "heartbeats/heartbeat.h"
+#include "heartbeats/reader.h"
+#include "influence/analysis.h"
+#include "influence/trace_run.h"
+#include "influence/value.h"
+#include "qos/distortion.h"
+#include "qos/psnr.h"
+#include "qos/retrieval.h"
+#include "sim/cluster.h"
+#include "sim/dvfs_governor.h"
+#include "sim/energy_meter.h"
+#include "sim/frequency.h"
+#include "sim/machine.h"
+#include "sim/power_model.h"
+#include "sim/virtual_clock.h"
+
+#endif // POWERDIAL_POWERDIAL_H

@@ -1,0 +1,40 @@
+#include "qos/distortion.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::qos {
+
+double
+distortion(const OutputAbstraction &baseline, const OutputAbstraction &test)
+{
+    const auto &o = baseline.components;
+    const auto &ohat = test.components;
+    if (o.empty())
+        throw std::invalid_argument("distortion: empty output abstraction");
+    if (o.size() != ohat.size())
+        throw std::invalid_argument("distortion: abstraction size mismatch");
+    if (!baseline.weights.empty() && baseline.weights.size() != o.size())
+        throw std::invalid_argument("distortion: weight size mismatch");
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+        const double w =
+            baseline.weights.empty() ? 1.0 : baseline.weights[i];
+        const double err = o[i] != 0.0
+            ? std::abs((o[i] - ohat[i]) / o[i])
+            : std::abs(o[i] - ohat[i]);
+        sum += w * err;
+    }
+    return sum / static_cast<double>(o.size());
+}
+
+double
+distortion(const std::vector<double> &baseline,
+           const std::vector<double> &test)
+{
+    return distortion(OutputAbstraction{baseline, {}},
+                      OutputAbstraction{test, {}});
+}
+
+} // namespace powerdial::qos

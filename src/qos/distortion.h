@@ -1,0 +1,51 @@
+/**
+ * @file
+ * QoS distortion metric (paper Equation 1).
+ *
+ * Given an output abstraction o_1..o_m from the baseline execution and
+ * o'_1..o'_m from the execution under test, the QoS loss is the weighted
+ * mean relative error:
+ *
+ *     qos = (1/m) * sum_i w_i * | (o_i - o'_i) / o_i |
+ *
+ * A qos of zero is optimal; larger is worse. Weights default to 1.
+ */
+#ifndef POWERDIAL_QOS_DISTORTION_H
+#define POWERDIAL_QOS_DISTORTION_H
+
+#include <vector>
+
+namespace powerdial::qos {
+
+/**
+ * An output abstraction: the numbers a benchmark-specific abstraction
+ * function extracts from program output (paper section 2.2), with
+ * optional per-component weights.
+ */
+struct OutputAbstraction
+{
+    std::vector<double> components;
+    /** Optional weights; empty means all 1. Sized like components. */
+    std::vector<double> weights;
+};
+
+/**
+ * Weighted relative distortion between a baseline abstraction and a
+ * test abstraction (Equation 1). Weights are taken from @p baseline.
+ *
+ * Components where the baseline is exactly zero contribute |o - o'|
+ * (absolute error) to avoid division by zero; the paper's benchmarks
+ * never emit zero baseline components, so this is a defensive extension.
+ *
+ * @throws std::invalid_argument on size mismatch or empty abstraction.
+ */
+double distortion(const OutputAbstraction &baseline,
+                  const OutputAbstraction &test);
+
+/** Convenience overload for unweighted abstractions. */
+double distortion(const std::vector<double> &baseline,
+                  const std::vector<double> &test);
+
+} // namespace powerdial::qos
+
+#endif // POWERDIAL_QOS_DISTORTION_H

@@ -1,0 +1,40 @@
+#include "qos/psnr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::qos {
+
+double
+meanSquaredError(const std::vector<std::uint8_t> &a,
+                 const std::vector<std::uint8_t> &b)
+{
+    if (a.empty() || a.size() != b.size())
+        throw std::invalid_argument("meanSquaredError: bad plane sizes");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d =
+            static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        sum += d * d;
+    }
+    return sum / static_cast<double>(a.size());
+}
+
+double
+psnrFromMse(double mse, double cap_db)
+{
+    if (mse <= 0.0)
+        return cap_db;
+    const double peak = 255.0;
+    const double value = 10.0 * std::log10(peak * peak / mse);
+    return std::min(value, cap_db);
+}
+
+double
+psnr(const std::vector<std::uint8_t> &a, const std::vector<std::uint8_t> &b,
+     double cap_db)
+{
+    return psnrFromMse(meanSquaredError(a, b), cap_db);
+}
+
+} // namespace powerdial::qos

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Peak signal-to-noise ratio for the video-encoder QoS metric.
+ *
+ * The paper measures x264 quality as the distortion of {PSNR, bitrate}
+ * (section 4.2). PSNR is computed between the original raw frames and
+ * the frames reconstructed by the decoder loop.
+ */
+#ifndef POWERDIAL_QOS_PSNR_H
+#define POWERDIAL_QOS_PSNR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace powerdial::qos {
+
+/**
+ * Mean squared error between two equally sized 8-bit sample planes.
+ * @throws std::invalid_argument on size mismatch or empty planes.
+ */
+double meanSquaredError(const std::vector<std::uint8_t> &a,
+                        const std::vector<std::uint8_t> &b);
+
+/**
+ * PSNR in dB between two 8-bit sample planes (peak value 255).
+ * Identical planes yield +infinity-capped value @p cap_db (default 99 dB,
+ * matching common encoder reporting).
+ */
+double psnr(const std::vector<std::uint8_t> &a,
+            const std::vector<std::uint8_t> &b, double cap_db = 99.0);
+
+/** PSNR from a precomputed MSE. */
+double psnrFromMse(double mse, double cap_db = 99.0);
+
+} // namespace powerdial::qos
+
+#endif // POWERDIAL_QOS_PSNR_H

@@ -1,0 +1,42 @@
+#include "qos/retrieval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace powerdial::qos {
+
+double
+fMeasure(double precision, double recall)
+{
+    const double denom = precision + recall;
+    return denom > 0.0 ? 2.0 * precision * recall / denom : 0.0;
+}
+
+RetrievalScore
+score(const std::vector<DocId> &returned, const std::vector<DocId> &relevant,
+      std::size_t cutoff)
+{
+    RetrievalScore s;
+    if (relevant.empty())
+        return s;
+
+    std::unordered_set<DocId> rel(relevant.begin(), relevant.end());
+    const std::size_t n =
+        cutoff == 0 ? returned.size() : std::min(cutoff, returned.size());
+    if (n == 0)
+        return s;
+
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (rel.count(returned[i]))
+            ++hits;
+
+    s.precision = static_cast<double>(hits) / static_cast<double>(n);
+    const std::size_t denom =
+        cutoff == 0 ? rel.size() : std::min(cutoff, rel.size());
+    s.recall = static_cast<double>(hits) / static_cast<double>(denom);
+    s.f_measure = fMeasure(s.precision, s.recall);
+    return s;
+}
+
+} // namespace powerdial::qos

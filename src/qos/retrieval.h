@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Information-retrieval QoS metrics: precision, recall, F-measure, P@N.
+ *
+ * The paper's swish++ QoS metric (section 4.4): "F-measure is the
+ * harmonic mean of the precision and recall. ... We examine precision
+ * and recall at different cutoff values, using typical notation P @N."
+ */
+#ifndef POWERDIAL_QOS_RETRIEVAL_H
+#define POWERDIAL_QOS_RETRIEVAL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace powerdial::qos {
+
+/** Document identifier in the search-engine substrate. */
+using DocId = std::uint32_t;
+
+/** Precision/recall/F of one ranked result list against relevance truth. */
+struct RetrievalScore
+{
+    double precision = 0.0;
+    double recall = 0.0;
+    double f_measure = 0.0;
+};
+
+/**
+ * Score @p returned (ranked) against the full relevant set.
+ *
+ * @param returned Ranked result list actually returned.
+ * @param relevant All relevant documents (returned or not).
+ * @param cutoff   Evaluate at top-@p cutoff (P@N); 0 = whole list.
+ */
+RetrievalScore score(const std::vector<DocId> &returned,
+                     const std::vector<DocId> &relevant,
+                     std::size_t cutoff = 0);
+
+/** Harmonic mean of precision and recall (0 when both are 0). */
+double fMeasure(double precision, double recall);
+
+} // namespace powerdial::qos
+
+#endif // POWERDIAL_QOS_RETRIEVAL_H

@@ -1,0 +1,77 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerdial::sim {
+
+Cluster::Cluster(std::size_t machines, const Machine::Config &config)
+    : config_(config)
+{
+    if (machines == 0)
+        throw std::invalid_argument("Cluster: need at least one machine");
+    machines_.reserve(machines);
+    for (std::size_t i = 0; i < machines; ++i)
+        machines_.emplace_back(config);
+}
+
+std::size_t
+Cluster::totalCores() const
+{
+    return machines_.size() * config_.cores;
+}
+
+std::vector<std::size_t>
+Cluster::balance(std::size_t instances) const
+{
+    const std::size_t n = machines_.size();
+    std::vector<std::size_t> placement(n, instances / n);
+    // Distribute the remainder one instance at a time, least-loaded first.
+    for (std::size_t i = 0; i < instances % n; ++i)
+        ++placement[i];
+    return placement;
+}
+
+MachineLoad
+Cluster::loadOf(std::size_t instances) const
+{
+    MachineLoad load{};
+    load.instances = instances;
+    if (instances == 0) {
+        load.utilization = 0.0;
+        load.per_instance_share = 1.0;
+        load.required_speedup = 1.0;
+        return load;
+    }
+    const double cores = static_cast<double>(config_.cores);
+    const double m = static_cast<double>(instances);
+    load.utilization = std::min(1.0, m / cores);
+    load.per_instance_share = std::min(1.0, cores / m);
+    load.required_speedup = std::max(1.0, m / cores);
+    return load;
+}
+
+double
+Cluster::steadyStateWatts(const std::vector<std::size_t> &placement,
+                          std::size_t pstate) const
+{
+    if (placement.size() != machines_.size())
+        throw std::invalid_argument("Cluster: placement size mismatch");
+    const PowerModel &pm = machines_.front().powerModel();
+    const double freq = machines_.front().scale().frequencyHz(pstate);
+    double total = 0.0;
+    for (std::size_t count : placement)
+        total += pm.watts(freq, loadOf(count).utilization);
+    return total;
+}
+
+double
+Cluster::maxRequiredSpeedup(const std::vector<std::size_t> &placement) const
+{
+    double worst = 1.0;
+    for (std::size_t count : placement)
+        worst = std::max(worst, loadOf(count).required_speedup);
+    return worst;
+}
+
+} // namespace powerdial::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small cluster of simulated machines with a proportional load balancer.
+ *
+ * Models the provisioning experiments of paper section 5.5: a baseline
+ * system of four 8-core machines (peak load 32 concurrent application
+ * instances) versus a consolidated system with fewer machines in which
+ * PowerDial trades QoS for throughput. "This system load balances all
+ * jobs proportionally across available machines. Machines without jobs
+ * are idle but not powered off."
+ */
+#ifndef POWERDIAL_SIM_CLUSTER_H
+#define POWERDIAL_SIM_CLUSTER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace powerdial::sim {
+
+/** Steady-state operating point of one machine under a given load. */
+struct MachineLoad
+{
+    std::size_t instances;    //!< Concurrent application instances.
+    double utilization;       //!< min(1, instances / cores).
+    double per_instance_share;//!< Core share each instance receives.
+    double required_speedup;  //!< Knob speedup needed to hold baseline
+                              //!< per-instance performance (>= 1).
+};
+
+/**
+ * A homogeneous cluster with proportional (least-loaded) job placement.
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param machines Number of machines.
+     * @param config   Per-machine configuration (all identical).
+     */
+    Cluster(std::size_t machines, const Machine::Config &config);
+
+    std::size_t size() const { return machines_.size(); }
+
+    Machine &machine(std::size_t i) { return machines_.at(i); }
+    const Machine &machine(std::size_t i) const { return machines_.at(i); }
+
+    /** Total hardware contexts across the cluster. */
+    std::size_t totalCores() const;
+
+    /** Peak concurrent instances the cluster is provisioned for. */
+    std::size_t peakInstances() const { return totalCores(); }
+
+    /**
+     * Proportionally balance @p instances across the machines
+     * (least-loaded placement; equivalent to an even split).
+     * @return per-machine instance counts, size() entries.
+     */
+    std::vector<std::size_t> balance(std::size_t instances) const;
+
+    /** The steady-state operating point of a machine with @p instances. */
+    MachineLoad loadOf(std::size_t instances) const;
+
+    /**
+     * Steady-state total cluster power at a given placement, watts.
+     * Machines without jobs idle at idle power (not powered off).
+     *
+     * @param placement Per-machine instance counts (from balance()).
+     * @param pstate    Common P-state of all machines.
+     */
+    double steadyStateWatts(const std::vector<std::size_t> &placement,
+                            std::size_t pstate = 0) const;
+
+    /**
+     * Convenience: steady-state power at @p instances concurrent
+     * instances after proportional balancing.
+     */
+    double
+    steadyStateWatts(std::size_t instances, std::size_t pstate = 0) const
+    {
+        return steadyStateWatts(balance(instances), pstate);
+    }
+
+    /**
+     * Largest per-machine required speedup across a placement —
+     * what PowerDial must deliver for the consolidated system to hold
+     * baseline per-instance performance.
+     */
+    double maxRequiredSpeedup(const std::vector<std::size_t> &placement)
+        const;
+
+  private:
+    std::vector<Machine> machines_;
+    Machine::Config config_;
+};
+
+} // namespace powerdial::sim
+
+#endif // POWERDIAL_SIM_CLUSTER_H

@@ -1,0 +1,41 @@
+#include "sim/dvfs_governor.h"
+
+#include <stdexcept>
+
+namespace powerdial::sim {
+
+void
+DvfsGovernor::schedule(double time_s, std::size_t pstate)
+{
+    if (!events_.empty() && time_s < events_.back().time_s)
+        throw std::invalid_argument("DvfsGovernor: out-of-order event");
+    events_.push_back({time_s, pstate});
+}
+
+DvfsGovernor
+DvfsGovernor::powerCap(const Machine &machine, double impose_s, double lift_s)
+{
+    if (lift_s <= impose_s)
+        throw std::invalid_argument("DvfsGovernor: lift before impose");
+    DvfsGovernor gov;
+    gov.schedule(impose_s, machine.scale().lowestState());
+    gov.schedule(lift_s, 0);
+    return gov;
+}
+
+bool
+DvfsGovernor::poll(Machine &machine)
+{
+    bool changed = false;
+    while (next_ < events_.size() &&
+           machine.now() >= events_[next_].time_s) {
+        if (machine.pstate() != events_[next_].pstate) {
+            machine.setPState(events_[next_].pstate);
+            changed = true;
+        }
+        ++next_;
+    }
+    return changed;
+}
+
+} // namespace powerdial::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DVFS governor: externally imposed frequency schedules (power caps).
+ *
+ * Models the paper's power-capping scenario (section 5.4): "Approximately
+ * one quarter of the way through the computation we impose a power cap
+ * that drops the machine into its lowest power state (1.6 GHz).
+ * Approximately three quarters of the way through the computation we lift
+ * the power cap." The governor holds a time-indexed schedule of P-states
+ * and applies the pending one each time it is polled.
+ */
+#ifndef POWERDIAL_SIM_DVFS_GOVERNOR_H
+#define POWERDIAL_SIM_DVFS_GOVERNOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace powerdial::sim {
+
+/** A scheduled frequency change. */
+struct PStateEvent
+{
+    double time_s;      //!< Virtual time at which the change applies.
+    std::size_t pstate; //!< Target P-state.
+};
+
+/**
+ * Applies a schedule of P-state changes to a machine as virtual time
+ * passes. Poll it from the experiment loop (e.g. once per heartbeat).
+ */
+class DvfsGovernor
+{
+  public:
+    DvfsGovernor() = default;
+
+    /** Append an event. Events must be added in non-decreasing time order. */
+    void schedule(double time_s, std::size_t pstate);
+
+    /**
+     * Convenience: a power cap imposed at @p impose_s (drop to the lowest
+     * P-state) and lifted at @p lift_s (back to P-state 0).
+     */
+    static DvfsGovernor powerCap(const Machine &machine, double impose_s,
+                                 double lift_s);
+
+    /**
+     * Apply every event whose time has been reached on @p machine.
+     * @return true if the P-state changed.
+     */
+    bool poll(Machine &machine);
+
+    /** Events not yet applied. */
+    std::size_t pending() const { return events_.size() - next_; }
+
+  private:
+    std::vector<PStateEvent> events_;
+    std::size_t next_ = 0;
+};
+
+} // namespace powerdial::sim
+
+#endif // POWERDIAL_SIM_DVFS_GOVERNOR_H

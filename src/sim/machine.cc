@@ -1,0 +1,101 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::sim {
+
+Machine::Machine(const Config &config)
+    : scale_(config.scale), power_(config.power), cores_(config.cores)
+{
+    if (cores_ == 0)
+        throw std::invalid_argument("Machine: need at least one core");
+}
+
+void
+Machine::setPState(std::size_t state)
+{
+    if (state >= scale_.states())
+        throw std::out_of_range("Machine: bad P-state");
+    pstate_ = state;
+}
+
+void
+Machine::account(double dt, double watts)
+{
+    if (dt <= 0.0)
+        return;
+    const double t0 = clock_.now();
+    clock_.advance(dt);
+    energy_j_ += watts * dt;
+    if (!trace_.empty() && trace_.back().watts == watts &&
+        trace_.back().end_s == t0) {
+        trace_.back().end_s = clock_.now();
+    } else {
+        trace_.push_back({t0, clock_.now(), watts});
+    }
+}
+
+void
+Machine::setShare(double share)
+{
+    if (share <= 0.0 || share > 1.0)
+        throw std::invalid_argument("Machine: share must be in (0, 1]");
+    share_ = share;
+}
+
+void
+Machine::setUtilization(double utilization)
+{
+    utilization_ = utilization < 0.0
+        ? -1.0
+        : std::clamp(utilization, 0.0, 1.0);
+}
+
+double
+Machine::execute(double cycles)
+{
+    if (cycles < 0.0)
+        throw std::invalid_argument("Machine: negative work");
+    if (cycles == 0.0)
+        return 0.0;
+    const double util = utilization_ >= 0.0
+        ? utilization_
+        : 1.0 / static_cast<double>(cores_);
+    const double dt = cycles / (frequencyHz() * share_);
+    account(dt, power_.watts(frequencyHz(), util));
+    return dt;
+}
+
+void
+Machine::idleFor(double dt)
+{
+    if (dt < 0.0)
+        throw std::invalid_argument("Machine: negative idle time");
+    account(dt, power_.watts(frequencyHz(), 0.0));
+}
+
+void
+Machine::idleUntil(double t)
+{
+    if (t > clock_.now())
+        idleFor(t - clock_.now());
+}
+
+double
+Machine::meanWatts(double t0, double t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    double joules = 0.0;
+    for (const auto &seg : trace_) {
+        const double lo = std::max(seg.start_s, t0);
+        const double hi = std::min(seg.end_s, t1);
+        if (hi > lo)
+            joules += seg.watts * (hi - lo);
+    }
+    return joules / (t1 - t0);
+}
+
+} // namespace powerdial::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The simulated server machine.
+ *
+ * Stands in for the paper's Dell PowerEdge R410 (2x quad-core Xeon E5530,
+ * seven DVFS states, cpufrequtils software frequency control). Application
+ * work is expressed in *cycles*; the machine converts cycles to virtual
+ * seconds at its current frequency and integrates full-system energy as
+ * it goes. Dynamic knobs change the number of cycles an application needs
+ * (work); DVFS changes how fast cycles retire (capacity). Those are the
+ * two axes every experiment in the paper manipulates.
+ */
+#ifndef POWERDIAL_SIM_MACHINE_H
+#define POWERDIAL_SIM_MACHINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/frequency.h"
+#include "sim/power_model.h"
+#include "sim/virtual_clock.h"
+
+namespace powerdial::sim {
+
+/** A contiguous span of virtual time at constant power draw. */
+struct PowerSegment
+{
+    double start_s;  //!< Segment start, virtual seconds.
+    double end_s;    //!< Segment end, virtual seconds.
+    double watts;    //!< Constant full-system power during the segment.
+};
+
+/**
+ * A single simulated server with DVFS, a power model, and an energy log.
+ *
+ * The machine supports a configurable number of hardware contexts
+ * (cores). When more runnable instances than cores share the machine the
+ * per-instance throughput degrades proportionally; this is how the
+ * consolidation experiments (paper section 5.5) oversubscribe a machine.
+ */
+class Machine
+{
+  public:
+    struct Config
+    {
+        FrequencyScale scale = FrequencyScale::xeonE5530();
+        PowerModelParams power{};
+        /** Hardware contexts (paper machines are dual quad-core). */
+        std::size_t cores = 8;
+    };
+
+    Machine() : Machine(Config{}) {}
+    explicit Machine(const Config &config);
+
+    /** Current virtual time in seconds. */
+    double now() const { return clock_.now(); }
+
+    /** Current P-state (0 = fastest). */
+    std::size_t pstate() const { return pstate_; }
+
+    /** Current clock frequency in Hz. */
+    double frequencyHz() const { return scale_.frequencyHz(pstate_); }
+
+    /** The machine's frequency table. */
+    const FrequencyScale &scale() const { return scale_; }
+
+    /** The machine's power model. */
+    const PowerModel &powerModel() const { return power_; }
+
+    /** Number of hardware contexts. */
+    std::size_t cores() const { return cores_; }
+
+    /**
+     * Set the P-state (DVFS actuation, like cpufrequtils).
+     * Takes effect for all subsequent work.
+     */
+    void setPState(std::size_t state);
+
+    /**
+     * Execute @p cycles of work on one context and advance virtual time.
+     * The work proceeds at the current context share and is accounted at
+     * the current machine-wide utilisation.
+     *
+     * @param cycles Work to retire, in clock cycles (>= 0).
+     * @return Virtual seconds consumed.
+     */
+    double execute(double cycles);
+
+    /**
+     * Set the fraction of one context's throughput available to the
+     * running work (1.0 = dedicated core; 0.5 = core shared two ways).
+     * Oversubscribed machines in the consolidation experiments give each
+     * instance a share of cores/instances. Must be in (0, 1].
+     */
+    void setShare(double share);
+
+    /** Current context share. */
+    double share() const { return share_; }
+
+    /**
+     * Set the machine-wide utilisation used for power accounting while
+     * work executes, in [0, 1]; a negative value restores the default
+     * (one busy core out of cores()).
+     */
+    void setUtilization(double utilization);
+
+    /** Current accounting utilisation (negative = automatic). */
+    double utilization() const { return utilization_; }
+
+    /** Sit idle for @p dt virtual seconds, drawing idle power. */
+    void idleFor(double dt);
+
+    /** Sit idle until absolute virtual time @p t (no-op if past). */
+    void idleUntil(double t);
+
+    /** Total energy consumed so far, joules. */
+    double energyJoules() const { return energy_j_; }
+
+    /** Mean power between virtual times @p t0 and @p t1, watts. */
+    double meanWatts(double t0, double t1) const;
+
+    /** Mean power over the whole history, watts. */
+    double meanWatts() const { return meanWatts(0.0, now()); }
+
+    /**
+     * The full constant-power segment log (WattsUp-style trace source).
+     * Adjacent segments at equal power are coalesced.
+     */
+    const std::vector<PowerSegment> &powerTrace() const { return trace_; }
+
+  private:
+    /** Record @p dt seconds at @p watts, integrating energy. */
+    void account(double dt, double watts);
+
+    FrequencyScale scale_;
+    PowerModel power_;
+    std::size_t cores_;
+    std::size_t pstate_ = 0;
+    double share_ = 1.0;
+    double utilization_ = -1.0;
+    VirtualClock clock_;
+    double energy_j_ = 0.0;
+    std::vector<PowerSegment> trace_;
+};
+
+} // namespace powerdial::sim
+
+#endif // POWERDIAL_SIM_MACHINE_H

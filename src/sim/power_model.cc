@@ -1,0 +1,38 @@
+#include "sim/power_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerdial::sim {
+
+PowerModel::PowerModel(const PowerModelParams &params) : params_(params)
+{
+    if (params_.idle_watts < 0.0 || params_.peak_watts <= params_.idle_watts)
+        throw std::invalid_argument("PowerModel: need 0 <= idle < peak");
+    if (params_.f_min_hz <= 0.0 || params_.f_max_hz <= params_.f_min_hz)
+        throw std::invalid_argument("PowerModel: need 0 < f_min < f_max");
+    if (params_.v_min <= 0.0 || params_.v_max < params_.v_min)
+        throw std::invalid_argument("PowerModel: need 0 < v_min <= v_max");
+    dyn_norm_ = params_.f_max_hz * params_.v_max * params_.v_max;
+}
+
+double
+PowerModel::voltage(double freq_hz) const
+{
+    const double f = std::clamp(freq_hz, params_.f_min_hz, params_.f_max_hz);
+    const double t =
+        (f - params_.f_min_hz) / (params_.f_max_hz - params_.f_min_hz);
+    return params_.v_min + t * (params_.v_max - params_.v_min);
+}
+
+double
+PowerModel::watts(double freq_hz, double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    const double v = voltage(freq_hz);
+    const double dyn_frac = (freq_hz * v * v) / dyn_norm_;
+    const double dyn_max = params_.peak_watts - params_.idle_watts;
+    return params_.idle_watts + u * dyn_frac * dyn_max;
+}
+
+} // namespace powerdial::sim

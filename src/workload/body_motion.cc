@@ -1,0 +1,60 @@
+#include "workload/body_motion.h"
+
+#include <cmath>
+
+namespace powerdial::workload {
+
+BodyObservation
+forwardKinematics(const BodyPose &pose, const BodyDimensions &dims)
+{
+    BodyObservation obs;
+    // Part 0: torso top (root is the hip; torso extends straight up).
+    obs.x[0] = pose.root_x;
+    obs.y[0] = pose.root_y + dims.torso;
+    // Part 1: head endpoint, hinged at the torso top.
+    obs.x[1] = obs.x[0] + dims.head * std::sin(pose.angles[0]);
+    obs.y[1] = obs.y[0] + dims.head * std::cos(pose.angles[0]);
+    // Parts 2, 3: arms, hinged at the shoulders (torso top).
+    obs.x[2] = obs.x[0] + dims.arm * std::sin(pose.angles[1]);
+    obs.y[2] = obs.y[0] - dims.arm * std::cos(pose.angles[1]);
+    obs.x[3] = obs.x[0] + dims.arm * std::sin(pose.angles[2]);
+    obs.y[3] = obs.y[0] - dims.arm * std::cos(pose.angles[2]);
+    // Parts 4, 5: legs, hinged at the hip (root).
+    obs.x[4] = pose.root_x + dims.leg * std::sin(pose.angles[3]);
+    obs.y[4] = pose.root_y - dims.leg * std::cos(pose.angles[3]);
+    obs.x[5] = pose.root_x + dims.leg * std::sin(pose.angles[4]);
+    obs.y[5] = pose.root_y - dims.leg * std::cos(pose.angles[4]);
+    return obs;
+}
+
+std::vector<BodyFrame>
+makeBodySequence(const BodyMotionParams &params, const BodyDimensions &dims)
+{
+    Rng rng(params.seed);
+    std::vector<BodyFrame> seq;
+    seq.reserve(params.frames);
+    for (std::size_t f = 0; f < params.frames; ++f) {
+        const double phase =
+            2.0 * M_PI * static_cast<double>(f) / params.swing_period;
+        BodyFrame frame;
+        frame.truth.root_x = params.walk_speed * static_cast<double>(f);
+        frame.truth.root_y = 10.0 + 0.1 * std::sin(2.0 * phase);
+        frame.truth.angles[0] = 0.08 * std::sin(phase); // Head bob.
+        frame.truth.angles[1] = params.swing_amplitude * std::sin(phase);
+        frame.truth.angles[2] = -params.swing_amplitude * std::sin(phase);
+        frame.truth.angles[3] = -params.swing_amplitude * std::sin(phase);
+        frame.truth.angles[4] = params.swing_amplitude * std::sin(phase);
+
+        frame.observation = forwardKinematics(frame.truth, dims);
+        for (std::size_t p = 0; p < kBodyParts; ++p) {
+            frame.observation.x[p] +=
+                rng.gaussian(0.0, params.observation_noise);
+            frame.observation.y[p] +=
+                rng.gaussian(0.0, params.observation_noise);
+        }
+        seq.push_back(frame);
+    }
+    return seq;
+}
+
+} // namespace powerdial::workload

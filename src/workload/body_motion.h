@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic articulated-body motion for the bodytrack benchmark.
+ *
+ * Stands in for the paper's four-camera video sequences (section 4.3).
+ * A 2-D articulated body (torso, head, two arms, two legs) walks through
+ * the scene; each frame provides noisy 2-D observations of the body-part
+ * endpoints from which the annealed particle filter infers the pose.
+ */
+#ifndef POWERDIAL_WORKLOAD_BODY_MOTION_H
+#define POWERDIAL_WORKLOAD_BODY_MOTION_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.h"
+
+namespace powerdial::workload {
+
+/** Number of articulated parts (torso, head, 2 arms, 2 legs). */
+inline constexpr std::size_t kBodyParts = 6;
+
+/** Pose: root position plus one orientation angle per limb. */
+struct BodyPose
+{
+    double root_x = 0.0;
+    double root_y = 0.0;
+    /** Limb angles in radians: head, L-arm, R-arm, L-leg, R-leg. */
+    std::array<double, 5> angles{};
+};
+
+/** Observed 2-D endpoints of each body part (the measurement). */
+struct BodyObservation
+{
+    std::array<double, kBodyParts> x{};
+    std::array<double, kBodyParts> y{};
+};
+
+/** Lengths of each body part, scene units. */
+struct BodyDimensions
+{
+    double torso = 4.0;
+    double head = 1.2;
+    double arm = 2.6;
+    double leg = 3.2;
+};
+
+/** Forward kinematics: part endpoints for a pose. */
+BodyObservation forwardKinematics(const BodyPose &pose,
+                                  const BodyDimensions &dims);
+
+/** Motion-sequence synthesis parameters. */
+struct BodyMotionParams
+{
+    std::size_t frames = 100;     //!< Paper training input: 100 frames.
+    double walk_speed = 0.35;     //!< Root translation per frame.
+    double swing_amplitude = 0.6; //!< Limb swing, radians.
+    double swing_period = 24.0;   //!< Frames per gait cycle.
+    double observation_noise = 0.15;
+    std::uint64_t seed = 0xb0d70001;
+};
+
+/** One frame of ground truth plus its noisy observation. */
+struct BodyFrame
+{
+    BodyPose truth;
+    BodyObservation observation;
+};
+
+/** Generate a deterministic walking sequence. */
+std::vector<BodyFrame> makeBodySequence(const BodyMotionParams &params,
+                                        const BodyDimensions &dims = {});
+
+} // namespace powerdial::workload
+
+#endif // POWERDIAL_WORKLOAD_BODY_MOTION_H

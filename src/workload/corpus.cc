@@ -1,0 +1,78 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerdial::workload {
+
+Corpus::Corpus(const CorpusParams &params) : params_(params)
+{
+    if (params_.vocabulary <= params_.stop_words)
+        throw std::invalid_argument("Corpus: vocabulary smaller than "
+                                    "stop-word list");
+    Rng rng(params_.seed);
+    ZipfSampler words(params_.vocabulary, params_.zipf_skew);
+    docs_.reserve(params_.documents);
+    for (std::size_t d = 0; d < params_.documents; ++d) {
+        Document doc;
+        doc.id = static_cast<std::uint32_t>(d);
+        // Document lengths vary +-25% around the mean, like real books.
+        const double jitter = rng.uniform(0.75, 1.25);
+        const auto len = static_cast<std::size_t>(
+            static_cast<double>(params_.words_per_doc) * jitter);
+        doc.words.reserve(len);
+        for (std::size_t i = 0; i < len; ++i)
+            doc.words.push_back(static_cast<WordId>(words.sample(rng)));
+        docs_.push_back(std::move(doc));
+    }
+}
+
+std::vector<Query>
+Corpus::makeQueries(std::size_t count, std::size_t terms_per_query,
+                    std::uint64_t seed) const
+{
+    if (terms_per_query == 0)
+        throw std::invalid_argument("Corpus: empty queries requested");
+    Rng rng(seed);
+    // Power-law selection over the non-stop dictionary, per the paper's
+    // query-generation methodology.
+    ZipfSampler picker(params_.vocabulary - params_.stop_words,
+                       params_.zipf_skew);
+    std::vector<Query> queries;
+    queries.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+        Query query;
+        query.terms.reserve(terms_per_query);
+        while (query.terms.size() < terms_per_query) {
+            const auto w = static_cast<WordId>(
+                picker.sample(rng) + params_.stop_words);
+            if (std::find(query.terms.begin(), query.terms.end(), w) ==
+                query.terms.end()) {
+                query.terms.push_back(w);
+            }
+        }
+        queries.push_back(std::move(query));
+    }
+    return queries;
+}
+
+InputSplit
+splitInputs(std::size_t total, std::uint64_t seed)
+{
+    std::vector<std::size_t> order(total);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    // Fisher-Yates shuffle.
+    for (std::size_t i = total; i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(order[i - 1], order[j]);
+    }
+    InputSplit split;
+    const std::size_t half = total / 2;
+    split.training.assign(order.begin(), order.begin() + half);
+    split.production.assign(order.begin() + half, order.end());
+    return split;
+}
+
+} // namespace powerdial::workload

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic document corpus and query stream for the search engine.
+ *
+ * Stands in for the paper's Project Gutenberg corpus and the
+ * Middleton/Baeza-Yates query-generation methodology (section 4.4):
+ * documents are bags of Zipf-distributed word ids; queries are built by
+ * "constructing a dictionary of all words present in the documents,
+ * excluding stop words, and selecting words at random following a power
+ * law distribution". The corpus splits deterministically into
+ * equally-sized training and production halves.
+ */
+#ifndef POWERDIAL_WORKLOAD_CORPUS_H
+#define POWERDIAL_WORKLOAD_CORPUS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.h"
+#include "workload/zipf.h"
+
+namespace powerdial::workload {
+
+/** Word identifier (rank in the global frequency dictionary). */
+using WordId = std::uint32_t;
+
+/** One synthetic document: a multiset of words. */
+struct Document
+{
+    std::uint32_t id;
+    std::vector<WordId> words;
+};
+
+/** One query: a few non-stop words. */
+struct Query
+{
+    std::vector<WordId> terms;
+};
+
+/** Corpus synthesis parameters. */
+struct CorpusParams
+{
+    std::size_t documents = 2000;     //!< Paper: 2000 books per split.
+    std::size_t vocabulary = 20000;   //!< Distinct words.
+    std::size_t words_per_doc = 800;  //!< Mean document length.
+    std::size_t stop_words = 50;      //!< Top-ranked words are stop words.
+    double zipf_skew = 1.05;          //!< Word-frequency skew.
+    std::uint64_t seed = 0x5eed0001;
+};
+
+/** A generated corpus plus its query machinery. */
+class Corpus
+{
+  public:
+    explicit Corpus(const CorpusParams &params);
+
+    const std::vector<Document> &documents() const { return docs_; }
+    const CorpusParams &params() const { return params_; }
+
+    /**
+     * Generate @p count queries of @p terms_per_query words each,
+     * following the power-law selection of the paper (stop words are
+     * excluded).
+     */
+    std::vector<Query> makeQueries(std::size_t count,
+                                   std::size_t terms_per_query,
+                                   std::uint64_t seed) const;
+
+    /** True if @p w is one of the excluded stop words. */
+    bool isStopWord(WordId w) const { return w < params_.stop_words; }
+
+  private:
+    CorpusParams params_;
+    std::vector<Document> docs_;
+};
+
+/**
+ * Deterministically split @p total items into equally sized training and
+ * production index sets (paper: "randomly partition the inputs into
+ * training and production sets").
+ */
+struct InputSplit
+{
+    std::vector<std::size_t> training;
+    std::vector<std::size_t> production;
+};
+
+InputSplit splitInputs(std::size_t total, std::uint64_t seed);
+
+} // namespace powerdial::workload
+
+#endif // POWERDIAL_WORKLOAD_CORPUS_H

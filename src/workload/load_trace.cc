@@ -1,0 +1,39 @@
+#include "workload/load_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerdial::workload {
+
+std::vector<double>
+makeLoadTrace(const LoadTraceParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<double> trace;
+    trace.reserve(params.steps);
+    std::size_t spike_left = 0;
+    for (std::size_t t = 0; t < params.steps; ++t) {
+        if (spike_left == 0 && rng.uniform() < params.spike_probability)
+            spike_left = params.spike_length;
+        double u;
+        if (spike_left > 0) {
+            u = params.spike_utilization;
+            --spike_left;
+        } else {
+            u = params.base_utilization +
+                rng.gaussian(0.0, params.jitter);
+        }
+        trace.push_back(std::clamp(u, 0.0, 1.0));
+    }
+    return trace;
+}
+
+std::size_t
+instancesAt(double utilization, std::size_t peak_instances)
+{
+    const double m =
+        std::round(utilization * static_cast<double>(peak_instances));
+    return static_cast<std::size_t>(std::max(0.0, m));
+}
+
+} // namespace powerdial::workload

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Time-varying load traces with intermittent spikes.
+ *
+ * Models the workload pattern that motivates the peak-load provisioning
+ * experiments (paper sections 3, 5.5): "Common workloads often contain
+ * intermittent load spikes" atop predominantly low utilisation.
+ */
+#ifndef POWERDIAL_WORKLOAD_LOAD_TRACE_H
+#define POWERDIAL_WORKLOAD_LOAD_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.h"
+
+namespace powerdial::workload {
+
+/** Load-trace synthesis parameters. */
+struct LoadTraceParams
+{
+    std::size_t steps = 200;        //!< Trace length, time steps.
+    double base_utilization = 0.25; //!< Typical data-center load (20-30%).
+    double spike_probability = 0.04;//!< Per-step chance a spike starts.
+    std::size_t spike_length = 6;   //!< Steps a spike lasts.
+    double spike_utilization = 1.0; //!< Peak load during a spike.
+    double jitter = 0.05;           //!< Gaussian noise on the base load.
+    std::uint64_t seed = 0x10ad0001;
+};
+
+/**
+ * A utilisation trace in [0, 1]: fraction of the provisioned peak
+ * instance count offered at each time step.
+ */
+std::vector<double> makeLoadTrace(const LoadTraceParams &params);
+
+/** Convert a utilisation level into a concrete instance count. */
+std::size_t instancesAt(double utilization, std::size_t peak_instances);
+
+} // namespace powerdial::workload
+
+#endif // POWERDIAL_WORKLOAD_LOAD_TRACE_H

@@ -1,0 +1,104 @@
+#include "workload/video_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::workload {
+namespace {
+
+/** A moving textured rectangle. */
+struct MovingObject
+{
+    double x, y;     //!< Top-left position at frame 0.
+    double vx, vy;   //!< Velocity, pixels/frame.
+    int w, h;        //!< Size.
+    int base;        //!< Base luma.
+    int texture;     //!< Texture amplitude.
+};
+
+std::uint8_t
+clampLuma(double v)
+{
+    return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+} // namespace
+
+VideoSource::VideoSource(const VideoParams &params) : params_(params)
+{
+    if (params_.width <= 0 || params_.height <= 0 || params_.frames <= 0)
+        throw std::invalid_argument("VideoSource: bad dimensions");
+}
+
+std::vector<Frame>
+VideoSource::frames() const
+{
+    Rng rng(params_.seed);
+
+    std::vector<MovingObject> objects;
+    objects.reserve(static_cast<std::size_t>(params_.objects));
+    for (int i = 0; i < params_.objects; ++i) {
+        MovingObject obj;
+        obj.x = rng.uniform(0.0, params_.width);
+        obj.y = rng.uniform(0.0, params_.height);
+        obj.vx = rng.uniform(-params_.max_speed, params_.max_speed);
+        obj.vy = rng.uniform(-params_.max_speed, params_.max_speed);
+        obj.w = 8 + static_cast<int>(rng.below(24));
+        obj.h = 8 + static_cast<int>(rng.below(24));
+        obj.base = 40 + static_cast<int>(rng.below(160));
+        obj.texture = 8 + static_cast<int>(rng.below(40));
+        objects.push_back(obj);
+    }
+
+    std::vector<Frame> clip;
+    clip.reserve(static_cast<std::size_t>(params_.frames));
+    for (int f = 0; f < params_.frames; ++f) {
+        Frame frame;
+        frame.width = params_.width;
+        frame.height = params_.height;
+        frame.pixels.resize(static_cast<std::size_t>(params_.width) *
+                            static_cast<std::size_t>(params_.height));
+        // Slowly panning background gradient.
+        const double pan = 0.7 * f;
+        for (int y = 0; y < params_.height; ++y) {
+            for (int x = 0; x < params_.width; ++x) {
+                const double g =
+                    96.0 + 48.0 * std::sin((x + pan) * 0.045) +
+                    32.0 * std::cos(y * 0.06);
+                frame.pixels[static_cast<std::size_t>(y) * params_.width +
+                             x] = clampLuma(g);
+            }
+        }
+        // Objects (wrap around the frame edges).
+        for (const auto &obj : objects) {
+            const double ox = obj.x + obj.vx * f;
+            const double oy = obj.y + obj.vy * f;
+            for (int dy = 0; dy < obj.h; ++dy) {
+                for (int dx = 0; dx < obj.w; ++dx) {
+                    const int px =
+                        ((static_cast<int>(ox) + dx) % params_.width +
+                         params_.width) % params_.width;
+                    const int py =
+                        ((static_cast<int>(oy) + dy) % params_.height +
+                         params_.height) % params_.height;
+                    const double tex =
+                        obj.texture * std::sin(dx * 0.9) *
+                        std::cos(dy * 0.7);
+                    frame.pixels[static_cast<std::size_t>(py) *
+                                 params_.width + px] =
+                        clampLuma(obj.base + tex);
+                }
+            }
+        }
+        // Sensor noise.
+        for (auto &p : frame.pixels) {
+            p = clampLuma(static_cast<double>(p) +
+                          rng.gaussian(0.0, params_.noise_sigma));
+        }
+        clip.push_back(std::move(frame));
+    }
+    return clip;
+}
+
+} // namespace powerdial::workload

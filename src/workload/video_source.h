@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Procedural raw-video source for the video-encoder benchmark.
+ *
+ * Stands in for the 1080p PARSEC/xiph.org inputs (paper section 4.2).
+ * Frames are 8-bit grayscale planes containing a smooth background
+ * gradient, several objects translating with constant velocities, and
+ * mild sensor noise — enough texture and motion that motion-estimation
+ * effort (the x264 knobs) genuinely changes prediction quality.
+ */
+#ifndef POWERDIAL_WORKLOAD_VIDEO_SOURCE_H
+#define POWERDIAL_WORKLOAD_VIDEO_SOURCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.h"
+
+namespace powerdial::workload {
+
+/** One 8-bit grayscale frame. */
+struct Frame
+{
+    int width = 0;
+    int height = 0;
+    std::vector<std::uint8_t> pixels; //!< Row-major, width*height samples.
+
+    std::uint8_t
+    at(int x, int y) const
+    {
+        return pixels[static_cast<std::size_t>(y) *
+                      static_cast<std::size_t>(width) +
+                      static_cast<std::size_t>(x)];
+    }
+};
+
+/** Video synthesis parameters. */
+struct VideoParams
+{
+    int width = 128;        //!< Scaled-down stand-in for 1080p.
+    int height = 96;
+    int frames = 30;
+    int objects = 6;        //!< Moving rectangles.
+    double max_speed = 3.0; //!< Max object speed, pixels/frame.
+    double noise_sigma = 2.0;
+    std::uint64_t seed = 0x71de0001;
+};
+
+/** Generates a deterministic synthetic clip. */
+class VideoSource
+{
+  public:
+    explicit VideoSource(const VideoParams &params);
+
+    /** Generate the whole clip. */
+    std::vector<Frame> frames() const;
+
+    const VideoParams &params() const { return params_; }
+
+  private:
+    VideoParams params_;
+};
+
+} // namespace powerdial::workload
+
+#endif // POWERDIAL_WORKLOAD_VIDEO_SOURCE_H

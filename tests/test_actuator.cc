@@ -1,0 +1,184 @@
+/** @file Unit and property tests for the PowerDial actuator. */
+#include <gtest/gtest.h>
+
+#include "core/actuator.h"
+
+namespace powerdial::core {
+namespace {
+
+ResponseModel
+model()
+{
+    // Frontier: (1, 0), (2, 0.01), (4, 0.05), (8, 0.2).
+    return ResponseModel({{0, 1.0, 0.00},
+                          {1, 2.0, 0.01},
+                          {2, 4.0, 0.05},
+                          {3, 8.0, 0.20}},
+                         0, 10.0, 5.0);
+}
+
+TEST(Actuator, PaperExampleSpeedupOneAndAHalf)
+{
+    // Paper section 2.3.3: command 1.5 with available speedups {1, 2}
+    // -> half the quantum at 2, half at the default.
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup, 20);
+    const auto plan = act.plan(1.5);
+    ASSERT_EQ(plan.slices.size(), 2u);
+    EXPECT_EQ(plan.slices[0].combination, 1u);
+    EXPECT_NEAR(plan.slices[0].fraction, 0.5, 1e-12);
+    EXPECT_EQ(plan.slices[1].combination, 0u);
+    EXPECT_NEAR(plan.slices[1].fraction, 0.5, 1e-12);
+    EXPECT_NEAR(plan.averageSpeedup(), 1.5, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.idle_fraction, 0.0);
+}
+
+TEST(Actuator, MinimalSpeedupUsesSlowestSufficientSetting)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    // Command 3: s_min = 4 (slowest Pareto speedup >= 3), mixed with
+    // the default, not with s_max = 8.
+    const auto plan = act.plan(3.0);
+    for (const auto &s : plan.slices)
+        EXPECT_NE(s.combination, 3u);
+    EXPECT_NEAR(plan.averageSpeedup(), 3.0, 1e-12);
+}
+
+TEST(Actuator, CommandAtBaselineRunsDefaultOnly)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    const auto plan = act.plan(1.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 0u);
+    EXPECT_DOUBLE_EQ(plan.slices[0].fraction, 1.0);
+}
+
+TEST(Actuator, CommandBelowBaselineClamps)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    const auto plan = act.plan(0.25);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 0u);
+}
+
+TEST(Actuator, CommandBeyondMaxRunsFlatOut)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    const auto plan = act.plan(50.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 3u);
+    EXPECT_NEAR(plan.averageSpeedup(), 8.0, 1e-12);
+}
+
+TEST(Actuator, RaceToIdleSprintsThenIdles)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::RaceToIdle);
+    // Command 2 with s_max = 8: run the fastest setting for 1/4 of the
+    // quantum, idle 3/4.
+    const auto plan = act.plan(2.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 3u);
+    EXPECT_NEAR(plan.slices[0].fraction, 0.25, 1e-12);
+    EXPECT_NEAR(plan.idle_fraction, 0.75, 1e-12);
+    // Idle per busy second: 0.75 / 0.25 = 3.
+    EXPECT_NEAR(act.idlePerBusySecond(plan), 3.0, 1e-12);
+}
+
+TEST(Actuator, RaceToIdleNeverExceedsQuantum)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::RaceToIdle);
+    const auto plan = act.plan(100.0);
+    EXPECT_NEAR(plan.slices[0].fraction, 1.0, 1e-12);
+    EXPECT_NEAR(plan.idle_fraction, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(act.idlePerBusySecond(plan), 0.0);
+}
+
+TEST(Actuator, BeatScheduleLaysSlicesContiguously)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup, 20);
+    const auto plan = act.plan(1.5);
+    // First half of the quantum at the fast setting, rest at default.
+    std::size_t fast_beats = 0;
+    for (std::size_t beat = 0; beat < 20; ++beat) {
+        const auto combo = act.combinationForBeat(plan, beat);
+        if (combo == 1u)
+            ++fast_beats;
+        if (beat >= 10)
+            EXPECT_EQ(combo, 0u);
+    }
+    EXPECT_EQ(fast_beats, 10u);
+}
+
+TEST(Actuator, AverageQosLossIsWorkWeighted)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    const auto plan = act.plan(1.5);
+    // Slices: (s=2, qos=0.01) at 0.5, (s=1, qos=0) at 0.5.
+    // Work weights: 1.0 vs 0.5 -> loss = 0.01 * (1.0 / 1.5).
+    EXPECT_NEAR(plan.averageQosLoss(), 0.01 * (1.0 / 1.5), 1e-12);
+}
+
+TEST(Actuator, Validation)
+{
+    const auto m = model();
+    EXPECT_THROW(Actuator(m, ActuationPolicy::MinimalSpeedup, 0),
+                 std::invalid_argument);
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    ActuationPlan empty;
+    EXPECT_THROW(act.combinationForBeat(empty, 0), std::logic_error);
+}
+
+/**
+ * Property: for any achievable command, the minimal-speedup plan's
+ * quantum-average speedup equals the command exactly, and the plan
+ * never uses a setting faster than the slowest sufficient one.
+ */
+class PlanAccuracy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PlanAccuracy, AverageEqualsCommand)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::MinimalSpeedup);
+    const double cmd = GetParam();
+    const auto plan = act.plan(cmd);
+    EXPECT_NEAR(plan.averageSpeedup(), cmd, 1e-9);
+    double fractions = plan.idle_fraction;
+    for (const auto &s : plan.slices)
+        fractions += s.fraction;
+    EXPECT_NEAR(fractions, 1.0, 1e-9); // Equation 10 at equality.
+}
+
+INSTANTIATE_TEST_SUITE_P(Commands, PlanAccuracy,
+                         ::testing::Values(1.0, 1.1, 1.5, 1.9, 2.0, 2.7,
+                                           3.9, 4.0, 5.5, 7.9, 8.0));
+
+/** Property: race-to-idle also meets the command on average. */
+class RaceAccuracy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RaceAccuracy, WorkMatchesCommand)
+{
+    const auto m = model();
+    Actuator act(m, ActuationPolicy::RaceToIdle);
+    const double cmd = GetParam();
+    const auto plan = act.plan(cmd);
+    // Work produced = s_max * busy fraction = command.
+    EXPECT_NEAR(plan.averageSpeedup(), cmd, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Commands, RaceAccuracy,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0, 6.0, 8.0));
+
+} // namespace
+} // namespace powerdial::core

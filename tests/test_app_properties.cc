@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-application property suites: the structural invariants the
+ * PowerDial approach relies on, checked per knob dimension.
+ *
+ *  - Work monotonicity: raising any single effort knob never reduces
+ *    the virtual execution time (more effort = more cycles).
+ *  - Determinism: a fixed (input, combination) pair always produces
+ *    the identical output abstraction and time.
+ *  - Baseline optimality: the default combination has QoS loss 0 by
+ *    construction and maximal execution time among its column/row.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "apps/searchx/searchx_app.h"
+#include "apps/swaptions/swaptions_app.h"
+#include "apps/videnc/videnc_app.h"
+#include "core/calibration.h"
+
+namespace powerdial {
+namespace {
+
+apps::swaptions::SwaptionsConfig
+swaptionsConfig()
+{
+    apps::swaptions::SwaptionsConfig config;
+    config.sim_values = {200, 400, 800, 1600};
+    config.inputs = 2;
+    config.swaptions_per_input = 4;
+    return config;
+}
+
+apps::videnc::VidencConfig
+videncConfig()
+{
+    apps::videnc::VidencConfig config;
+    config.subme_values = {1, 4, 7};
+    config.merange_values = {1, 4, 16};
+    config.ref_values = {1, 3};
+    config.inputs = 2;
+    config.video.width = 48;
+    config.video.height = 32;
+    config.video.frames = 4;
+    return config;
+}
+
+apps::bodytrack::BodytrackConfig
+bodytrackConfig()
+{
+    apps::bodytrack::BodytrackConfig config;
+    config.particle_values = {50, 100, 200};
+    config.layer_values = {1, 3, 5};
+    config.inputs = 2;
+    config.frames = 8;
+    return config;
+}
+
+apps::searchx::SearchxConfig
+searchxConfig()
+{
+    apps::searchx::SearchxConfig config;
+    config.corpus.documents = 150;
+    config.corpus.words_per_doc = 120;
+    config.inputs = 2;
+    config.queries_per_input = 8;
+    return config;
+}
+
+/**
+ * For @p app, walk one knob dimension @p param with all others at
+ * their defaults and return the fixed-run seconds per value.
+ */
+std::vector<double>
+timesAlongKnob(core::App &app, std::size_t param)
+{
+    const auto &space = app.knobSpace();
+    auto values = space.valuesOf(app.defaultCombination());
+    std::vector<double> seconds;
+    for (const double v : space.parameter(param).values) {
+        auto probe = values;
+        probe[param] = v;
+        const auto combo = space.findCombination(probe);
+        seconds.push_back(core::runFixed(app, 0, combo).seconds);
+    }
+    return seconds;
+}
+
+/** Parameterised over (app id, knob dimension). */
+class KnobMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(KnobMonotonicity, MoreEffortNeverRunsFaster)
+{
+    const int app_id = std::get<0>(GetParam());
+    const int param = std::get<1>(GetParam());
+
+    std::unique_ptr<core::App> app;
+    switch (app_id) {
+      case 0:
+        app = std::make_unique<apps::swaptions::SwaptionsApp>(
+            swaptionsConfig());
+        break;
+      case 1:
+        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
+        break;
+      case 2:
+        app = std::make_unique<apps::bodytrack::BodytrackApp>(
+            bodytrackConfig());
+        break;
+      default:
+        app = std::make_unique<apps::searchx::SearchxApp>(
+            searchxConfig());
+        break;
+    }
+    if (static_cast<std::size_t>(param) >=
+        app->knobSpace().parameterCount()) {
+        GTEST_SKIP() << "app has no knob dimension " << param;
+    }
+    const auto seconds =
+        timesAlongKnob(*app, static_cast<std::size_t>(param));
+    for (std::size_t i = 0; i + 1 < seconds.size(); ++i) {
+        EXPECT_LE(seconds[i], seconds[i + 1] * (1.0 + 1e-9))
+            << app->name() << " knob "
+            << app->knobSpace().parameter(param).name << " value index "
+            << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllKnobs, KnobMonotonicity,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2)));
+
+/** Parameterised determinism check per app. */
+class AppDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AppDeterminism, FixedRunsAreBitStable)
+{
+    std::unique_ptr<core::App> app;
+    switch (GetParam()) {
+      case 0:
+        app = std::make_unique<apps::swaptions::SwaptionsApp>(
+            swaptionsConfig());
+        break;
+      case 1:
+        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
+        break;
+      case 2:
+        app = std::make_unique<apps::bodytrack::BodytrackApp>(
+            bodytrackConfig());
+        break;
+      default:
+        app = std::make_unique<apps::searchx::SearchxApp>(
+            searchxConfig());
+        break;
+    }
+    const auto combo = app->knobSpace().combinations() / 2;
+    const auto a = core::runFixed(*app, 1, combo);
+    const auto b = core::runFixed(*app, 1, combo);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    ASSERT_EQ(a.output.components.size(), b.output.components.size());
+    for (std::size_t i = 0; i < a.output.components.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.output.components[i],
+                         b.output.components[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppDeterminism,
+                         ::testing::Values(0, 1, 2, 3));
+
+/** The default combination is the slowest (highest-effort) setting. */
+class BaselineIsSlowest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BaselineIsSlowest, DefaultHasZeroLossAndMaxTime)
+{
+    std::unique_ptr<core::App> app;
+    switch (GetParam()) {
+      case 0:
+        app = std::make_unique<apps::swaptions::SwaptionsApp>(
+            swaptionsConfig());
+        break;
+      case 1:
+        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
+        break;
+      case 2:
+        app = std::make_unique<apps::bodytrack::BodytrackApp>(
+            bodytrackConfig());
+        break;
+      default:
+        app = std::make_unique<apps::searchx::SearchxApp>(
+            searchxConfig());
+        break;
+    }
+    auto train = app->trainingInputs();
+    const auto result = core::calibrate(*app, train);
+    const auto &points = result.model.allPoints();
+    const auto baseline = app->defaultCombination();
+    EXPECT_DOUBLE_EQ(points[baseline].qos_loss, 0.0);
+    EXPECT_DOUBLE_EQ(points[baseline].speedup, 1.0);
+    // Every other combination is at least as fast (speedup >= 1).
+    for (const auto &p : points)
+        EXPECT_GE(p.speedup, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, BaselineIsSlowest,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace powerdial

@@ -1,0 +1,206 @@
+/** @file Tests for the bodytrack benchmark. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "core/calibration.h"
+
+namespace powerdial::apps::bodytrack {
+namespace {
+
+TEST(Schedules, BetaIncreasesSigmaDecreases)
+{
+    std::vector<double> betas, sigmas;
+    makeSchedules(5, betas, sigmas);
+    ASSERT_EQ(betas.size(), 5u);
+    ASSERT_EQ(sigmas.size(), 5u);
+    for (std::size_t l = 0; l + 1 < 5; ++l) {
+        EXPECT_LT(betas[l], betas[l + 1]);
+        EXPECT_GT(sigmas[l], sigmas[l + 1]);
+    }
+}
+
+TEST(Schedules, SingleLayerIsSharpest)
+{
+    std::vector<double> betas, sigmas;
+    makeSchedules(1, betas, sigmas);
+    ASSERT_EQ(betas.size(), 1u);
+    EXPECT_NEAR(betas[0], 4.0, 1e-9);
+    EXPECT_THROW(makeSchedules(0, betas, sigmas), std::invalid_argument);
+}
+
+FilterParams
+params(std::size_t particles, std::size_t layers)
+{
+    FilterParams p;
+    p.particles = particles;
+    p.layers = layers;
+    makeSchedules(layers, p.betas, p.sigmas);
+    return p;
+}
+
+double
+trackingError(std::size_t particles, std::size_t layers,
+              std::uint64_t seed)
+{
+    workload::BodyMotionParams mp;
+    mp.frames = 40;
+    mp.seed = 0xfeed;
+    workload::BodyDimensions dims;
+    const auto seq = workload::makeBodySequence(mp, dims);
+
+    AnnealedParticleFilter filter(dims, seed);
+    const auto fp = params(particles, layers);
+    filter.initialize(seq.front().truth, fp);
+    double err = 0.0;
+    for (const auto &frame : seq) {
+        const auto r = filter.step(frame.observation, fp);
+        const auto est = workload::forwardKinematics(r.estimate, dims);
+        const auto truth =
+            workload::forwardKinematics(frame.truth, dims);
+        for (std::size_t p = 0; p < workload::kBodyParts; ++p) {
+            const double dx = est.x[p] - truth.x[p];
+            const double dy = est.y[p] - truth.y[p];
+            err += std::sqrt(dx * dx + dy * dy);
+        }
+    }
+    return err / static_cast<double>(seq.size() * workload::kBodyParts);
+}
+
+TEST(Filter, TracksSyntheticWalk)
+{
+    // A well-provisioned filter must stay within a small multiple of
+    // the observation noise.
+    EXPECT_LT(trackingError(600, 4, 1), 0.35);
+}
+
+TEST(Filter, MoreResourcesTrackBetter)
+{
+    double rich = 0.0, poor = 0.0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        rich += trackingError(500, 4, seed);
+        poor += trackingError(20, 1, seed);
+    }
+    EXPECT_LT(rich, poor);
+}
+
+TEST(Filter, WorkScalesWithParticlesAndLayers)
+{
+    workload::BodyDimensions dims;
+    workload::BodyMotionParams mp;
+    mp.frames = 2;
+    const auto seq = workload::makeBodySequence(mp, dims);
+
+    AnnealedParticleFilter f1(dims, 1);
+    const auto p1 = params(100, 1);
+    f1.initialize(seq[0].truth, p1);
+    const auto w1 = f1.step(seq[1].observation, p1).work_ops;
+
+    AnnealedParticleFilter f2(dims, 1);
+    const auto p2 = params(200, 3);
+    f2.initialize(seq[0].truth, p2);
+    const auto w2 = f2.step(seq[1].observation, p2).work_ops;
+
+    EXPECT_NEAR(static_cast<double>(w2) / static_cast<double>(w1), 6.0,
+                1e-9);
+}
+
+TEST(Filter, AdaptsCloudSizeWhenKnobChanges)
+{
+    workload::BodyDimensions dims;
+    workload::BodyMotionParams mp;
+    mp.frames = 3;
+    const auto seq = workload::makeBodySequence(mp, dims);
+    AnnealedParticleFilter filter(dims, 2);
+    auto fp = params(100, 2);
+    filter.initialize(seq[0].truth, fp);
+    filter.step(seq[1].observation, fp);
+    EXPECT_EQ(filter.particles().size(), 100u);
+    fp = params(40, 2); // Dynamic knob moved mid-run.
+    filter.step(seq[2].observation, fp);
+    EXPECT_EQ(filter.particles().size(), 40u);
+}
+
+TEST(Filter, Validation)
+{
+    workload::BodyDimensions dims;
+    AnnealedParticleFilter filter(dims, 1);
+    FilterParams bad = params(10, 2);
+    bad.betas.pop_back();
+    workload::BodyObservation obs{};
+    EXPECT_THROW(filter.step(obs, bad), std::logic_error);
+    filter.initialize({}, params(10, 2));
+    EXPECT_THROW(filter.step(obs, bad), std::invalid_argument);
+    EXPECT_THROW(filter.initialize({}, params(0, 1)),
+                 std::invalid_argument);
+}
+
+BodytrackConfig
+smallConfig()
+{
+    BodytrackConfig config;
+    config.particle_values = {50, 100, 200, 400};
+    config.layer_values = {1, 2, 4};
+    config.inputs = 2;
+    config.frames = 12;
+    return config;
+}
+
+TEST(BodytrackApp, KnobSpaceAndDefault)
+{
+    BodytrackApp app(smallConfig());
+    EXPECT_EQ(app.knobSpace().combinations(), 12u);
+    EXPECT_EQ(app.knobSpace().valuesOf(app.defaultCombination()),
+              (std::vector<double>{400, 4}));
+}
+
+TEST(BodytrackApp, ConfigureBuildsSchedules)
+{
+    BodytrackApp app(smallConfig());
+    app.configure({100, 2});
+    EXPECT_EQ(app.filterParams().particles, 100u);
+    EXPECT_EQ(app.filterParams().layers, 2u);
+    EXPECT_EQ(app.filterParams().betas.size(), 2u);
+    EXPECT_THROW(app.configure({100}), std::invalid_argument);
+}
+
+TEST(BodytrackApp, CalibrationSpeedupBounded)
+{
+    // With the fixed per-frame preprocessing cost, speedup must stay
+    // far below the raw knob-work ratio (the paper's ~7x, not ~30x).
+    BodytrackApp app(smallConfig());
+    const auto result = core::calibrate(app, app.trainingInputs());
+    const double raw_ratio = (400.0 * 4.0) / (50.0 * 1.0);
+    EXPECT_LT(result.model.maxSpeedup(), raw_ratio / 2.0);
+    EXPECT_GT(result.model.maxSpeedup(), 2.0);
+}
+
+TEST(BodytrackApp, OutputWeightsProportionalToMagnitude)
+{
+    BodytrackApp app(smallConfig());
+    app.configure({400, 4});
+    app.loadInput(0);
+    sim::Machine machine;
+    for (std::size_t u = 0; u < app.unitCount(); ++u)
+        app.processUnit(u, machine);
+    const auto out = app.output();
+    ASSERT_EQ(out.components.size(), 3u * workload::kBodyParts);
+    ASSERT_EQ(out.weights.size(), out.components.size());
+    // Bigger components carry bigger weights.
+    for (std::size_t i = 0; i < out.components.size(); ++i)
+        for (std::size_t j = 0; j < out.components.size(); ++j)
+            if (std::abs(out.components[i]) >
+                std::abs(out.components[j])) {
+                EXPECT_GE(out.weights[i], out.weights[j]);
+            }
+}
+
+TEST(BodytrackApp, Validation)
+{
+    BodytrackApp app(smallConfig());
+    EXPECT_THROW(app.loadInput(99), std::out_of_range);
+}
+
+} // namespace
+} // namespace powerdial::apps::bodytrack

@@ -1,0 +1,172 @@
+/** @file Tests for the swaptions benchmark. */
+#include <gtest/gtest.h>
+
+#include "apps/swaptions/swaptions_app.h"
+#include "core/calibration.h"
+
+namespace powerdial::apps::swaptions {
+namespace {
+
+Swaption
+sampleSwaption()
+{
+    Swaption s;
+    s.forward_rate = 0.05;
+    s.strike = 0.045;
+    s.volatility = 0.2;
+    s.maturity = 2.0;
+    s.tenor = 5.0;
+    s.discount_rate = 0.03;
+    s.notional = 100.0;
+    return s;
+}
+
+TEST(Pricer, ConvergesTowardBlackPrice)
+{
+    const auto s = sampleSwaption();
+    const double black = blackPrice(s);
+    const double mc = price(s, 200000, 42).price;
+    EXPECT_NEAR(mc, black, 0.02 * black);
+}
+
+TEST(Pricer, ErrorShrinksWithPaths)
+{
+    // The paper's premise: accuracy approaches an asymptote as
+    // simulations increase. Mean |error| over several seeds must
+    // shrink when paths grow 16x (expect ~4x by CLT).
+    const auto s = sampleSwaption();
+    const double black = blackPrice(s);
+    double err_small = 0.0, err_large = 0.0;
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        err_small += std::abs(price(s, 500, seed).price - black);
+        err_large += std::abs(price(s, 8000, seed).price - black);
+    }
+    EXPECT_LT(err_large, err_small / 2.0);
+}
+
+TEST(Pricer, DeterministicPerSeed)
+{
+    const auto s = sampleSwaption();
+    EXPECT_DOUBLE_EQ(price(s, 1000, 7).price, price(s, 1000, 7).price);
+    EXPECT_NE(price(s, 1000, 7).price, price(s, 1000, 8).price);
+}
+
+TEST(Pricer, WorkLinearInPaths)
+{
+    const auto s = sampleSwaption();
+    const auto a = price(s, 1000, 1);
+    const auto b = price(s, 2000, 1);
+    EXPECT_NEAR(static_cast<double>(b.work_ops) /
+                    static_cast<double>(a.work_ops),
+                2.0, 1e-9);
+}
+
+TEST(Pricer, StdErrorPositiveAndShrinking)
+{
+    const auto s = sampleSwaption();
+    const auto small = price(s, 500, 3);
+    const auto large = price(s, 50000, 3);
+    EXPECT_GT(small.std_error, 0.0);
+    EXPECT_LT(large.std_error, small.std_error);
+}
+
+TEST(Pricer, Validation)
+{
+    EXPECT_THROW(price(sampleSwaption(), 0, 1), std::invalid_argument);
+    auto bad = sampleSwaption();
+    bad.volatility = 0.0;
+    EXPECT_THROW(price(bad, 100, 1), std::invalid_argument);
+}
+
+SwaptionsConfig
+smallConfig()
+{
+    SwaptionsConfig config;
+    config.sim_values = {250, 500, 1000, 2000, 4000};
+    config.inputs = 4;
+    config.swaptions_per_input = 6;
+    return config;
+}
+
+TEST(SwaptionsApp, KnobSpaceMatchesConfig)
+{
+    SwaptionsApp app(smallConfig());
+    EXPECT_EQ(app.knobSpace().combinations(), 5u);
+    EXPECT_EQ(app.knobSpace().parameter(0).name, "-sm");
+    EXPECT_EQ(app.defaultCombination(), 4u);
+}
+
+TEST(SwaptionsApp, ConfigureSetsControlVariable)
+{
+    SwaptionsApp app(smallConfig());
+    app.configure({1000});
+    EXPECT_EQ(app.numTrials(), 1000u);
+    EXPECT_THROW(app.configure({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SwaptionsApp, SpeedupTracksSimulationRatio)
+{
+    SwaptionsApp app(smallConfig());
+    const auto result =
+        core::calibrate(app, app.trainingInputs());
+    // Work is linear in -sm: speedup of the smallest setting is the
+    // ratio of the defaults (4000 / 250 = 16).
+    EXPECT_NEAR(result.model.allPoints()[0].speedup, 16.0, 0.01);
+}
+
+TEST(SwaptionsApp, QosLossDecreasesWithSimulations)
+{
+    SwaptionsApp app(smallConfig());
+    const auto result = core::calibrate(app, app.trainingInputs());
+    const auto &points = result.model.allPoints();
+    // Baseline has zero loss; the smallest setting the largest.
+    EXPECT_DOUBLE_EQ(points.back().qos_loss, 0.0);
+    EXPECT_GT(points.front().qos_loss, points[2].qos_loss);
+}
+
+TEST(SwaptionsApp, TradeOffShapeMatchesPaper)
+{
+    // Figure 5a: large speedups at small QoS loss. With the scaled
+    // default range the frontier must reach >= 20x under 10% loss.
+    SwaptionsConfig config;
+    config.inputs = 2;
+    config.swaptions_per_input = 6;
+    SwaptionsApp app(config);
+    const auto result = core::calibrate(app, app.trainingInputs());
+    EXPECT_GE(result.model.maxSpeedup(), 20.0);
+    EXPECT_LE(result.model.fastest().qos_loss, 0.10);
+}
+
+TEST(SwaptionsApp, InputSplitDisjoint)
+{
+    SwaptionsApp app(smallConfig());
+    const auto train = app.trainingInputs();
+    const auto prod = app.productionInputs();
+    EXPECT_EQ(train.size() + prod.size(), app.inputCount());
+    for (const auto t : train)
+        for (const auto p : prod)
+            EXPECT_NE(t, p);
+}
+
+TEST(SwaptionsApp, OutputIsPriceVector)
+{
+    SwaptionsApp app(smallConfig());
+    app.configure({500});
+    app.loadInput(0);
+    sim::Machine machine;
+    for (std::size_t u = 0; u < app.unitCount(); ++u)
+        app.processUnit(u, machine);
+    const auto out = app.output();
+    EXPECT_EQ(out.components.size(), 6u);
+    for (const double price : out.components)
+        EXPECT_GT(price, 0.0);
+}
+
+TEST(SwaptionsApp, BadInputIndexThrows)
+{
+    SwaptionsApp app(smallConfig());
+    EXPECT_THROW(app.loadInput(99), std::out_of_range);
+}
+
+} // namespace
+} // namespace powerdial::apps::swaptions

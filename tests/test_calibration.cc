@@ -1,0 +1,126 @@
+/** @file Unit tests for dynamic knob calibration. */
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+TEST(RunFixed, DeterministicAcrossRepeats)
+{
+    ToyApp app;
+    const auto a = runFixed(app, 0, 1);
+    const auto b = runFixed(app, 0, 1);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.output.components, b.output.components);
+}
+
+TEST(RunFixed, FasterKnobShortensRun)
+{
+    ToyApp app;
+    const auto slow = runFixed(app, 0, 0); // k = 1.
+    const auto fast = runFixed(app, 0, 3); // k = 8.
+    EXPECT_NEAR(slow.seconds / fast.seconds, 8.0, 1e-9);
+}
+
+TEST(Calibrate, SpeedupsMatchKnobExactly)
+{
+    ToyApp app;
+    const auto result = calibrate(app, app.trainingInputs());
+    const auto &points = result.model.allPoints();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
+    EXPECT_NEAR(points[1].speedup, 2.0, 1e-9);
+    EXPECT_NEAR(points[2].speedup, 4.0, 1e-9);
+    EXPECT_NEAR(points[3].speedup, 8.0, 1e-9);
+}
+
+TEST(Calibrate, QosLossMatchesModelExactly)
+{
+    ToyApp app;
+    const auto result = calibrate(app, app.trainingInputs());
+    const auto &points = result.model.allPoints();
+    EXPECT_NEAR(points[0].qos_loss, 0.0, 1e-12);
+    EXPECT_NEAR(points[1].qos_loss, 0.01, 1e-9);
+    EXPECT_NEAR(points[2].qos_loss, 0.03, 1e-9);
+    EXPECT_NEAR(points[3].qos_loss, 0.07, 1e-9);
+}
+
+TEST(Calibrate, BaselineRateIsUnitsPerSecond)
+{
+    ToyApp::Config config;
+    config.base_cycles = 2.4e6; // 1 ms per unit at 2.4 GHz.
+    ToyApp app(config);
+    const auto result = calibrate(app, app.trainingInputs());
+    EXPECT_NEAR(result.model.baselineRate(), 1000.0, 1e-6);
+}
+
+TEST(Calibrate, RawDataHasPerInputEntries)
+{
+    ToyApp app;
+    const auto inputs = app.trainingInputs();
+    const auto result = calibrate(app, inputs);
+    ASSERT_EQ(result.data.speedups.size(), 4u);
+    for (const auto &row : result.data.speedups)
+        EXPECT_EQ(row.size(), inputs.size());
+}
+
+TEST(Calibrate, QosCapFiltersFrontier)
+{
+    ToyApp app;
+    CalibrationOptions options;
+    options.qos_cap = 0.05;
+    const auto result = calibrate(app, app.trainingInputs(), options);
+    EXPECT_NEAR(result.model.maxSpeedup(), 4.0, 1e-9);
+}
+
+TEST(Calibrate, EmptyInputsThrow)
+{
+    ToyApp app;
+    EXPECT_THROW(calibrate(app, {}), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndInverse)
+{
+    EXPECT_NEAR(correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Correlation, UncorrelatedNearZero)
+{
+    EXPECT_NEAR(correlation({1, 2, 1, 2}, {1, 1, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateConstantSeries)
+{
+    EXPECT_DOUBLE_EQ(correlation({2, 2, 2}, {2, 2, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(correlation({2, 2, 2}, {3, 3, 3}), 0.0);
+}
+
+TEST(Correlation, Validation)
+{
+    EXPECT_THROW(correlation({}, {}), std::invalid_argument);
+    EXPECT_THROW(correlation({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Calibrate, TrainingPredictsProductionOnToyApp)
+{
+    // The Table 2 property in miniature: training means should
+    // correlate near-perfectly with production means when behaviour is
+    // input-independent.
+    ToyApp app;
+    const auto train = calibrate(app, app.trainingInputs());
+    const auto prod = calibrate(app, app.productionInputs());
+    std::vector<double> ts, ps;
+    for (std::size_t c = 0; c < train.model.allPoints().size(); ++c) {
+        ts.push_back(train.model.allPoints()[c].speedup);
+        ps.push_back(prod.model.allPoints()[c].speedup);
+    }
+    EXPECT_NEAR(correlation(ts, ps), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace powerdial::core

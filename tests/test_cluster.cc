@@ -1,0 +1,142 @@
+/** @file Unit tests for sim::Cluster. */
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace powerdial::sim {
+namespace {
+
+Machine::Config
+config8()
+{
+    return Machine::Config{};
+}
+
+TEST(Cluster, PaperBaselineProvisioning)
+{
+    // Paper section 5.5: four 8-core machines -> peak 32 instances.
+    Cluster cluster(4, config8());
+    EXPECT_EQ(cluster.size(), 4u);
+    EXPECT_EQ(cluster.totalCores(), 32u);
+    EXPECT_EQ(cluster.peakInstances(), 32u);
+}
+
+TEST(Cluster, BalanceSpreadsEvenly)
+{
+    Cluster cluster(4, config8());
+    const auto p = cluster.balance(32);
+    for (const auto count : p)
+        EXPECT_EQ(count, 8u);
+}
+
+TEST(Cluster, BalanceDistributesRemainder)
+{
+    Cluster cluster(4, config8());
+    const auto p = cluster.balance(10);
+    EXPECT_EQ(p[0], 3u);
+    EXPECT_EQ(p[1], 3u);
+    EXPECT_EQ(p[2], 2u);
+    EXPECT_EQ(p[3], 2u);
+    std::size_t total = 0;
+    for (const auto c : p)
+        total += c;
+    EXPECT_EQ(total, 10u);
+}
+
+TEST(Cluster, LoadOfUndersubscribed)
+{
+    Cluster cluster(1, config8());
+    const auto load = cluster.loadOf(4);
+    EXPECT_DOUBLE_EQ(load.utilization, 0.5);
+    EXPECT_DOUBLE_EQ(load.per_instance_share, 1.0);
+    EXPECT_DOUBLE_EQ(load.required_speedup, 1.0);
+}
+
+TEST(Cluster, LoadOfOversubscribed)
+{
+    // 32 instances on one 8-core machine: the consolidated system at
+    // peak load needs a 4x knob speedup (paper: 3/4 machine reduction).
+    Cluster cluster(1, config8());
+    const auto load = cluster.loadOf(32);
+    EXPECT_DOUBLE_EQ(load.utilization, 1.0);
+    EXPECT_DOUBLE_EQ(load.per_instance_share, 0.25);
+    EXPECT_DOUBLE_EQ(load.required_speedup, 4.0);
+}
+
+TEST(Cluster, LoadOfEmpty)
+{
+    Cluster cluster(1, config8());
+    const auto load = cluster.loadOf(0);
+    EXPECT_DOUBLE_EQ(load.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(load.required_speedup, 1.0);
+}
+
+TEST(Cluster, IdleMachinesDrawIdlePower)
+{
+    Cluster cluster(4, config8());
+    const double watts = cluster.steadyStateWatts(0u);
+    const double idle =
+        cluster.machine(0).powerModel().idleWatts();
+    EXPECT_NEAR(watts, 4.0 * idle, 1e-9);
+}
+
+TEST(Cluster, FullLoadDrawsPeakPower)
+{
+    Cluster cluster(4, config8());
+    const double watts = cluster.steadyStateWatts(32u);
+    const double peak =
+        cluster.machine(0).powerModel().peakWatts();
+    EXPECT_NEAR(watts, 4.0 * peak, 1e-9);
+}
+
+TEST(Cluster, PowerMonotoneInLoad)
+{
+    Cluster cluster(4, config8());
+    double prev = -1.0;
+    for (std::size_t load = 0; load <= 32; ++load) {
+        const double watts = cluster.steadyStateWatts(load);
+        EXPECT_GE(watts, prev - 1e-12);
+        prev = watts;
+    }
+}
+
+TEST(Cluster, ConsolidatedClusterUsesLessPowerAtEqualLoad)
+{
+    // The headline of Figure 8: fewer machines, same offered load,
+    // less total power.
+    Cluster original(4, config8());
+    Cluster consolidated(1, config8());
+    for (std::size_t load : {4u, 8u, 16u, 32u}) {
+        EXPECT_LT(consolidated.steadyStateWatts(std::min<std::size_t>(
+                      load, consolidated.peakInstances() * 4)),
+                  original.steadyStateWatts(load));
+    }
+}
+
+TEST(Cluster, MaxRequiredSpeedup)
+{
+    Cluster cluster(1, config8());
+    EXPECT_DOUBLE_EQ(cluster.maxRequiredSpeedup(cluster.balance(32)),
+                     4.0);
+    EXPECT_DOUBLE_EQ(cluster.maxRequiredSpeedup(cluster.balance(8)),
+                     1.0);
+}
+
+TEST(Cluster, LowerPStateReducesLoadedPower)
+{
+    Cluster cluster(2, config8());
+    const auto placement = cluster.balance(16);
+    EXPECT_LT(cluster.steadyStateWatts(placement, 6),
+              cluster.steadyStateWatts(placement, 0));
+}
+
+TEST(Cluster, Validation)
+{
+    EXPECT_THROW(Cluster(0, config8()), std::invalid_argument);
+    Cluster cluster(2, config8());
+    EXPECT_THROW(cluster.steadyStateWatts({1u, 2u, 3u}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace powerdial::sim

@@ -1,0 +1,189 @@
+/** @file Unit and property tests for the heart-rate controller. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace powerdial::core {
+namespace {
+
+ControllerConfig
+config(double gain = 1.0)
+{
+    ControllerConfig cc;
+    cc.baseline_rate = 10.0;
+    cc.target_rate = 10.0;
+    cc.gain = gain;
+    cc.min_speedup = 1.0;
+    cc.max_speedup = 100.0;
+    return cc;
+}
+
+/**
+ * Simulate the closed loop of paper Equation 2: the plant responds
+ * with h(t+1) = b_effective * s(t). Returns the heart-rate series.
+ */
+std::vector<double>
+simulateLoop(HeartRateController &controller, double b_effective,
+             int steps, double h0)
+{
+    std::vector<double> rates{h0};
+    double h = h0;
+    for (int t = 0; t < steps; ++t) {
+        const double s = controller.update(h);
+        h = b_effective * s;
+        rates.push_back(h);
+    }
+    return rates;
+}
+
+TEST(Controller, DeadbeatConvergesInOneStepWithExactModel)
+{
+    // Paper section 2.3.2: F_loop(z) = 1/z — with an exact model of b
+    // the loop lands on target in a single control period. The plant
+    // starts at its honest baseline output (h = b * s = 10) and the
+    // target is raised to 15.
+    auto cc = config();
+    cc.target_rate = 15.0;
+    auto controller = HeartRateController(cc);
+    const auto rates = simulateLoop(controller, 10.0, 5, 10.0);
+    for (std::size_t t = 1; t < rates.size(); ++t)
+        EXPECT_NEAR(rates[t], 15.0, 1e-9);
+}
+
+TEST(Controller, GeometricConvergenceUnderModelMismatch)
+{
+    // Under a 2.4 -> 1.6 GHz cap the true gain is b_eff = (2/3) b, so
+    // the closed-loop pole moves from 0 to 1 - b_eff/b = 1/3: the
+    // error must decay by that ratio each period and still converge.
+    auto controller = HeartRateController(config());
+    const double b_eff = 10.0 * (1.6 / 2.4);
+    const auto rates = simulateLoop(controller, b_eff, 40, b_eff);
+    for (std::size_t t = 2; t + 1 < rates.size(); ++t) {
+        const double e0 = std::abs(rates[t] - 10.0);
+        const double e1 = std::abs(rates[t + 1] - 10.0);
+        if (e0 < 1e-8)
+            break; // Below floating-point resolution of the ratio.
+        EXPECT_NEAR(e1 / e0, 1.0 / 3.0, 1e-3);
+    }
+    EXPECT_NEAR(rates.back(), 10.0, 1e-9);
+}
+
+TEST(Controller, ConvergesFromAboveTarget)
+{
+    // Cap lifted: the platform is faster than the integrator expects.
+    auto controller = HeartRateController(config());
+    // Drive the integrator up first.
+    controller.update(6.0);
+    controller.update(10.0);
+    const auto rates = simulateLoop(controller, 10.0, 5, 15.0);
+    EXPECT_NEAR(rates.back(), 10.0, 1e-9);
+}
+
+TEST(Controller, SpeedupClampedToActuationRange)
+{
+    auto cc = config();
+    cc.max_speedup = 2.0;
+    auto controller = HeartRateController(cc);
+    // Persistent large error: the integrator must saturate at
+    // max_speedup instead of winding up.
+    controller.update(0.5);
+    controller.update(0.5);
+    EXPECT_DOUBLE_EQ(controller.update(0.5), 2.0);
+    // Rate far above target: clamped at the baseline floor.
+    auto controller2 = HeartRateController(cc);
+    EXPECT_DOUBLE_EQ(controller2.update(100.0), 1.0);
+}
+
+TEST(Controller, ResetReturnsToBaseline)
+{
+    auto controller = HeartRateController(config());
+    controller.update(2.0);
+    EXPECT_GT(controller.speedup(), 1.0);
+    controller.reset();
+    EXPECT_DOUBLE_EQ(controller.speedup(), 1.0);
+}
+
+TEST(Controller, SetTargetReaims)
+{
+    auto controller = HeartRateController(config());
+    controller.setTarget(20.0);
+    const auto rates = simulateLoop(controller, 10.0, 6, 10.0);
+    EXPECT_NEAR(rates.back(), 20.0, 1e-9);
+    EXPECT_THROW(controller.setTarget(0.0), std::invalid_argument);
+}
+
+TEST(Controller, PoleLocationFormula)
+{
+    EXPECT_DOUBLE_EQ(HeartRateController::closedLoopPole(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(HeartRateController::closedLoopPole(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(HeartRateController::closedLoopPole(2.0), -1.0);
+}
+
+TEST(Controller, ConvergencePeriodsFormula)
+{
+    // Deadbeat pole at the origin: immediate convergence.
+    EXPECT_DOUBLE_EQ(HeartRateController::convergencePeriods(1.0), 0.0);
+    // Pole 0.5: t_c = -4 / log10(0.5) ~ 13.3 periods.
+    EXPECT_NEAR(HeartRateController::convergencePeriods(0.5),
+                -4.0 / std::log10(0.5), 1e-9);
+    // |pole| >= 1: never converges.
+    EXPECT_TRUE(std::isinf(HeartRateController::convergencePeriods(2.0)));
+}
+
+TEST(Controller, Validation)
+{
+    auto bad = config();
+    bad.baseline_rate = 0.0;
+    EXPECT_THROW(HeartRateController{bad}, std::invalid_argument);
+    bad = config();
+    bad.target_rate = -1.0;
+    EXPECT_THROW(HeartRateController{bad}, std::invalid_argument);
+    bad = config();
+    bad.max_speedup = 0.5;
+    EXPECT_THROW(HeartRateController{bad}, std::invalid_argument);
+    bad = config();
+    bad.gain = 0.0;
+    EXPECT_THROW(HeartRateController{bad}, std::invalid_argument);
+}
+
+/**
+ * Property: for stable gains (0 < k < 2) the loop converges to the
+ * target under a capacity disturbance; the error decays as |1 - k|^t.
+ */
+class StableGains : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(StableGains, LoopConvergesUnderDisturbance)
+{
+    const double gain = GetParam();
+    auto controller = HeartRateController(config(gain));
+    const double b_eff = 10.0 * (1.6 / 2.4);
+    const auto rates = simulateLoop(controller, b_eff, 80, b_eff);
+    EXPECT_NEAR(rates.back(), 10.0, 1e-3)
+        << "gain " << gain << " failed to converge";
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, StableGains,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0, 1.25,
+                                           1.5, 1.9));
+
+/** Property: gains beyond 2 oscillate without converging. */
+TEST(Controller, UnstableGainDiverges)
+{
+    // Pole at 1 - k = -1.5 when the plant matches the model: |z| > 1.
+    auto cc = config(2.5);
+    cc.max_speedup = 1e9;  // Remove the saturation safety net.
+    cc.min_speedup = -1e9; // And the floor.
+    cc.initial_speedup = 1.0;
+    auto controller = HeartRateController(cc);
+    const auto rates = simulateLoop(controller, 10.0, 6, 12.0);
+    // Error grows geometrically (|pole| = 1.5) rather than decaying.
+    EXPECT_GT(std::abs(rates[3] - 10.0), std::abs(rates[1] - 10.0));
+    EXPECT_GT(std::abs(rates[5] - 10.0), std::abs(rates[3] - 10.0));
+}
+
+} // namespace
+} // namespace powerdial::core

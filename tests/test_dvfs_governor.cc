@@ -1,0 +1,84 @@
+/** @file Unit tests for sim::DvfsGovernor. */
+#include <gtest/gtest.h>
+
+#include "sim/dvfs_governor.h"
+
+namespace powerdial::sim {
+namespace {
+
+TEST(DvfsGovernor, PowerCapScheduleShape)
+{
+    Machine m;
+    auto gov = DvfsGovernor::powerCap(m, 10.0, 30.0);
+    EXPECT_EQ(gov.pending(), 2u);
+}
+
+TEST(DvfsGovernor, AppliesEventsWhenTimeReached)
+{
+    Machine m;
+    auto gov = DvfsGovernor::powerCap(m, 1.0, 3.0);
+
+    m.idleFor(0.5);
+    EXPECT_FALSE(gov.poll(m));
+    EXPECT_EQ(m.pstate(), 0u);
+
+    m.idleFor(1.0); // now = 1.5: cap imposed.
+    EXPECT_TRUE(gov.poll(m));
+    EXPECT_EQ(m.pstate(), m.scale().lowestState());
+
+    m.idleFor(2.0); // now = 3.5: cap lifted.
+    EXPECT_TRUE(gov.poll(m));
+    EXPECT_EQ(m.pstate(), 0u);
+    EXPECT_EQ(gov.pending(), 0u);
+}
+
+TEST(DvfsGovernor, PollAppliesAllDueEventsAtOnce)
+{
+    Machine m;
+    auto gov = DvfsGovernor::powerCap(m, 1.0, 2.0);
+    m.idleFor(5.0); // Both events already due.
+    gov.poll(m);
+    EXPECT_EQ(m.pstate(), 0u); // Ends uncapped.
+    EXPECT_EQ(gov.pending(), 0u);
+}
+
+TEST(DvfsGovernor, NoChangeReturnsFalse)
+{
+    Machine m;
+    DvfsGovernor gov;
+    gov.schedule(1.0, 0); // Already at P-state 0.
+    m.idleFor(2.0);
+    EXPECT_FALSE(gov.poll(m));
+}
+
+TEST(DvfsGovernor, OutOfOrderEventsRejected)
+{
+    DvfsGovernor gov;
+    gov.schedule(5.0, 1);
+    EXPECT_THROW(gov.schedule(3.0, 0), std::invalid_argument);
+}
+
+TEST(DvfsGovernor, LiftBeforeImposeRejected)
+{
+    Machine m;
+    EXPECT_THROW(DvfsGovernor::powerCap(m, 5.0, 5.0),
+                 std::invalid_argument);
+}
+
+TEST(DvfsGovernor, CustomMultiStepSchedule)
+{
+    Machine m;
+    DvfsGovernor gov;
+    gov.schedule(1.0, 3);
+    gov.schedule(2.0, 6);
+    gov.schedule(3.0, 0);
+    m.idleFor(1.5);
+    gov.poll(m);
+    EXPECT_EQ(m.pstate(), 3u);
+    m.idleFor(1.0);
+    gov.poll(m);
+    EXPECT_EQ(m.pstate(), 6u);
+}
+
+} // namespace
+} // namespace powerdial::sim

@@ -1,0 +1,159 @@
+/** @file Unit tests for the Application Heartbeats framework. */
+#include <gtest/gtest.h>
+
+#include "heartbeats/heartbeat.h"
+#include "heartbeats/reader.h"
+
+namespace powerdial::hb {
+namespace {
+
+TEST(Monitor, FirstBeatHasNoLatency)
+{
+    Monitor monitor(20, {1.0, 1.0});
+    const auto &rec = monitor.beat(5.0);
+    EXPECT_EQ(rec.tag, 0u);
+    EXPECT_DOUBLE_EQ(rec.latency, 0.0);
+    EXPECT_DOUBLE_EQ(rec.instant_rate, 0.0);
+}
+
+TEST(Monitor, TagsIncrement)
+{
+    Monitor monitor(20, {1.0, 1.0});
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(monitor.beat(static_cast<double>(i)).tag,
+                  static_cast<std::uint64_t>(i));
+    EXPECT_EQ(monitor.count(), 5u);
+}
+
+TEST(Monitor, InstantRateIsInverseLatency)
+{
+    Monitor monitor(20, {1.0, 1.0});
+    monitor.beat(0.0);
+    const auto &rec = monitor.beat(0.25);
+    EXPECT_DOUBLE_EQ(rec.latency, 0.25);
+    EXPECT_DOUBLE_EQ(rec.instant_rate, 4.0);
+}
+
+TEST(Monitor, WindowRateIsMeanOverWindow)
+{
+    Monitor monitor(4, {1.0, 1.0});
+    // Latencies: 1, 1, 2, 2 -> window rate = 4 / 6.
+    double t = 0.0;
+    monitor.beat(t);
+    for (const double lat : {1.0, 1.0, 2.0, 2.0}) {
+        t += lat;
+        monitor.beat(t);
+    }
+    EXPECT_NEAR(monitor.windowRate(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Monitor, WindowSlidesForward)
+{
+    Monitor monitor(2, {1.0, 1.0});
+    monitor.beat(0.0);
+    monitor.beat(10.0); // latency 10
+    monitor.beat(11.0); // latency 1
+    monitor.beat(12.0); // latency 1 -> window {1, 1}
+    EXPECT_NEAR(monitor.windowRate(), 1.0, 1e-12);
+}
+
+TEST(Monitor, GlobalRateSpansWholeRun)
+{
+    Monitor monitor(2, {1.0, 1.0});
+    monitor.beat(0.0);
+    monitor.beat(1.0);
+    monitor.beat(4.0);
+    // 2 intervals over 4 seconds.
+    EXPECT_NEAR(monitor.globalRate(), 0.5, 1e-12);
+}
+
+TEST(Monitor, RatesZeroBeforeTwoBeats)
+{
+    Monitor monitor(4, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(monitor.windowRate(), 0.0);
+    EXPECT_DOUBLE_EQ(monitor.globalRate(), 0.0);
+    monitor.beat(1.0);
+    EXPECT_DOUBLE_EQ(monitor.windowRate(), 0.0);
+    EXPECT_DOUBLE_EQ(monitor.globalRate(), 0.0);
+}
+
+TEST(Monitor, BackwardsTimeThrows)
+{
+    Monitor monitor(4, {1.0, 1.0});
+    monitor.beat(2.0);
+    EXPECT_THROW(monitor.beat(1.0), std::invalid_argument);
+}
+
+TEST(Monitor, LatestThrowsWhenEmpty)
+{
+    Monitor monitor(4, {1.0, 1.0});
+    EXPECT_THROW(monitor.latest(), std::logic_error);
+}
+
+TEST(Monitor, TargetValidation)
+{
+    EXPECT_THROW(Monitor(0, {1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Monitor(4, {2.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Monitor(4, {-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Monitor, SetTargetReplacesRange)
+{
+    Monitor monitor(4, {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(monitor.target().midpoint(), 1.5);
+    monitor.setTarget({3.0, 5.0});
+    EXPECT_DOUBLE_EQ(monitor.target().midpoint(), 4.0);
+    EXPECT_THROW(monitor.setTarget({5.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Monitor, RecordedRatesMatchQueryAtBeatTime)
+{
+    Monitor monitor(3, {1.0, 1.0});
+    double t = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        t += 0.5;
+        const auto &rec = monitor.beat(t);
+        EXPECT_DOUBLE_EQ(rec.window_rate, monitor.windowRate());
+        EXPECT_DOUBLE_EQ(rec.global_rate, monitor.globalRate());
+    }
+}
+
+TEST(Reader, ExposesMonitorState)
+{
+    Monitor monitor(4, {2.0, 3.0});
+    Reader reader(monitor);
+    EXPECT_EQ(reader.currentTag(), -1);
+    monitor.beat(0.0);
+    monitor.beat(0.5);
+    EXPECT_EQ(reader.currentTag(), 1);
+    EXPECT_DOUBLE_EQ(reader.windowRate(), monitor.windowRate());
+    EXPECT_DOUBLE_EQ(reader.globalRate(), monitor.globalRate());
+    EXPECT_DOUBLE_EQ(reader.minTarget(), 2.0);
+    EXPECT_DOUBLE_EQ(reader.maxTarget(), 3.0);
+    EXPECT_DOUBLE_EQ(reader.record(1).latency, 0.5);
+}
+
+/** Property: constant-latency streams report rate = 1/latency. */
+class ConstantRate : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ConstantRate, WindowAndGlobalAgree)
+{
+    const double latency = GetParam();
+    Monitor monitor(20, {1.0, 1.0});
+    double t = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        monitor.beat(t);
+        t += latency;
+    }
+    EXPECT_NEAR(monitor.windowRate(), 1.0 / latency, 1e-9);
+    EXPECT_NEAR(monitor.globalRate(), 1.0 / latency, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, ConstantRate,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.5, 1.0,
+                                           2.0));
+
+} // namespace
+} // namespace powerdial::hb

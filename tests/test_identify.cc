@@ -1,0 +1,137 @@
+/** @file Tests for the dynamic knob identification pipeline. */
+#include <gtest/gtest.h>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "apps/searchx/searchx_app.h"
+#include "apps/swaptions/swaptions_app.h"
+#include "apps/videnc/videnc_app.h"
+#include "core/identify.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+TEST(Identify, ToyAppAccepted)
+{
+    tests::ToyApp app;
+    const auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    ASSERT_EQ(result.analysis.control_variables.size(), 1u);
+    EXPECT_EQ(result.analysis.control_variables[0].name, "k");
+}
+
+TEST(Identify, TableAppliesRecordedValues)
+{
+    tests::ToyApp app;
+    auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    // Applying combination 2 must install k = 4 in the app.
+    result.table.apply(2);
+    EXPECT_DOUBLE_EQ(app.k(), 4.0);
+    result.table.apply(0);
+    EXPECT_DOUBLE_EQ(app.k(), 1.0);
+}
+
+TEST(Identify, ReportNamesParameters)
+{
+    tests::ToyApp app;
+    const auto result = identifyKnobs(app);
+    EXPECT_NE(result.report.find("ACCEPTED"), std::string::npos);
+    EXPECT_NE(result.report.find("k"), std::string::npos);
+}
+
+/** Small app configurations for the per-benchmark pipeline checks. */
+apps::swaptions::SwaptionsConfig
+smallSwaptions()
+{
+    apps::swaptions::SwaptionsConfig config;
+    config.sim_values = {100, 200, 400};
+    config.inputs = 2;
+    config.swaptions_per_input = 4;
+    return config;
+}
+
+TEST(Identify, SwaptionsControlVariables)
+{
+    apps::swaptions::SwaptionsApp app(smallSwaptions());
+    auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    // num_trials identified; the untainted seed_base excluded.
+    EXPECT_GE(result.analysis.indexOf("num_trials"), 0);
+    EXPECT_EQ(result.analysis.indexOf("seed_base"), -1);
+    result.table.apply(1);
+    EXPECT_EQ(app.numTrials(), 200u);
+}
+
+TEST(Identify, VidencControlVariables)
+{
+    apps::videnc::VidencConfig config;
+    config.subme_values = {1, 4, 7};
+    config.merange_values = {1, 16};
+    config.ref_values = {1, 3};
+    config.inputs = 2;
+    config.video.width = 32;
+    config.video.height = 32;
+    config.video.frames = 2;
+    apps::videnc::VidencApp app(config);
+    auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    EXPECT_EQ(result.analysis.control_variables.size(), 3u);
+    EXPECT_EQ(result.analysis.indexOf("qstep"), -1); // Untainted.
+    // Combination {subme=7, merange=16, ref=3} is the last one.
+    result.table.apply(app.knobSpace().combinations() - 1);
+    EXPECT_EQ(app.effort().subpel_rounds, 6);
+    EXPECT_EQ(app.effort().merange, 16);
+    EXPECT_EQ(app.effort().refs, 3);
+}
+
+TEST(Identify, BodytrackVectorControlVariables)
+{
+    apps::bodytrack::BodytrackConfig config;
+    config.particle_values = {50, 100};
+    config.layer_values = {1, 3};
+    config.inputs = 2;
+    config.frames = 4;
+    apps::bodytrack::BodytrackApp app(config);
+    auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    EXPECT_GE(result.analysis.indexOf("anneal_betas"), 0);
+    // Applying a 3-layer combination installs 3-entry schedules.
+    const auto combo = app.knobSpace().findCombination({100, 3});
+    result.table.apply(combo);
+    EXPECT_EQ(app.filterParams().layers, 3u);
+    EXPECT_EQ(app.filterParams().betas.size(), 3u);
+    EXPECT_EQ(app.filterParams().sigmas.size(), 3u);
+    // And a 1-layer combination shrinks them.
+    result.table.apply(app.knobSpace().findCombination({50, 1}));
+    EXPECT_EQ(app.filterParams().betas.size(), 1u);
+}
+
+TEST(Identify, SearchxControlVariables)
+{
+    apps::searchx::SearchxConfig config;
+    config.corpus.documents = 40;
+    config.corpus.words_per_doc = 60;
+    config.inputs = 2;
+    config.queries_per_input = 4;
+    apps::searchx::SearchxApp app(config);
+    auto result = identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted);
+    result.table.apply(0);
+    EXPECT_EQ(app.maxResults(), 5u);
+}
+
+TEST(Identify, AllBenchmarkReportsAreAuditable)
+{
+    // The paper's workflow: a developer reads the control-variable
+    // report to audit the analysis. Every benchmark must produce one
+    // that names each control variable and its source parameter.
+    apps::swaptions::SwaptionsApp app(smallSwaptions());
+    const auto result = identifyKnobs(app);
+    EXPECT_NE(result.report.find("num_trials"), std::string::npos);
+    EXPECT_NE(result.report.find("-sm"), std::string::npos);
+    EXPECT_NE(result.report.find("pricer.cc"), std::string::npos);
+}
+
+} // namespace
+} // namespace powerdial::core

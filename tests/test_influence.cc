@@ -1,0 +1,272 @@
+/** @file Unit tests for the influence-tracing substrate. */
+#include <gtest/gtest.h>
+
+#include "influence/analysis.h"
+#include "influence/trace_run.h"
+#include "influence/value.h"
+
+namespace powerdial::influence {
+namespace {
+
+TEST(Value, ConstantsAreUntainted)
+{
+    Value<double> c(3.0);
+    EXPECT_FALSE(c.influenced());
+    EXPECT_EQ(c.mask(), 0u);
+}
+
+TEST(Value, ParamBitTagsValue)
+{
+    Value<int> p(7, paramBit(3));
+    EXPECT_TRUE(p.influenced());
+    EXPECT_EQ(p.mask(), 1u << 3);
+}
+
+TEST(Value, ArithmeticUnionsMasks)
+{
+    Value<double> a(2.0, paramBit(0));
+    Value<double> b(3.0, paramBit(1));
+    const auto sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.raw(), 5.0);
+    EXPECT_EQ(sum.mask(), paramBit(0) | paramBit(1));
+    EXPECT_EQ((a * b).mask(), paramBit(0) | paramBit(1));
+    EXPECT_EQ((a - b).mask(), paramBit(0) | paramBit(1));
+    EXPECT_EQ((a / b).mask(), paramBit(0) | paramBit(1));
+}
+
+TEST(Value, ConstantDoesNotAddInfluence)
+{
+    Value<double> p(2.0, paramBit(0));
+    const auto scaled = p * Value<double>(10.0);
+    EXPECT_DOUBLE_EQ(scaled.raw(), 20.0);
+    EXPECT_EQ(scaled.mask(), paramBit(0));
+}
+
+TEST(Value, CompoundAssignmentPropagates)
+{
+    Value<double> acc(0.0);
+    acc += Value<double>(1.0, paramBit(2));
+    acc *= Value<double>(2.0, paramBit(4));
+    EXPECT_DOUBLE_EQ(acc.raw(), 2.0);
+    EXPECT_EQ(acc.mask(), paramBit(2) | paramBit(4));
+}
+
+TEST(Value, ComparisonsUntracked)
+{
+    // The paper's tracer does not track control-flow influence.
+    Value<int> a(1, paramBit(0));
+    Value<int> b(2);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a <= b);
+    EXPECT_FALSE(a >= b);
+}
+
+TEST(TraceRun, InitStoreRecordsMaskAndValue)
+{
+    TraceRun run;
+    run.store("knob_var", Value<double>(42.0, paramBit(0)), "f.cc:1");
+    const auto &var = run.variable("knob_var");
+    EXPECT_EQ(var.mask, paramBit(0));
+    ASSERT_EQ(var.value.size(), 1u);
+    EXPECT_DOUBLE_EQ(var.value[0], 42.0);
+    EXPECT_FALSE(var.read_in_loop);
+    EXPECT_TRUE(var.access_sites.count("f.cc:1"));
+}
+
+TEST(TraceRun, LoopPhaseTracksReadsAndWrites)
+{
+    TraceRun run;
+    run.store("v", Value<double>(1.0, paramBit(0)));
+    run.firstHeartbeat();
+    EXPECT_TRUE(run.inMainLoop());
+    run.read("v");
+    run.store("v", Value<double>(2.0, paramBit(0)));
+    const auto &var = run.variable("v");
+    EXPECT_TRUE(var.read_in_loop);
+    EXPECT_TRUE(var.written_in_loop);
+    // The loop-phase store must not overwrite the init value.
+    EXPECT_DOUBLE_EQ(var.value[0], 1.0);
+}
+
+TEST(TraceRun, UnknownVariableThrows)
+{
+    TraceRun run;
+    EXPECT_THROW(run.variable("nope"), std::out_of_range);
+}
+
+/** Build a well-formed pair of traces with one knob parameter. */
+std::vector<TraceRun>
+goodTraces()
+{
+    std::vector<TraceRun> runs;
+    for (const double setting : {10.0, 20.0}) {
+        TraceRun run;
+        run.store("cv", Value<double>(setting, paramBit(0)));
+        run.store("untainted", Value<double>(5.0));
+        run.firstHeartbeat();
+        run.read("cv");
+        run.read("untainted");
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+TEST(Analysis, AcceptsWellFormedTraces)
+{
+    const auto result =
+        identifyControlVariables(goodTraces(), paramBit(0));
+    EXPECT_TRUE(result.accepted);
+    ASSERT_EQ(result.control_variables.size(), 1u);
+    EXPECT_EQ(result.control_variables[0].name, "cv");
+    ASSERT_EQ(result.control_variables[0].values_per_combination.size(),
+              2u);
+    EXPECT_DOUBLE_EQ(
+        result.control_variables[0].values_per_combination[0][0], 10.0);
+    EXPECT_DOUBLE_EQ(
+        result.control_variables[0].values_per_combination[1][0], 20.0);
+}
+
+TEST(Analysis, UntaintedVariablesExcluded)
+{
+    const auto result =
+        identifyControlVariables(goodTraces(), paramBit(0));
+    EXPECT_EQ(result.indexOf("untainted"), -1);
+    EXPECT_EQ(result.indexOf("cv"), 0);
+}
+
+TEST(Analysis, RelevanceFilterDropsUnreadVariables)
+{
+    std::vector<TraceRun> runs;
+    for (const double setting : {1.0, 2.0}) {
+        TraceRun run;
+        run.store("cv", Value<double>(setting, paramBit(0)));
+        run.store("unused", Value<double>(setting * 2.0, paramBit(0)));
+        run.firstHeartbeat();
+        run.read("cv"); // "unused" never read in the loop.
+        runs.push_back(std::move(run));
+    }
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    EXPECT_TRUE(result.accepted);
+    EXPECT_EQ(result.control_variables.size(), 1u);
+    EXPECT_EQ(result.indexOf("unused"), -1);
+}
+
+TEST(Analysis, PureCheckRejectsForeignInfluence)
+{
+    std::vector<TraceRun> runs;
+    for (const double setting : {1.0, 2.0}) {
+        TraceRun run;
+        // Influenced by parameter bit 1, which the user did not specify.
+        run.store("cv", Value<double>(setting,
+                                      paramBit(0) | paramBit(1)));
+        run.firstHeartbeat();
+        run.read("cv");
+        runs.push_back(std::move(run));
+    }
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    EXPECT_FALSE(result.accepted);
+    ASSERT_FALSE(result.failures.empty());
+    EXPECT_EQ(result.failures[0].check, "pure");
+}
+
+TEST(Analysis, ConstantCheckRejectsLoopWrites)
+{
+    std::vector<TraceRun> runs;
+    for (const double setting : {1.0, 2.0}) {
+        TraceRun run;
+        run.store("cv", Value<double>(setting, paramBit(0)));
+        run.firstHeartbeat();
+        run.read("cv");
+        run.store("cv", Value<double>(setting + 1.0, paramBit(0)));
+        runs.push_back(std::move(run));
+    }
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    EXPECT_FALSE(result.accepted);
+    bool saw_constant = false;
+    for (const auto &f : result.failures)
+        saw_constant |= f.check == "constant";
+    EXPECT_TRUE(saw_constant);
+}
+
+TEST(Analysis, ConsistencyCheckRejectsDivergentSets)
+{
+    std::vector<TraceRun> runs;
+    {
+        TraceRun run;
+        run.store("cv", Value<double>(1.0, paramBit(0)));
+        run.firstHeartbeat();
+        run.read("cv");
+        runs.push_back(std::move(run));
+    }
+    {
+        TraceRun run; // Second combination produces an extra variable.
+        run.store("cv", Value<double>(2.0, paramBit(0)));
+        run.store("extra", Value<double>(9.0, paramBit(0)));
+        run.firstHeartbeat();
+        run.read("cv");
+        run.read("extra");
+        runs.push_back(std::move(run));
+    }
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    EXPECT_FALSE(result.accepted);
+    bool saw_consistent = false;
+    for (const auto &f : result.failures)
+        saw_consistent |= f.check == "consistent";
+    EXPECT_TRUE(saw_consistent);
+}
+
+TEST(Analysis, VectorControlVariables)
+{
+    std::vector<TraceRun> runs;
+    for (const double layers : {2.0, 3.0}) {
+        TraceRun run;
+        std::vector<double> schedule;
+        for (int i = 0; i < static_cast<int>(layers); ++i)
+            schedule.push_back(0.5 * (i + 1));
+        run.storeVector("schedule", schedule, paramBit(0));
+        run.firstHeartbeat();
+        run.read("schedule");
+        runs.push_back(std::move(run));
+    }
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    ASSERT_TRUE(result.accepted);
+    ASSERT_EQ(result.control_variables.size(), 1u);
+    EXPECT_EQ(
+        result.control_variables[0].values_per_combination[0].size(), 2u);
+    EXPECT_EQ(
+        result.control_variables[0].values_per_combination[1].size(), 3u);
+}
+
+TEST(Analysis, EmptyTracesThrow)
+{
+    EXPECT_THROW(identifyControlVariables({}, paramBit(0)),
+                 std::invalid_argument);
+}
+
+TEST(Report, ListsVariablesParamsAndSites)
+{
+    auto runs = goodTraces();
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    const auto report = renderReport(result, {"-sm"});
+    EXPECT_NE(report.find("ACCEPTED"), std::string::npos);
+    EXPECT_NE(report.find("cv"), std::string::npos);
+    EXPECT_NE(report.find("-sm"), std::string::npos);
+}
+
+TEST(Report, ShowsFailures)
+{
+    std::vector<TraceRun> runs;
+    TraceRun run;
+    run.store("cv", Value<double>(1.0, paramBit(0) | paramBit(5)));
+    run.firstHeartbeat();
+    run.read("cv");
+    runs.push_back(std::move(run));
+    const auto result = identifyControlVariables(runs, paramBit(0));
+    const auto report = renderReport(result, {"-sm"});
+    EXPECT_NE(report.find("REJECTED"), std::string::npos);
+    EXPECT_NE(report.find("pure"), std::string::npos);
+}
+
+} // namespace
+} // namespace powerdial::influence

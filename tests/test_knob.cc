@@ -1,0 +1,140 @@
+/** @file Unit tests for core::KnobSpace and core::KnobTable. */
+#include <gtest/gtest.h>
+
+#include "core/knob.h"
+
+namespace powerdial::core {
+namespace {
+
+KnobSpace
+x264Space()
+{
+    return KnobSpace({{"subme", {1, 2, 3}},
+                      {"merange", {1, 4, 16}},
+                      {"ref", {1, 5}}});
+}
+
+TEST(KnobSpace, CombinationCountIsProduct)
+{
+    EXPECT_EQ(x264Space().combinations(), 3u * 3u * 2u);
+}
+
+TEST(KnobSpace, RowMajorLayout)
+{
+    const auto space = x264Space();
+    // Last parameter varies fastest.
+    EXPECT_EQ(space.valuesOf(0), (std::vector<double>{1, 1, 1}));
+    EXPECT_EQ(space.valuesOf(1), (std::vector<double>{1, 1, 5}));
+    EXPECT_EQ(space.valuesOf(2), (std::vector<double>{1, 4, 1}));
+    EXPECT_EQ(space.valuesOf(space.combinations() - 1),
+              (std::vector<double>{3, 16, 5}));
+}
+
+TEST(KnobSpace, IndexRoundTrip)
+{
+    const auto space = x264Space();
+    for (std::size_t c = 0; c < space.combinations(); ++c)
+        EXPECT_EQ(space.combinationOf(space.indicesOf(c)), c);
+}
+
+TEST(KnobSpace, FindCombinationByValues)
+{
+    const auto space = x264Space();
+    EXPECT_EQ(space.findCombination({3, 16, 5}),
+              space.combinations() - 1);
+    EXPECT_EQ(space.findCombination({1, 1, 1}), 0u);
+    EXPECT_THROW(space.findCombination({2, 2, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(space.findCombination({1, 1}), std::invalid_argument);
+}
+
+TEST(KnobSpace, Validation)
+{
+    EXPECT_THROW(KnobSpace(std::vector<KnobParameter>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(KnobSpace({KnobParameter{"empty", {}}}),
+                 std::invalid_argument);
+    const auto space = x264Space();
+    EXPECT_THROW(space.valuesOf(space.combinations()),
+                 std::out_of_range);
+    EXPECT_THROW(space.parameter(3), std::out_of_range);
+    EXPECT_THROW(space.combinationOf({0, 0}), std::invalid_argument);
+    EXPECT_THROW(space.combinationOf({0, 0, 9}), std::out_of_range);
+}
+
+/** Property: every combination has in-range per-parameter indices. */
+class KnobSpaceSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KnobSpaceSweep, IndicesInRange)
+{
+    const auto space = x264Space();
+    const auto idx = space.indicesOf(GetParam());
+    ASSERT_EQ(idx.size(), space.parameterCount());
+    for (std::size_t p = 0; p < idx.size(); ++p)
+        EXPECT_LT(idx[p], space.parameter(p).values.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, KnobSpaceSweep,
+                         ::testing::Range<std::size_t>(0, 18));
+
+TEST(KnobTable, ApplyWritesThroughBindings)
+{
+    double a = 0.0;
+    std::vector<double> b;
+    KnobTable table;
+    table.bind({"a", [&](const std::vector<double> &v) { a = v[0]; }});
+    table.bind({"b", [&](const std::vector<double> &v) { b = v; }});
+    table.record(0, 0, {1.5});
+    table.record(0, 1, {2.0, 3.0});
+    table.record(1, 0, {9.0});
+    table.record(1, 1, {8.0});
+
+    table.apply(0);
+    EXPECT_DOUBLE_EQ(a, 1.5);
+    EXPECT_EQ(b, (std::vector<double>{2.0, 3.0}));
+    table.apply(1);
+    EXPECT_DOUBLE_EQ(a, 9.0);
+    EXPECT_EQ(b, (std::vector<double>{8.0}));
+}
+
+TEST(KnobTable, RecordOutOfOrderIsFine)
+{
+    double a = 0.0;
+    KnobTable table;
+    table.bind({"a", [&](const std::vector<double> &v) { a = v[0]; }});
+    table.record(5, 0, {7.0});
+    table.apply(5);
+    EXPECT_DOUBLE_EQ(a, 7.0);
+}
+
+TEST(KnobTable, MissingValueThrows)
+{
+    double a = 0.0;
+    KnobTable table;
+    table.bind({"a", [&](const std::vector<double> &v) { a = v[0]; }});
+    EXPECT_THROW(table.apply(0), std::out_of_range);
+    table.record(1, 0, {1.0});
+    EXPECT_THROW(table.apply(0), std::logic_error);
+}
+
+TEST(KnobTable, Validation)
+{
+    KnobTable table;
+    EXPECT_THROW(table.bind({"x", nullptr}), std::invalid_argument);
+    EXPECT_THROW(table.record(0, 0, {1.0}), std::out_of_range);
+    EXPECT_THROW(table.binding(0), std::out_of_range);
+    EXPECT_THROW(table.value(0, 0), std::out_of_range);
+}
+
+TEST(KnobTable, ValueAccessor)
+{
+    KnobTable table;
+    table.bind({"a", [](const std::vector<double> &) {}});
+    table.record(2, 0, {4.0, 5.0});
+    EXPECT_EQ(table.value(2, 0), (std::vector<double>{4.0, 5.0}));
+}
+
+} // namespace
+} // namespace powerdial::core

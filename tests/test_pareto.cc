@@ -1,0 +1,108 @@
+/** @file Unit and property tests for the Pareto frontier. */
+#include <gtest/gtest.h>
+
+#include "core/pareto.h"
+#include "workload/rng.h"
+
+namespace powerdial::core {
+namespace {
+
+TEST(Dominates, StrictAndWeakCases)
+{
+    const OperatingPoint fast_clean{0, 2.0, 0.1};
+    const OperatingPoint slow_dirty{1, 1.0, 0.2};
+    const OperatingPoint equal{2, 2.0, 0.1};
+    EXPECT_TRUE(dominates(fast_clean, slow_dirty));
+    EXPECT_FALSE(dominates(slow_dirty, fast_clean));
+    EXPECT_FALSE(dominates(fast_clean, equal)); // No strict advantage.
+}
+
+TEST(ParetoFrontier, KeepsOnlyNonDominated)
+{
+    const std::vector<OperatingPoint> points{
+        {0, 1.0, 0.00}, // Baseline.
+        {1, 2.0, 0.01},
+        {2, 1.5, 0.05}, // Dominated by 1.
+        {3, 4.0, 0.03},
+        {4, 3.0, 0.10}, // Dominated by 3.
+    };
+    const auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].combination, 0u);
+    EXPECT_EQ(frontier[1].combination, 1u);
+    EXPECT_EQ(frontier[2].combination, 3u);
+}
+
+TEST(ParetoFrontier, SortedByAscendingSpeedup)
+{
+    const std::vector<OperatingPoint> points{
+        {0, 3.0, 0.3}, {1, 1.0, 0.0}, {2, 2.0, 0.1}};
+    const auto frontier = paretoFrontier(points);
+    for (std::size_t i = 0; i + 1 < frontier.size(); ++i)
+        EXPECT_LT(frontier[i].speedup, frontier[i + 1].speedup);
+}
+
+TEST(ParetoFrontier, DuplicatePointsCollapse)
+{
+    const std::vector<OperatingPoint> points{
+        {0, 1.0, 0.0}, {1, 1.0, 0.0}, {2, 2.0, 0.5}};
+    EXPECT_EQ(paretoFrontier(points).size(), 2u);
+}
+
+TEST(ParetoFrontier, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+TEST(ParetoFrontier, SinglePoint)
+{
+    const auto frontier = paretoFrontier({{7, 1.0, 0.0}});
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].combination, 7u);
+}
+
+/**
+ * Property suite over random point clouds: the frontier must be
+ * mutually non-dominating, and every excluded point must be dominated
+ * by some frontier point.
+ */
+class ParetoProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ParetoProperty, FrontierIsCorrect)
+{
+    workload::Rng rng(GetParam());
+    std::vector<OperatingPoint> points;
+    for (std::size_t i = 0; i < 60; ++i)
+        points.push_back({i, rng.uniform(1.0, 10.0),
+                          rng.uniform(0.0, 0.5)});
+    const auto frontier = paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+
+    // Mutually non-dominating.
+    for (const auto &a : frontier)
+        for (const auto &b : frontier)
+            if (a.combination != b.combination)
+                EXPECT_FALSE(dominates(a, b));
+
+    // Every non-frontier point is dominated by some frontier point.
+    for (const auto &p : points) {
+        bool on_frontier = false;
+        for (const auto &f : frontier)
+            on_frontier |= f.combination == p.combination;
+        if (on_frontier)
+            continue;
+        bool covered = false;
+        for (const auto &f : frontier)
+            covered |= dominates(f, p);
+        EXPECT_TRUE(covered) << "point " << p.combination
+                             << " neither on frontier nor dominated";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace powerdial::core

@@ -1,0 +1,113 @@
+/** @file Unit tests for core::ResponseModel. */
+#include <gtest/gtest.h>
+
+#include "core/response_model.h"
+
+namespace powerdial::core {
+namespace {
+
+std::vector<OperatingPoint>
+samplePoints()
+{
+    return {
+        {0, 1.0, 0.00}, // Baseline.
+        {1, 2.0, 0.01},
+        {2, 1.5, 0.08}, // Dominated.
+        {3, 4.0, 0.05},
+        {4, 8.0, 0.20},
+    };
+}
+
+ResponseModel
+sampleModel(double qos_cap = -1.0)
+{
+    return ResponseModel(samplePoints(), 0, 10.0, 5.0, qos_cap);
+}
+
+TEST(ResponseModel, ParetoExcludesDominated)
+{
+    const auto model = sampleModel();
+    EXPECT_EQ(model.pareto().size(), 4u);
+    for (const auto &p : model.pareto())
+        EXPECT_NE(p.combination, 2u);
+}
+
+TEST(ResponseModel, BaselineAccessors)
+{
+    const auto model = sampleModel();
+    EXPECT_EQ(model.baselineCombination(), 0u);
+    EXPECT_DOUBLE_EQ(model.baselineSeconds(), 10.0);
+    EXPECT_DOUBLE_EQ(model.baselineRate(), 5.0);
+    EXPECT_DOUBLE_EQ(model.baselinePoint().speedup, 1.0);
+}
+
+TEST(ResponseModel, MaxSpeedupAndFastest)
+{
+    const auto model = sampleModel();
+    EXPECT_DOUBLE_EQ(model.maxSpeedup(), 8.0);
+    EXPECT_EQ(model.fastest().combination, 4u);
+}
+
+TEST(ResponseModel, AtLeastReturnsSlowestSufficientPoint)
+{
+    const auto model = sampleModel();
+    EXPECT_EQ(model.atLeast(1.0).combination, 0u);
+    EXPECT_EQ(model.atLeast(1.2).combination, 1u);
+    EXPECT_EQ(model.atLeast(2.0).combination, 1u);
+    EXPECT_EQ(model.atLeast(2.5).combination, 3u);
+    EXPECT_EQ(model.atLeast(5.0).combination, 4u);
+    // Beyond s_max: the fastest point.
+    EXPECT_EQ(model.atLeast(100.0).combination, 4u);
+}
+
+TEST(ResponseModel, BestWithinQoS)
+{
+    const auto model = sampleModel();
+    EXPECT_EQ(model.bestWithinQoS(0.0).combination, 0u);
+    EXPECT_EQ(model.bestWithinQoS(0.01).combination, 1u);
+    EXPECT_EQ(model.bestWithinQoS(0.05).combination, 3u);
+    EXPECT_EQ(model.bestWithinQoS(1.0).combination, 4u);
+}
+
+TEST(ResponseModel, QosCapExcludesExpensivePoints)
+{
+    // Paper section 2.2: settings above the QoS-loss cap are excluded.
+    const auto model = sampleModel(0.05);
+    EXPECT_DOUBLE_EQ(model.maxSpeedup(), 4.0);
+    for (const auto &p : model.pareto())
+        EXPECT_LE(p.qos_loss, 0.05);
+}
+
+TEST(ResponseModel, QosCapNeverExcludesBaseline)
+{
+    const auto model = sampleModel(0.0);
+    EXPECT_EQ(model.baselinePoint().combination, 0u);
+    EXPECT_DOUBLE_EQ(model.maxSpeedup(), 1.0);
+}
+
+TEST(ResponseModel, QosLossInterpolation)
+{
+    const auto model = sampleModel();
+    // Frontier: (1, 0), (2, 0.01), (4, 0.05), (8, 0.2).
+    EXPECT_DOUBLE_EQ(model.qosLossAtSpeedup(1.0), 0.0);
+    EXPECT_NEAR(model.qosLossAtSpeedup(1.5), 0.005, 1e-12);
+    EXPECT_NEAR(model.qosLossAtSpeedup(3.0), 0.03, 1e-12);
+    EXPECT_NEAR(model.qosLossAtSpeedup(6.0), 0.125, 1e-12);
+    // Clamped at the ends.
+    EXPECT_DOUBLE_EQ(model.qosLossAtSpeedup(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(model.qosLossAtSpeedup(20.0), 0.2);
+}
+
+TEST(ResponseModel, Validation)
+{
+    EXPECT_THROW(ResponseModel({}, 0, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ResponseModel(samplePoints(), 99, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(ResponseModel(samplePoints(), 0, 0.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(ResponseModel(samplePoints(), 0, 1.0, -1.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace powerdial::core

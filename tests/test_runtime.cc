@@ -1,0 +1,178 @@
+/** @file Tests for the PowerDial runtime control system. */
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/runtime.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+struct Pipeline
+{
+    ToyApp app;
+    KnobTable table;
+    ResponseModel model;
+};
+
+Pipeline
+makePipeline(const ToyApp::Config &config = {})
+{
+    Pipeline p{ToyApp(config), {}, {}};
+    auto ident = identifyKnobs(p.app);
+    EXPECT_TRUE(ident.analysis.accepted);
+    p.table = std::move(ident.table);
+    p.model = calibrate(p.app, p.app.trainingInputs()).model;
+    return p;
+}
+
+TEST(Runtime, HoldsTargetOnUnloadedMachine)
+{
+    auto p = makePipeline();
+    Runtime runtime(p.app, p.table, p.model);
+    sim::Machine machine;
+    const auto run = runtime.run(2, machine);
+    // No disturbance: the app should stay at the baseline setting and
+    // the observed rate should sit at the target.
+    const auto &last = run.beats.back();
+    EXPECT_NEAR(last.normalized_perf, 1.0, 0.05);
+    EXPECT_NEAR(run.mean_qos_loss_estimate, 0.0, 0.005);
+}
+
+TEST(Runtime, RecoversPerformanceUnderPowerCap)
+{
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    Runtime runtime(p.app, p.table, p.model);
+    sim::Machine machine;
+    // Cap at one quarter of the expected run, lift at three quarters
+    // (the paper's section 5.4 scenario). The calibrated baseline time
+    // already reflects the 600-unit inputs.
+    const double expected = p.model.baselineSeconds();
+    auto governor =
+        sim::DvfsGovernor::powerCap(machine, 0.25 * expected,
+                                    0.75 * expected);
+    const auto run = runtime.run(2, machine, &governor);
+
+    // While capped (middle of the run), performance must return to
+    // within 10% of target after the controller reacts.
+    const std::size_t mid = run.beats.size() / 2;
+    EXPECT_NEAR(run.beats[mid].normalized_perf, 1.0, 0.1);
+    // The knob gain must exceed 1 while the cap is in force.
+    EXPECT_GT(run.beats[mid].knob_gain, 1.0);
+    // And the machine must really have been capped at that point.
+    EXPECT_EQ(run.beats[mid].pstate, machine.scale().lowestState());
+    // After the cap lifts, the app must return to the baseline knobs.
+    EXPECT_EQ(run.beats.back().combination,
+              p.model.baselineCombination());
+}
+
+TEST(Runtime, WithoutKnobsPerformanceDegradesUnderCap)
+{
+    ToyApp::Config config;
+    config.units = 400;
+    auto p = makePipeline(config);
+    RuntimeOptions options;
+    options.knobs_enabled = false;
+    Runtime runtime(p.app, p.table, p.model, options);
+    sim::Machine machine;
+    auto governor = sim::DvfsGovernor::powerCap(machine, 0.05, 1e9);
+    const auto run = runtime.run(2, machine, &governor);
+    // The ~x markers of Figure 7: performance settles at f_low/f_high.
+    const auto &last = run.beats.back();
+    EXPECT_NEAR(last.normalized_perf, 1.6 / 2.4, 0.05);
+}
+
+TEST(Runtime, RaceToIdleInsertsIdleTime)
+{
+    ToyApp::Config config;
+    config.units = 400;
+    auto p = makePipeline(config);
+    RuntimeOptions options;
+    options.policy = ActuationPolicy::RaceToIdle;
+    Runtime runtime(p.app, p.table, p.model, options);
+    sim::Machine machine;
+    auto governor = sim::DvfsGovernor::powerCap(machine, 0.05, 1e9);
+    const auto run = runtime.run(2, machine, &governor);
+    // Performance still near target under the cap...
+    EXPECT_NEAR(run.beats.back().normalized_perf, 1.0, 0.1);
+    // ...but the trace must contain idle (low-power) segments.
+    bool saw_idle = false;
+    for (const auto &seg : machine.powerTrace())
+        saw_idle |= seg.watts == machine.powerModel().idleWatts();
+    EXPECT_TRUE(saw_idle);
+}
+
+TEST(Runtime, HigherTargetForcesQosSacrifice)
+{
+    auto p = makePipeline();
+    RuntimeOptions options;
+    options.target_rate = p.model.baselineRate() * 3.0;
+    Runtime runtime(p.app, p.table, p.model, options);
+    sim::Machine machine;
+    const auto run = runtime.run(2, machine);
+    EXPECT_GT(run.mean_qos_loss_estimate, 0.0);
+    EXPECT_NEAR(run.beats.back().normalized_perf, 1.0, 0.15);
+}
+
+TEST(Runtime, BeatTraceIsComplete)
+{
+    auto p = makePipeline();
+    Runtime runtime(p.app, p.table, p.model);
+    sim::Machine machine;
+    const auto run = runtime.run(0, machine);
+    EXPECT_EQ(run.beats.size(), 200u);
+    EXPECT_GT(run.seconds, 0.0);
+    ASSERT_EQ(run.output.components.size(), 1u);
+    // Timestamps must be monotone.
+    for (std::size_t i = 1; i < run.beats.size(); ++i)
+        EXPECT_GE(run.beats[i].time_s, run.beats[i - 1].time_s);
+}
+
+TEST(Runtime, OptionValidation)
+{
+    auto p = makePipeline();
+    RuntimeOptions bad;
+    bad.quantum_beats = 0;
+    EXPECT_THROW(Runtime(p.app, p.table, p.model, bad),
+                 std::invalid_argument);
+    bad = RuntimeOptions{};
+    bad.window = 0;
+    EXPECT_THROW(Runtime(p.app, p.table, p.model, bad),
+                 std::invalid_argument);
+}
+
+/** Property: the controller holds target across all seven P-states. */
+class RuntimeAtFrequency : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RuntimeAtFrequency, HoldsBaselineRate)
+{
+    // The Figure 6 protocol: pin the machine at a P-state and ask
+    // PowerDial to hold the 2.4 GHz baseline rate. The paper verifies
+    // delivered performance within 5% of target at every state.
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    Runtime runtime(p.app, p.table, p.model);
+    sim::Machine machine;
+    machine.setPState(GetParam());
+    const auto run = runtime.run(2, machine);
+    const std::size_t tail = run.beats.size() * 3 / 4;
+    double perf = 0.0;
+    for (std::size_t i = tail; i < run.beats.size(); ++i)
+        perf += run.beats[i].normalized_perf;
+    perf /= static_cast<double>(run.beats.size() - tail);
+    EXPECT_NEAR(perf, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PStates, RuntimeAtFrequency,
+                         ::testing::Range<std::size_t>(0, 7));
+
+} // namespace
+} // namespace powerdial::core

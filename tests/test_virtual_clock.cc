@@ -1,0 +1,52 @@
+/** @file Unit tests for sim::VirtualClock. */
+#include <gtest/gtest.h>
+
+#include "sim/virtual_clock.h"
+
+namespace powerdial::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero)
+{
+    VirtualClock clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates)
+{
+    VirtualClock clock;
+    clock.advance(1.5);
+    clock.advance(0.25);
+    EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+}
+
+TEST(VirtualClock, ZeroAdvanceIsAllowed)
+{
+    VirtualClock clock;
+    clock.advance(0.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceThrows)
+{
+    VirtualClock clock;
+    EXPECT_THROW(clock.advance(-1e-9), std::invalid_argument);
+}
+
+TEST(VirtualClock, AdvanceToMovesForward)
+{
+    VirtualClock clock;
+    clock.advanceTo(3.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(VirtualClock, AdvanceToPastIsNoOp)
+{
+    VirtualClock clock;
+    clock.advance(5.0);
+    clock.advanceTo(2.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+} // namespace
+} // namespace powerdial::sim

@@ -1,0 +1,302 @@
+/** @file Unit tests for the workload generators. */
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/body_motion.h"
+#include "workload/corpus.h"
+#include "workload/load_trace.h"
+#include "workload/rng.h"
+#include "workload/video_source.h"
+#include "workload/zipf.h"
+
+namespace powerdial::workload {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 10; ++i)
+        differed |= a.next() != b.next();
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(11);
+    const int n = 20000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler zipf(100, 1.0);
+    double total = 0.0;
+    for (std::size_t k = 0; k < zipf.size(); ++k)
+        total += zipf.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfDecreasesWithRank)
+{
+    ZipfSampler zipf(50, 1.2);
+    for (std::size_t k = 0; k + 1 < zipf.size(); ++k)
+        EXPECT_GT(zipf.pmf(k), zipf.pmf(k + 1));
+}
+
+TEST(Zipf, SampleFrequenciesTrackPmf)
+{
+    ZipfSampler zipf(20, 1.0);
+    Rng rng(5);
+    std::vector<int> counts(20, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    // Head ranks should appear roughly per their pmf.
+    for (std::size_t k = 0; k < 3; ++k) {
+        const double freq = static_cast<double>(counts[k]) / n;
+        EXPECT_NEAR(freq, zipf.pmf(k), 0.02);
+    }
+}
+
+TEST(Zipf, Validation)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+    ZipfSampler z(10, 1.0);
+    EXPECT_THROW(z.pmf(10), std::out_of_range);
+}
+
+TEST(Corpus, GeneratesRequestedDocuments)
+{
+    CorpusParams params;
+    params.documents = 50;
+    params.words_per_doc = 100;
+    Corpus corpus(params);
+    EXPECT_EQ(corpus.documents().size(), 50u);
+    for (const auto &doc : corpus.documents()) {
+        EXPECT_GE(doc.words.size(), 75u);
+        EXPECT_LE(doc.words.size(), 125u);
+    }
+}
+
+TEST(Corpus, QueriesExcludeStopWords)
+{
+    CorpusParams params;
+    params.documents = 10;
+    Corpus corpus(params);
+    const auto queries = corpus.makeQueries(100, 3, 99);
+    for (const auto &q : queries) {
+        EXPECT_EQ(q.terms.size(), 3u);
+        for (const auto w : q.terms)
+            EXPECT_FALSE(corpus.isStopWord(w));
+    }
+}
+
+TEST(Corpus, QueryTermsAreDistinctWithinQuery)
+{
+    CorpusParams params;
+    params.documents = 10;
+    Corpus corpus(params);
+    for (const auto &q : corpus.makeQueries(50, 3, 7)) {
+        std::set<WordId> unique(q.terms.begin(), q.terms.end());
+        EXPECT_EQ(unique.size(), q.terms.size());
+    }
+}
+
+TEST(Corpus, Deterministic)
+{
+    CorpusParams params;
+    params.documents = 5;
+    Corpus a(params), b(params);
+    for (std::size_t d = 0; d < 5; ++d)
+        EXPECT_EQ(a.documents()[d].words, b.documents()[d].words);
+}
+
+TEST(Corpus, RejectsTinyVocabulary)
+{
+    CorpusParams params;
+    params.vocabulary = 10;
+    params.stop_words = 10;
+    EXPECT_THROW(Corpus{params}, std::invalid_argument);
+}
+
+TEST(InputSplit, PartitionsEvenly)
+{
+    const auto split = splitInputs(100, 3);
+    EXPECT_EQ(split.training.size(), 50u);
+    EXPECT_EQ(split.production.size(), 50u);
+    std::set<std::size_t> all(split.training.begin(),
+                              split.training.end());
+    all.insert(split.production.begin(), split.production.end());
+    EXPECT_EQ(all.size(), 100u); // Disjoint and covering.
+}
+
+TEST(InputSplit, DeterministicPerSeed)
+{
+    EXPECT_EQ(splitInputs(20, 1).training, splitInputs(20, 1).training);
+    EXPECT_NE(splitInputs(20, 1).training, splitInputs(20, 2).training);
+}
+
+TEST(VideoSource, FramesHaveRequestedGeometry)
+{
+    VideoParams params;
+    params.width = 32;
+    params.height = 16;
+    params.frames = 4;
+    const auto clip = VideoSource(params).frames();
+    ASSERT_EQ(clip.size(), 4u);
+    for (const auto &f : clip) {
+        EXPECT_EQ(f.width, 32);
+        EXPECT_EQ(f.height, 16);
+        EXPECT_EQ(f.pixels.size(), 32u * 16u);
+    }
+}
+
+TEST(VideoSource, Deterministic)
+{
+    VideoParams params;
+    params.width = 32;
+    params.height = 16;
+    params.frames = 3;
+    const auto a = VideoSource(params).frames();
+    const auto b = VideoSource(params).frames();
+    for (std::size_t f = 0; f < a.size(); ++f)
+        EXPECT_EQ(a[f].pixels, b[f].pixels);
+}
+
+TEST(VideoSource, FramesContainMotion)
+{
+    VideoParams params;
+    params.width = 64;
+    params.height = 48;
+    params.frames = 2;
+    const auto clip = VideoSource(params).frames();
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < clip[0].pixels.size(); ++i)
+        changed += clip[0].pixels[i] != clip[1].pixels[i];
+    // Motion + noise: a nontrivial fraction of pixels must change.
+    EXPECT_GT(changed, clip[0].pixels.size() / 10);
+}
+
+TEST(VideoSource, Validation)
+{
+    VideoParams params;
+    params.width = 0;
+    EXPECT_THROW(VideoSource{params}, std::invalid_argument);
+}
+
+TEST(BodyMotion, ForwardKinematicsRespectsLimbLengths)
+{
+    BodyDimensions dims;
+    BodyPose pose;
+    pose.root_x = 1.0;
+    pose.root_y = 2.0;
+    const auto obs = forwardKinematics(pose, dims);
+    // Torso top directly above the root.
+    EXPECT_DOUBLE_EQ(obs.x[0], 1.0);
+    EXPECT_DOUBLE_EQ(obs.y[0], 2.0 + dims.torso);
+    // Arm endpoint at arm-length from the shoulder.
+    const double dx = obs.x[2] - obs.x[0];
+    const double dy = obs.y[2] - obs.y[0];
+    EXPECT_NEAR(std::sqrt(dx * dx + dy * dy), dims.arm, 1e-9);
+    // Leg endpoint at leg-length from the root.
+    const double lx = obs.x[4] - pose.root_x;
+    const double ly = obs.y[4] - pose.root_y;
+    EXPECT_NEAR(std::sqrt(lx * lx + ly * ly), dims.leg, 1e-9);
+}
+
+TEST(BodyMotion, SequenceWalksForward)
+{
+    BodyMotionParams params;
+    params.frames = 50;
+    const auto seq = makeBodySequence(params);
+    ASSERT_EQ(seq.size(), 50u);
+    EXPECT_GT(seq.back().truth.root_x, seq.front().truth.root_x);
+}
+
+TEST(BodyMotion, ObservationsAreNoisyTruth)
+{
+    BodyMotionParams params;
+    params.frames = 200;
+    params.observation_noise = 0.1;
+    const auto seq = makeBodySequence(params);
+    double err_sum = 0.0;
+    std::size_t n = 0;
+    BodyDimensions dims;
+    for (const auto &frame : seq) {
+        const auto clean = forwardKinematics(frame.truth, dims);
+        for (std::size_t p = 0; p < kBodyParts; ++p) {
+            err_sum += std::abs(frame.observation.x[p] - clean.x[p]);
+            ++n;
+        }
+    }
+    const double mean_abs = err_sum / static_cast<double>(n);
+    // Mean |N(0, 0.1)| = 0.1 * sqrt(2/pi) ~ 0.08.
+    EXPECT_NEAR(mean_abs, 0.08, 0.03);
+}
+
+TEST(LoadTrace, BoundedInUnitInterval)
+{
+    LoadTraceParams params;
+    params.steps = 500;
+    const auto trace = makeLoadTrace(params);
+    ASSERT_EQ(trace.size(), 500u);
+    for (const double u : trace) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(LoadTrace, ContainsSpikesAboveBase)
+{
+    LoadTraceParams params;
+    params.steps = 500;
+    params.spike_probability = 0.05;
+    const auto trace = makeLoadTrace(params);
+    const std::size_t spikes = static_cast<std::size_t>(
+        std::count(trace.begin(), trace.end(),
+                   params.spike_utilization));
+    EXPECT_GT(spikes, 0u);
+    // Spikes must remain intermittent, not the common case.
+    EXPECT_LT(spikes, trace.size() / 2);
+}
+
+TEST(LoadTrace, InstancesAtScalesByPeak)
+{
+    EXPECT_EQ(instancesAt(0.0, 32), 0u);
+    EXPECT_EQ(instancesAt(0.5, 32), 16u);
+    EXPECT_EQ(instancesAt(1.0, 32), 32u);
+}
+
+} // namespace
+} // namespace powerdial::workload
