@@ -110,8 +110,9 @@ TEST(Actuator, BeatScheduleLaysSlicesContiguously)
         const auto combo = act.combinationForBeat(plan, beat);
         if (combo == 1u)
             ++fast_beats;
-        if (beat >= 10)
+        if (beat >= 10) {
             EXPECT_EQ(combo, 0u);
+        }
     }
     EXPECT_EQ(fast_beats, 10u);
 }

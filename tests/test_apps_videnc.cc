@@ -265,8 +265,9 @@ TEST(VidencApp, BaselineHasBestQos)
     VidencApp app(smallConfig());
     const auto result = core::calibrate(app, app.trainingInputs());
     for (const auto &p : result.model.allPoints()) {
-        if (p.combination != app.defaultCombination())
+        if (p.combination != app.defaultCombination()) {
             EXPECT_GE(p.qos_loss, 0.0);
+        }
     }
     EXPECT_GT(result.model.maxSpeedup(), 1.5);
 }

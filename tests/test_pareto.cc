@@ -83,8 +83,9 @@ TEST_P(ParetoProperty, FrontierIsCorrect)
     // Mutually non-dominating.
     for (const auto &a : frontier)
         for (const auto &b : frontier)
-            if (a.combination != b.combination)
+            if (a.combination != b.combination) {
                 EXPECT_FALSE(dominates(a, b));
+            }
 
     // Every non-frontier point is dominated by some frontier point.
     for (const auto &p : points) {

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * ODR/include-guard smoke test, translation unit 1 of 2.
+ *
+ * Both TUs include the umbrella header `powerdial.h`; linking them into
+ * one binary fails if any header defines a non-inline symbol or is
+ * missing an include guard. Each TU also instantiates a few types so
+ * the headers are actually used, not just preprocessed.
+ */
+#include <gtest/gtest.h>
+
+#include "powerdial.h"
+
+namespace powerdial {
+
+// Defined in test_umbrella_tu2.cc; proves both TUs link together.
+std::size_t umbrellaCombinationsTu2();
+
+namespace {
+
+TEST(UmbrellaHeader, UsableFromFirstTranslationUnit)
+{
+    core::KnobSpace space({{"k", {1, 2, 3}}});
+    EXPECT_EQ(space.combinations(), 3u);
+    sim::VirtualClock clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(UmbrellaHeader, BothTranslationUnitsLink)
+{
+    EXPECT_EQ(umbrellaCombinationsTu2(), 6u);
+}
+
+} // namespace
+} // namespace powerdial

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * ODR/include-guard smoke test, translation unit 2 of 2.
+ *
+ * Includes the umbrella header a second time in the same binary as
+ * test_umbrella_tu1.cc. See that file for the full rationale.
+ */
+#include "powerdial.h"
+
+namespace powerdial {
+
+std::size_t
+umbrellaCombinationsTu2()
+{
+    core::KnobSpace space({{"a", {1, 2}}, {"b", {1, 2, 3}}});
+    return space.combinations();
+}
+
+} // namespace powerdial
