@@ -69,11 +69,12 @@ report(const char *label, const Outcome &o)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto bopts = parseBenchOptions(argc, argv);
     auto sweep = makeSwaptions();
     auto app = makeSwaptions(RunLength::Series);
-    auto cal = calibrateTransfer(*sweep, *app);
+    auto cal = calibrateTransfer(*sweep, *app, -1.0, bopts.threads);
 
     std::printf("%-34s %12s %12s %12s\n", "configuration",
                 "perf_err", "qos_loss%", "energy_J");
@@ -111,7 +112,8 @@ main()
     banner("Frontier restriction (QoS cap during calibration)");
     {
         report("full frontier", scenario(*app, cal, {}));
-        auto capped = calibrateTransfer(*sweep, *app, 0.01);
+        auto capped =
+            calibrateTransfer(*sweep, *app, 0.01, bopts.threads);
         report("frontier capped at 1% QoS", scenario(*app, capped, {}));
     }
     return 0;

@@ -12,6 +12,8 @@
 #define POWERDIAL_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -25,6 +27,59 @@
 #include "sim/energy_meter.h"
 
 namespace powerdial::bench {
+
+/** Command-line options shared by every bench driver. */
+struct BenchOptions
+{
+    /**
+     * Calibration worker threads: 0 (the default) uses all hardware
+     * contexts, 1 forces the serial sweep. Either way the calibration
+     * output is bit-identical (see core::CalibrationOptions::threads).
+     */
+    std::size_t threads = 0;
+};
+
+/**
+ * Parse the shared bench flags (currently `--threads=N` / `-t N`).
+ * Prints usage and exits on an unknown argument or a malformed value
+ * so a typo cannot silently run a multi-minute sweep with default
+ * settings.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions options;
+    const auto usage = [argv]() {
+        std::fprintf(stderr,
+                     "usage: %s [--threads=N | -t N]\n"
+                     "  N calibration worker threads "
+                     "(0 = all hardware contexts, 1 = serial)\n",
+                     argv[0]);
+        std::exit(2);
+    };
+    const auto parseCount = [&usage](const char *text) {
+        // Digits only: reject "-4", "abc", "4x", and empty strings
+        // rather than letting strtoul misparse them.
+        if (*text == '\0')
+            usage();
+        for (const char *p = text; *p != '\0'; ++p)
+            if (*p < '0' || *p > '9')
+                usage();
+        return static_cast<std::size_t>(
+            std::strtoul(text, nullptr, 10));
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = parseCount(arg + 10);
+        } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
+            options.threads = parseCount(argv[++i]);
+        } else {
+            usage();
+        }
+    }
+    return options;
+}
 
 /** Units-per-input profile: short for sweeps, long for time series. */
 enum class RunLength
@@ -81,7 +136,8 @@ struct CalibratedApp
 };
 
 inline CalibratedApp
-calibrateOnTraining(core::App &app, double qos_cap = -1.0)
+calibrateOnTraining(core::App &app, double qos_cap = -1.0,
+                    std::size_t threads = 0)
 {
     CalibratedApp out;
     out.ident = core::identifyKnobs(app);
@@ -92,6 +148,7 @@ calibrateOnTraining(core::App &app, double qos_cap = -1.0)
     }
     core::CalibrationOptions options;
     options.qos_cap = qos_cap;
+    options.threads = threads;
     out.training = core::calibrate(app, app.trainingInputs(), options);
     return out;
 }
@@ -105,7 +162,7 @@ calibrateOnTraining(core::App &app, double qos_cap = -1.0)
  */
 inline CalibratedApp
 calibrateTransfer(core::App &sweep, core::App &series,
-                  double qos_cap = -1.0)
+                  double qos_cap = -1.0, std::size_t threads = 0)
 {
     CalibratedApp out;
     out.ident = core::identifyKnobs(series);
@@ -116,6 +173,7 @@ calibrateTransfer(core::App &sweep, core::App &series,
     }
     core::CalibrationOptions options;
     options.qos_cap = qos_cap;
+    options.threads = threads;
     out.training =
         core::calibrate(sweep, sweep.trainingInputs(), options);
     return out;

@@ -19,11 +19,15 @@ using namespace powerdial::bench;
 namespace {
 
 void
-figurePanel(core::App &app)
+figurePanel(core::App &app, const BenchOptions &options)
 {
     banner("Figure 5: " + app.name());
-    const auto train = core::calibrate(app, app.trainingInputs());
-    const auto prod = core::calibrate(app, app.productionInputs());
+    core::CalibrationOptions copt;
+    copt.threads = options.threads;
+    const auto train =
+        core::calibrate(app, app.trainingInputs(), copt);
+    const auto prod =
+        core::calibrate(app, app.productionInputs(), copt);
 
     // Series 1: every knob setting (training means), decimated for
     // readability on big spaces.
@@ -72,23 +76,24 @@ figurePanel(core::App &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = parseBenchOptions(argc, argv);
     {
         auto app = makeSwaptions();
-        figurePanel(*app);
+        figurePanel(*app, options);
     }
     {
         auto app = makeVidenc();
-        figurePanel(*app);
+        figurePanel(*app, options);
     }
     {
         auto app = makeBodytrack();
-        figurePanel(*app);
+        figurePanel(*app, options);
     }
     {
         auto app = makeSearchx();
-        figurePanel(*app);
+        figurePanel(*app, options);
     }
     return 0;
 }

@@ -20,10 +20,11 @@ using namespace powerdial::bench;
 namespace {
 
 void
-figurePanel(core::App &sweep, core::App &app)
+figurePanel(core::App &sweep, core::App &app,
+            const BenchOptions &bopts)
 {
     banner("Figure 6: " + app.name());
-    auto cal = calibrateTransfer(sweep, app);
+    auto cal = calibrateTransfer(sweep, app, -1.0, bopts.threads);
     const auto input = app.productionInputs().front();
 
     // Baseline output (default knobs, P-state 0) for QoS comparison,
@@ -81,27 +82,28 @@ figurePanel(core::App &sweep, core::App &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto bopts = parseBenchOptions(argc, argv);
     {
         auto sweep = makeSwaptions();
         auto app = makeSwaptions(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeVidenc();
         auto app = makeVidenc(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeBodytrack();
         auto app = makeBodytrack(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeSearchx();
         auto app = makeSearchx(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     std::printf("\npaper: x264 -21%% power at <0.5%% QoS; bodytrack "
                 "-17%% at <2.3%%; swaptions -18%% at <0.05%%; swish++ "

@@ -28,10 +28,11 @@ struct Series
 };
 
 void
-figurePanel(core::App &sweep, core::App &app)
+figurePanel(core::App &sweep, core::App &app,
+            const BenchOptions &bopts)
 {
     banner("Figure 7: " + app.name());
-    auto cal = calibrateTransfer(sweep, app);
+    auto cal = calibrateTransfer(sweep, app, -1.0, bopts.threads);
     const auto input = app.productionInputs().front();
 
     // Observed baseline performance on this input (the paper's target).
@@ -98,27 +99,28 @@ figurePanel(core::App &sweep, core::App &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto bopts = parseBenchOptions(argc, argv);
     {
         auto sweep = makeSwaptions();
         auto app = makeSwaptions(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeVidenc();
         auto app = makeVidenc(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeBodytrack();
         auto app = makeBodytrack(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     {
         auto sweep = makeSearchx();
         auto app = makeSearchx(RunLength::Series);
-        figurePanel(*sweep, *app);
+        figurePanel(*sweep, *app, bopts);
     }
     return 0;
 }

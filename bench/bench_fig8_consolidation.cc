@@ -35,10 +35,12 @@ struct Provisioning
 };
 
 void
-figurePanel(core::App &sweep, core::App &app, const Provisioning &prov)
+figurePanel(core::App &sweep, core::App &app, const Provisioning &prov,
+            const BenchOptions &bopts)
 {
     banner("Figure 8: " + app.name());
-    auto cal = calibrateTransfer(sweep, app, prov.qos_bound);
+    auto cal =
+        calibrateTransfer(sweep, app, prov.qos_bound, bopts.threads);
     const auto &model = cal.training.model;
 
     // Consolidation sizing via Equation 21 with S(QoS) = the fastest
@@ -121,28 +123,29 @@ figurePanel(core::App &sweep, core::App &app, const Provisioning &prov)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto bopts = parseBenchOptions(argc, argv);
     {
         auto sweep = makeSwaptions();
         auto app = makeSwaptions(RunLength::Series);
-        figurePanel(*sweep, *app, {4, 8, 0.05});
+        figurePanel(*sweep, *app, {4, 8, 0.05}, bopts);
     }
     {
         auto sweep = makeVidenc();
         auto app = makeVidenc(RunLength::Series);
-        figurePanel(*sweep, *app, {4, 8, 0.05});
+        figurePanel(*sweep, *app, {4, 8, 0.05}, bopts);
     }
     {
         auto sweep = makeBodytrack();
         auto app = makeBodytrack(RunLength::Series);
-        figurePanel(*sweep, *app, {4, 8, 0.05});
+        figurePanel(*sweep, *app, {4, 8, 0.05}, bopts);
     }
     {
         auto sweep = makeSearchx();
         auto app = makeSearchx(RunLength::Series);
         // swish++: three single-instance machines, 30%% QoS bound.
-        figurePanel(*sweep, *app, {3, 1, 0.30});
+        figurePanel(*sweep, *app, {3, 1, 0.30}, bopts);
     }
     std::printf("\npaper: PARSEC apps consolidate 4 -> 1 machines "
                 "(~400 W / 66%% saved at 25%% load, ~75%% at peak); "

@@ -20,12 +20,13 @@ using namespace powerdial;
 using namespace powerdial::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto bopts = parseBenchOptions(argc, argv);
     banner("Load-spike replay: consolidated swaptions cluster (4 -> 1)");
     auto sweep = makeSwaptions();
     auto app = makeSwaptions(RunLength::Series);
-    auto cal = calibrateTransfer(*sweep, *app, 0.05);
+    auto cal = calibrateTransfer(*sweep, *app, 0.05, bopts.threads);
     const auto &model = cal.training.model;
 
     sim::Machine::Config mconfig; // 8 cores.

@@ -15,10 +15,15 @@ using namespace powerdial::bench;
 namespace {
 
 void
-tableRow(core::App &app, double paper_speedup_r, double paper_qos_r)
+tableRow(core::App &app, const BenchOptions &options,
+         double paper_speedup_r, double paper_qos_r)
 {
-    const auto train = core::calibrate(app, app.trainingInputs());
-    const auto prod = core::calibrate(app, app.productionInputs());
+    core::CalibrationOptions copt;
+    copt.threads = options.threads;
+    const auto train =
+        core::calibrate(app, app.trainingInputs(), copt);
+    const auto prod =
+        core::calibrate(app, app.productionInputs(), copt);
 
     std::vector<double> ts, ps, tq, pq;
     const std::size_t combos = app.knobSpace().combinations();
@@ -37,8 +42,9 @@ tableRow(core::App &app, double paper_speedup_r, double paper_qos_r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = parseBenchOptions(argc, argv);
     banner("Table 2: Training vs Production Correlation");
     std::printf("%-10s | %10s | %10s | %10s | %10s\n", "benchmark",
                 "speedup r", "(paper)", "qos r", "(paper)");
@@ -46,19 +52,19 @@ main()
 
     {
         auto app = makeVidenc();
-        tableRow(*app, 0.995, 0.975);
+        tableRow(*app, options, 0.995, 0.975);
     }
     {
         auto app = makeBodytrack();
-        tableRow(*app, 0.999, 0.839);
+        tableRow(*app, options, 0.999, 0.839);
     }
     {
         auto app = makeSwaptions();
-        tableRow(*app, 1.000, 0.999);
+        tableRow(*app, options, 1.000, 0.999);
     }
     {
         auto app = makeSearchx();
-        tableRow(*app, 0.996, 0.999);
+        tableRow(*app, options, 0.996, 0.999);
     }
     std::printf("\nexpected shape: all correlations close to 1 — "
                 "training predicts production.\n");

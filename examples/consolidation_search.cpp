@@ -34,6 +34,7 @@ main()
         return 1;
     core::CalibrationOptions copt;
     copt.qos_cap = 0.30; // The paper's swish++ QoS-loss bound.
+    copt.threads = 0;    // Calibrate on every available core.
     const auto cal =
         core::calibrate(app, app.trainingInputs(), copt);
 

@@ -45,6 +45,15 @@ class SharpenApp final : public core::App
     }
 
     std::string name() const override { return "sharpen"; }
+
+    /** Deep copy so parallel calibration can give each worker its own
+     *  instance; all members are value-semantic. */
+    std::unique_ptr<core::App>
+    clone() const override
+    {
+        return std::make_unique<SharpenApp>(*this);
+    }
+
     const core::KnobSpace &knobSpace() const override { return space_; }
 
     /** Most taps = highest quality = the baseline. */
@@ -154,7 +163,9 @@ main()
     if (!ident.analysis.accepted)
         return 1;
 
-    const auto cal = core::calibrate(app, app.trainingInputs());
+    core::CalibrationOptions copt;
+    copt.threads = 0; // Parallel sweep; bit-identical to serial.
+    const auto cal = core::calibrate(app, app.trainingInputs(), copt);
     std::printf("%12s %12s %12s\n", "taps", "speedup", "qos_loss%");
     for (const auto &p : cal.model.allPoints()) {
         std::printf("%12g %12.2f %12.3f\n",

@@ -41,7 +41,10 @@ main()
         std::fprintf(stderr, "%s", ident.report.c_str());
         return 1;
     }
-    const auto cal = core::calibrate(trainer, trainer.trainingInputs());
+    core::CalibrationOptions copt;
+    copt.threads = 0; // Calibrate on every available core.
+    const auto cal =
+        core::calibrate(trainer, trainer.trainingInputs(), copt);
     std::printf("encoder knobs calibrated: %zu settings, %zu on the "
                 "Pareto frontier\n", cal.model.allPoints().size(),
                 cal.model.pareto().size());

@@ -38,8 +38,12 @@ main()
         return 1;
 
     // 3. Calibration (section 2.2): explore the trade-off space on the
-    //    training inputs and keep the Pareto-optimal settings.
-    const auto cal = core::calibrate(app, app.trainingInputs());
+    //    training inputs and keep the Pareto-optimal settings. The
+    //    sweep fans out over all hardware contexts (threads = 0); the
+    //    result is bit-identical to a serial sweep.
+    core::CalibrationOptions copt;
+    copt.threads = 0;
+    const auto cal = core::calibrate(app, app.trainingInputs(), copt);
     std::printf("calibrated %zu knob settings; Pareto frontier has %zu "
                 "points, max speedup %.1fx at %.2f%% QoS loss\n",
                 cal.model.allPoints().size(), cal.model.pareto().size(),

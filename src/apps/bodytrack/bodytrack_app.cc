@@ -52,6 +52,14 @@ BodytrackApp::BodytrackApp(const BodytrackConfig &config)
     }
 }
 
+std::unique_ptr<core::App>
+BodytrackApp::clone() const
+{
+    // Every member is value-semantic (sequences, params, the filter
+    // in its optional), so the implicit copy is a full deep copy.
+    return std::make_unique<BodytrackApp>(*this);
+}
+
 std::size_t
 BodytrackApp::defaultCombination() const
 {
@@ -144,8 +152,7 @@ BodytrackApp::loadInput(std::size_t index)
         throw std::out_of_range("BodytrackApp: bad input index");
     current_input_ = index;
     track_.clear();
-    filter_ = std::make_unique<AnnealedParticleFilter>(
-        dims_, config_.seed ^ (index * 0x517cc1b7ULL));
+    filter_.emplace(dims_, config_.seed ^ (index * 0x517cc1b7ULL));
     filter_->initialize(sequences_[index].front().truth, params_);
 }
 

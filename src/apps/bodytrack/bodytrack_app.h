@@ -13,6 +13,7 @@
 #define POWERDIAL_APPS_BODYTRACK_APP_H
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "apps/bodytrack/particle_filter.h"
@@ -43,6 +44,7 @@ class BodytrackApp final : public core::App
     explicit BodytrackApp(const BodytrackConfig &config = {});
 
     std::string name() const override { return "bodytrack"; }
+    std::unique_ptr<core::App> clone() const override;
     const core::KnobSpace &knobSpace() const override { return space_; }
     std::size_t defaultCombination() const override;
     void configure(const std::vector<double> &params) override;
@@ -61,6 +63,10 @@ class BodytrackApp final : public core::App
     const FilterParams &filterParams() const { return params_; }
 
   private:
+    // All members are value-semantic (the filter sits in an optional,
+    // not behind a pointer) so the implicit copy constructor is the
+    // deep copy clone() needs; a member added later is copied
+    // automatically.
     BodytrackConfig config_;
     core::KnobSpace space_;
     workload::BodyDimensions dims_;
@@ -70,7 +76,7 @@ class BodytrackApp final : public core::App
     FilterParams params_;
 
     // Per-run state.
-    std::unique_ptr<AnnealedParticleFilter> filter_;
+    std::optional<AnnealedParticleFilter> filter_;
     std::size_t current_input_ = 0;
     std::vector<workload::BodyObservation> track_; //!< Estimated parts.
 };

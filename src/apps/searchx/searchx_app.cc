@@ -18,17 +18,15 @@ constexpr double kCyclesPerOp = 1.0;
 } // namespace
 
 SearchxApp::SearchxApp(const SearchxConfig &config)
-    : config_(config), space_(makeSpace(config))
+    : config_(config), space_(makeSpace(config)),
+      corpus_(config_.corpus), index_(corpus_.documents())
 {
-    corpus_ = std::make_unique<workload::Corpus>(config_.corpus);
-    index_ = std::make_unique<InvertedIndex>(corpus_->documents());
-
     batches_.reserve(config_.inputs);
     relevance_.reserve(config_.inputs);
     for (std::size_t i = 0; i < config_.inputs; ++i) {
-        auto queries = corpus_->makeQueries(config_.queries_per_input,
-                                            config_.terms_per_query,
-                                            config_.seed + i * 0x9e37ULL);
+        auto queries = corpus_.makeQueries(config_.queries_per_input,
+                                           config_.terms_per_query,
+                                           config_.seed + i * 0x9e37ULL);
         // Ground-truth relevance: documents containing every query term
         // (boolean AND), independent of any knob setting.
         std::vector<std::vector<qos::DocId>> truth;
@@ -39,7 +37,7 @@ SearchxApp::SearchxApp(const SearchxConfig &config)
             std::unordered_set<qos::DocId> acc;
             for (const auto term : q.terms) {
                 std::unordered_set<qos::DocId> has;
-                for (const auto &p : index_->postings(term))
+                for (const auto &p : index_.postings(term))
                     has.insert(p.doc);
                 if (first) {
                     acc = std::move(has);
@@ -59,6 +57,14 @@ SearchxApp::SearchxApp(const SearchxConfig &config)
         batches_.push_back(std::move(queries));
         relevance_.push_back(std::move(truth));
     }
+}
+
+std::unique_ptr<core::App>
+SearchxApp::clone() const
+{
+    // Every member is value-semantic (corpus, index, batches, ground
+    // truth), so the implicit copy is a full deep copy.
+    return std::make_unique<SearchxApp>(*this);
 }
 
 std::size_t
@@ -137,7 +143,7 @@ void
 SearchxApp::processUnit(std::size_t unit, sim::Machine &machine)
 {
     const auto &query = batches_[current_input_].at(unit);
-    const auto outcome = index_->search(query, max_results_);
+    const auto outcome = index_.search(query, max_results_);
     machine.execute(static_cast<double>(outcome.work_ops) * kCyclesPerOp);
 
     std::vector<qos::DocId> returned;

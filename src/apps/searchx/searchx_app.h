@@ -41,6 +41,7 @@ class SearchxApp final : public core::App
     explicit SearchxApp(const SearchxConfig &config = {});
 
     std::string name() const override { return "searchx"; }
+    std::unique_ptr<core::App> clone() const override;
     const core::KnobSpace &knobSpace() const override { return space_; }
     std::size_t defaultCombination() const override;
     void configure(const std::vector<double> &params) override;
@@ -59,13 +60,16 @@ class SearchxApp final : public core::App
     std::size_t maxResults() const { return max_results_; }
 
     /** The underlying index (for tests and examples). */
-    const InvertedIndex &index() const { return *index_; }
+    const InvertedIndex &index() const { return index_; }
 
   private:
+    // All members (corpus and index included) are held by value so
+    // the implicit copy constructor is the deep copy clone() needs;
+    // a member added later is copied automatically.
     SearchxConfig config_;
     core::KnobSpace space_;
-    std::unique_ptr<workload::Corpus> corpus_;
-    std::unique_ptr<InvertedIndex> index_;
+    workload::Corpus corpus_;
+    InvertedIndex index_;
     /** Query batches. */
     std::vector<std::vector<workload::Query>> batches_;
     /** Boolean-AND relevance ground truth per batch per query. */

@@ -49,6 +49,14 @@ SwaptionsApp::SwaptionsApp(const SwaptionsConfig &config)
     }
 }
 
+std::unique_ptr<core::App>
+SwaptionsApp::clone() const
+{
+    // Every member is value-semantic (portfolios, prices, the control
+    // variable), so the implicit copy is a full deep copy.
+    return std::make_unique<SwaptionsApp>(*this);
+}
+
 std::size_t
 SwaptionsApp::defaultCombination() const
 {

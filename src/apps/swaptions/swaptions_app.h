@@ -44,6 +44,7 @@ class SwaptionsApp final : public core::App
     explicit SwaptionsApp(const SwaptionsConfig &config = {});
 
     std::string name() const override { return "swaptions"; }
+    std::unique_ptr<core::App> clone() const override;
     const core::KnobSpace &knobSpace() const override { return space_; }
     std::size_t defaultCombination() const override;
     void configure(const std::vector<double> &params) override;

@@ -32,6 +32,15 @@ VidencApp::VidencApp(const VidencConfig &config)
     }
 }
 
+std::unique_ptr<core::App>
+VidencApp::clone() const
+{
+    // Every member is value-semantic (the clips, the encoder's
+    // reference list, the control variables), so the implicit copy is
+    // a full deep copy.
+    return std::make_unique<VidencApp>(*this);
+}
+
 int
 VidencApp::submeToRounds(double subme)
 {

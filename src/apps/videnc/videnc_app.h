@@ -42,6 +42,7 @@ class VidencApp final : public core::App
     explicit VidencApp(const VidencConfig &config = {});
 
     std::string name() const override { return "videnc"; }
+    std::unique_ptr<core::App> clone() const override;
     const core::KnobSpace &knobSpace() const override { return space_; }
     std::size_t defaultCombination() const override;
     void configure(const std::vector<double> &params) override;

@@ -19,6 +19,7 @@
 #ifndef POWERDIAL_CORE_APP_H
 #define POWERDIAL_CORE_APP_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,16 @@ class App
 
     /** Benchmark name, e.g. "swaptions". */
     virtual std::string name() const = 0;
+
+    /**
+     * Deep-copy this application: an independent instance with the
+     * same inputs, knob space, and current configured state that
+     * shares no mutable state with the original. Because apps are
+     * deterministic, a fixed run on a clone must be bit-identical to
+     * the same run on the original — parallel calibration relies on
+     * this to hand every worker thread a private instance.
+     */
+    virtual std::unique_ptr<App> clone() const = 0;
 
     /** The user-identified configuration parameters and their ranges. */
     virtual const KnobSpace &knobSpace() const = 0;

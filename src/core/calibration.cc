@@ -1,7 +1,11 @@
 #include "core/calibration.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+
+#include "core/thread_pool.h"
 
 namespace powerdial::core {
 
@@ -22,6 +26,20 @@ runFixed(App &app, std::size_t input, std::size_t combination,
     return m;
 }
 
+namespace {
+
+/** Resolve CalibrationOptions::threads (0 = hardware concurrency). */
+std::size_t
+resolveThreads(std::size_t threads)
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
 CalibrationResult
 calibrate(App &app, const std::vector<std::size_t> &inputs,
           const CalibrationOptions &options)
@@ -31,18 +49,11 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
 
     const KnobSpace &space = app.knobSpace();
     const std::size_t baseline = app.defaultCombination();
-
-    // Baseline pass: per-input reference time and output abstraction.
-    std::vector<double> base_seconds;
-    std::vector<qos::OutputAbstraction> base_outputs;
-    base_seconds.reserve(inputs.size());
-    for (const std::size_t input : inputs) {
-        auto m = runFixed(app, input, baseline, options.machine);
-        if (m.seconds <= 0.0)
-            throw std::logic_error("calibrate: zero baseline time");
-        base_seconds.push_back(m.seconds);
-        base_outputs.push_back(std::move(m.output));
-    }
+    const std::size_t total_runs = space.combinations() * inputs.size();
+    // No point in more workers (each owning a full app clone) than
+    // there are runs to claim.
+    const std::size_t threads =
+        std::min(resolveThreads(options.threads), total_runs);
 
     CalibrationData data;
     data.speedups.resize(space.combinations());
@@ -50,38 +61,105 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
 
     std::vector<OperatingPoint> points;
     points.reserve(space.combinations());
-    double baseline_mean_seconds = 0.0;
-    double baseline_mean_units = 0.0;
 
-    for (std::size_t c = 0; c < space.combinations(); ++c) {
-        double speedup_sum = 0.0;
-        double qos_sum = 0.0;
+    // Per-pair merge arithmetic, shared by both paths below. Parallel
+    // output is bit-identical to serial because threading only moves
+    // *when* the independent (combination, input) runs execute; this
+    // accumulation always happens serially in combination-then-input
+    // order.
+    const auto accumulate = [&data](std::size_t c,
+                                    const RunMeasurement &base_m,
+                                    const RunMeasurement &m,
+                                    double &speedup_sum,
+                                    double &qos_sum) {
+        const double speedup = base_m.seconds / m.seconds;
+        const double qos = qos::distortion(base_m.output, m.output);
+        data.speedups[c].push_back(speedup);
+        data.qos_losses[c].push_back(qos);
+        speedup_sum += speedup;
+        qos_sum += qos;
+    };
+    const auto checkBase = [](const RunMeasurement &m) {
+        if (m.seconds <= 0.0)
+            throw std::logic_error("calibrate: zero baseline time");
+    };
+
+    // Baseline pass: per-input reference time and output abstraction.
+    std::vector<RunMeasurement> base(inputs.size());
+
+    if (threads <= 1) {
+        // Serial: measure and merge in one streaming pass on the
+        // caller's app (only the baseline measurements stay live).
         for (std::size_t i = 0; i < inputs.size(); ++i) {
-            RunMeasurement m;
-            if (c == baseline) {
-                // Reuse the baseline pass (identical deterministic run).
-                m.seconds = base_seconds[i];
-                m.output = base_outputs[i];
-            } else {
-                m = runFixed(app, inputs[i], c, options.machine);
-            }
-            const double speedup = base_seconds[i] / m.seconds;
-            const double qos =
-                qos::distortion(base_outputs[i], m.output);
-            data.speedups[c].push_back(speedup);
-            data.qos_losses[c].push_back(qos);
-            speedup_sum += speedup;
-            qos_sum += qos;
+            base[i] = runFixed(app, inputs[i], baseline,
+                               options.machine);
+            checkBase(base[i]);
         }
-        const double n = static_cast<double>(inputs.size());
-        points.push_back({c, speedup_sum / n, qos_sum / n});
+        for (std::size_t c = 0; c < space.combinations(); ++c) {
+            double speedup_sum = 0.0;
+            double qos_sum = 0.0;
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                if (c == baseline) {
+                    // Reuse the baseline pass (identical run).
+                    accumulate(c, base[i], base[i], speedup_sum,
+                               qos_sum);
+                } else {
+                    const RunMeasurement m = runFixed(
+                        app, inputs[i], c, options.machine);
+                    accumulate(c, base[i], m, speedup_sum, qos_sum);
+                }
+            }
+            const double n = static_cast<double>(inputs.size());
+            points.push_back({c, speedup_sum / n, qos_sum / n});
+        }
+    } else {
+        // Parallel: fan the independent runs out over workers that
+        // each own a private clone of the app (the original app is
+        // not touched until the runs are in), writing into disjoint
+        // slots of a (combination x input) grid, then merge the grid
+        // serially in the exact order of the serial path above.
+        ThreadPool pool(threads);
+        std::vector<std::unique_ptr<App>> clones(pool.size());
+        for (auto &clone : clones)
+            clone = app.clone();
+        pool.parallelFor(
+            inputs.size(), [&](std::size_t i, std::size_t w) {
+                base[i] = runFixed(*clones[w], inputs[i], baseline,
+                                   options.machine);
+            });
+        for (const RunMeasurement &m : base)
+            checkBase(m);
+        std::vector<RunMeasurement> grid(total_runs);
+        pool.parallelFor(
+            total_runs, [&](std::size_t task, std::size_t w) {
+                const std::size_t c = task / inputs.size();
+                const std::size_t i = task % inputs.size();
+                if (c == baseline)
+                    return; // Reuses the baseline pass below.
+                grid[task] = runFixed(*clones[w], inputs[i], c,
+                                      options.machine);
+            });
+        for (std::size_t c = 0; c < space.combinations(); ++c) {
+            double speedup_sum = 0.0;
+            double qos_sum = 0.0;
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                const RunMeasurement &m =
+                    c == baseline ? base[i]
+                                  : grid[c * inputs.size() + i];
+                accumulate(c, base[i], m, speedup_sum, qos_sum);
+            }
+            const double n = static_cast<double>(inputs.size());
+            points.push_back({c, speedup_sum / n, qos_sum / n});
+        }
     }
 
     // Mean baseline time and heart rate (units/second) over the
     // training inputs, used as the controller's model of b.
+    double baseline_mean_seconds = 0.0;
+    double baseline_mean_units = 0.0;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         app.loadInput(inputs[i]);
-        baseline_mean_seconds += base_seconds[i];
+        baseline_mean_seconds += base[i].seconds;
         baseline_mean_units += static_cast<double>(app.unitCount());
     }
     baseline_mean_seconds /= static_cast<double>(inputs.size());

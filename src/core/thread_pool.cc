@@ -1,0 +1,102 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace powerdial::core {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    try {
+        for (std::size_t w = 0; w < threads; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    } catch (...) {
+        // Thread creation failed partway (e.g. rlimit): join the
+        // workers already spawned before rethrowing, or their
+        // destructors would call std::terminate.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t tasks, const Task &fn)
+{
+    if (tasks == 0)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    tasks_ = tasks;
+    next_ = 0;
+    in_flight_ = 0;
+    error_ = nullptr;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] {
+        return in_flight_ == 0 && (next_ >= tasks_ || error_);
+    });
+    job_ = nullptr;
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t worker)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        work_cv_.wait(lock, [this, seen] {
+            return stop_ || generation_ != seen;
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        // Claim tasks until the job drains or a task fails (on
+        // failure the remaining unclaimed tasks are abandoned).
+        while (job_ != nullptr && next_ < tasks_ && !error_) {
+            const std::size_t task = next_++;
+            ++in_flight_;
+            const Task *job = job_;
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                (*job)(task, worker);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            --in_flight_;
+            if (error && !error_)
+                error_ = error;
+        }
+        if (in_flight_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small reusable worker pool for embarrassingly parallel index
+ * sweeps (parallel calibration is the first client).
+ *
+ * The pool owns a fixed set of worker threads for its whole lifetime;
+ * parallelFor() distributes the task indices of one job dynamically
+ * over them and blocks until the job drains. Workers are identified by
+ * a stable index in [0, size()), which lets callers keep per-worker
+ * private state (parallel calibration hands each worker its own cloned
+ * App and simulated machine) without any locking of their own.
+ */
+#ifndef POWERDIAL_CORE_THREAD_POOL_H
+#define POWERDIAL_CORE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace powerdial::core {
+
+/** Fixed-size thread pool running one indexed job at a time. */
+class ThreadPool
+{
+  public:
+    /** fn(task, worker): one task of the current job on one worker. */
+    using Task = std::function<void(std::size_t task, std::size_t worker)>;
+
+    /**
+     * Spawn the workers. @p threads == 0 means
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run @p fn(task, worker) for every task in [0, @p tasks),
+     * distributing tasks over the workers in claim order. Blocks until
+     * every claimed task has finished. If a task throws, the remaining
+     * unclaimed tasks are abandoned and the first exception is
+     * rethrown here once the in-flight tasks drain — the pool never
+     * hangs and stays usable for the next job.
+     */
+    void parallelFor(std::size_t tasks, const Task &fn);
+
+  private:
+    void workerLoop(std::size_t worker);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_; //!< Signals a new job (or stop).
+    std::condition_variable done_cv_; //!< Signals job completion.
+    std::vector<std::thread> workers_;
+
+    // Current job, guarded by mutex_.
+    const Task *job_ = nullptr;
+    std::size_t tasks_ = 0;     //!< Task count of the current job.
+    std::size_t next_ = 0;      //!< Next unclaimed task index.
+    std::size_t in_flight_ = 0; //!< Claimed but unfinished tasks.
+    std::exception_ptr error_;  //!< First exception of the job.
+    std::uint64_t generation_ = 0; //!< Bumped per job to wake workers.
+    bool stop_ = false;
+};
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_THREAD_POOL_H

@@ -31,6 +31,7 @@
 #include "core/policy_advisor.h"
 #include "core/response_model.h"
 #include "core/runtime.h"
+#include "core/thread_pool.h"
 #include "core/trace_export.h"
 
 // Substrates.

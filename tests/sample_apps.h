@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared small-instance factory for the four benchmark applications,
+ * used by the cross-app suites (parallel calibration, clone
+ * equivalence). Every knob dimension is present and the sweeps stay
+ * seconds-scale. One definition so the instances under test cannot
+ * drift between suites.
+ */
+#ifndef POWERDIAL_TESTS_SAMPLE_APPS_H
+#define POWERDIAL_TESTS_SAMPLE_APPS_H
+
+#include <memory>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "apps/searchx/searchx_app.h"
+#include "apps/swaptions/swaptions_app.h"
+#include "apps/videnc/videnc_app.h"
+
+namespace powerdial::tests {
+
+/** App ids 0..3: swaptions, videnc, bodytrack, searchx. */
+inline std::unique_ptr<core::App>
+makeSampleApp(int id)
+{
+    switch (id) {
+      case 0: {
+        apps::swaptions::SwaptionsConfig config;
+        config.sim_values = {200, 400, 800, 1600};
+        config.inputs = 4;
+        config.swaptions_per_input = 4;
+        return std::make_unique<apps::swaptions::SwaptionsApp>(config);
+      }
+      case 1: {
+        apps::videnc::VidencConfig config;
+        config.subme_values = {1, 4, 7};
+        config.merange_values = {1, 4, 16};
+        config.ref_values = {1, 3};
+        config.inputs = 4;
+        config.video.width = 48;
+        config.video.height = 32;
+        config.video.frames = 4;
+        return std::make_unique<apps::videnc::VidencApp>(config);
+      }
+      case 2: {
+        apps::bodytrack::BodytrackConfig config;
+        config.particle_values = {50, 100, 200};
+        config.layer_values = {1, 3, 5};
+        config.inputs = 4;
+        config.frames = 8;
+        return std::make_unique<apps::bodytrack::BodytrackApp>(config);
+      }
+      default: {
+        apps::searchx::SearchxConfig config;
+        config.corpus.documents = 150;
+        config.corpus.words_per_doc = 120;
+        config.inputs = 4;
+        config.queries_per_input = 8;
+        return std::make_unique<apps::searchx::SearchxApp>(config);
+      }
+    }
+}
+
+} // namespace powerdial::tests
+
+#endif // POWERDIAL_TESTS_SAMPLE_APPS_H

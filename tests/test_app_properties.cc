@@ -115,10 +115,13 @@ TEST_P(KnobMonotonicity, MoreEffortNeverRunsFaster)
             searchxConfig());
         break;
     }
-    if (static_cast<std::size_t>(param) >=
-        app->knobSpace().parameterCount()) {
-        GTEST_SKIP() << "app has no knob dimension " << param;
-    }
+    // The instantiation below enumerates exactly the (app, knob)
+    // pairs that exist, so an out-of-range dimension is a hard error
+    // (it used to be a blanket GTEST_SKIP over a padded 4x3 grid).
+    ASSERT_LT(static_cast<std::size_t>(param),
+              app->knobSpace().parameterCount())
+        << app->name() << " has no knob dimension " << param
+        << " — update the AllAppsAllKnobs instantiation list";
     const auto seconds =
         timesAlongKnob(*app, static_cast<std::size_t>(param));
     for (std::size_t i = 0; i + 1 < seconds.size(); ++i) {
@@ -129,10 +132,44 @@ TEST_P(KnobMonotonicity, MoreEffortNeverRunsFaster)
     }
 }
 
+/**
+ * Exactly the knob dimensions each app has — swaptions {-sm},
+ * videnc {subme, merange, ref}, bodytrack {particles, layers},
+ * searchx {-m} — with no exemptions: every knob of every app is an
+ * effort knob and must be monotone. KnobDimensionInventory below
+ * fails if an app grows or loses a dimension without this list being
+ * updated.
+ */
 INSTANTIATE_TEST_SUITE_P(
     AllAppsAllKnobs, KnobMonotonicity,
-    ::testing::Combine(::testing::Values(0, 1, 2, 3),
-                       ::testing::Values(0, 1, 2)));
+    ::testing::Values(std::make_tuple(0, 0), // swaptions: -sm
+                      std::make_tuple(1, 0), // videnc: subme
+                      std::make_tuple(1, 1), // videnc: merange
+                      std::make_tuple(1, 2), // videnc: ref
+                      std::make_tuple(2, 0), // bodytrack: particles
+                      std::make_tuple(2, 1), // bodytrack: layers
+                      std::make_tuple(3, 0))); // searchx: -m
+
+/** Guard for the enumeration above: per-app knob dimension counts. */
+TEST(KnobDimensionInventory, MatchesMonotonicityInstantiation)
+{
+    EXPECT_EQ(apps::swaptions::SwaptionsApp(swaptionsConfig())
+                  .knobSpace()
+                  .parameterCount(),
+              1u);
+    EXPECT_EQ(apps::videnc::VidencApp(videncConfig())
+                  .knobSpace()
+                  .parameterCount(),
+              3u);
+    EXPECT_EQ(apps::bodytrack::BodytrackApp(bodytrackConfig())
+                  .knobSpace()
+                  .parameterCount(),
+              2u);
+    EXPECT_EQ(apps::searchx::SearchxApp(searchxConfig())
+                  .knobSpace()
+                  .parameterCount(),
+              1u);
+}
 
 /** Parameterised determinism check per app. */
 class AppDeterminism : public ::testing::TestWithParam<int>

@@ -106,6 +106,41 @@ TEST(Correlation, Validation)
     EXPECT_THROW(correlation({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
+TEST(Correlation, SingleElementIsDegenerate)
+{
+    // One sample has zero variance on both sides, so it falls into
+    // the degenerate branch: correlated iff the means (the elements)
+    // are equal.
+    EXPECT_DOUBLE_EQ(correlation({5.0}, {5.0}), 1.0);
+    EXPECT_DOUBLE_EQ(correlation({5.0}, {7.0}), 0.0);
+}
+
+TEST(Correlation, NegativePartialCorrelation)
+{
+    // Not perfectly anti-correlated; Pearson r must land strictly
+    // between -1 and 0 (hand-computed: r = -0.6 for these samples).
+    EXPECT_NEAR(correlation({1, 2, 3, 4}, {3, 4, 1, 2}), -0.6, 1e-12);
+}
+
+TEST(Correlation, OneSideConstantIsDegenerate)
+{
+    // Only one series is constant: its variance is zero, so Pearson r
+    // is undefined; the implementation resolves the degenerate branch
+    // by comparing means (calibration.cc).
+    EXPECT_DOUBLE_EQ(correlation({2, 2, 2}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(correlation({2, 2, 2}, {4, 5, 6}), 0.0);
+    EXPECT_DOUBLE_EQ(correlation({1, 2, 3}, {2, 2, 2}), 1.0);
+}
+
+TEST(Correlation, DegenerateIgnoresNearMiss)
+{
+    // A tiny perturbation takes the pair out of the degenerate branch
+    // entirely (nonzero variance on both sides -> finite r).
+    const double r = correlation({2.0, 2.0, 2.0 + 1e-9},
+                                 {3.0, 3.0, 3.0 + 1e-9});
+    EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
 TEST(Calibrate, TrainingPredictsProductionOnToyApp)
 {
     // The Table 2 property in miniature: training means should

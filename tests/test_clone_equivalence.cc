@@ -1,0 +1,133 @@
+/**
+ * @file
+ * App::clone() equivalence: a clone must behave bit-identically to the
+ * original (same knob space, same fixed-run results on every sampled
+ * combination) and must share no mutable state with it — running or
+ * reconfiguring one instance must not perturb the other. Parallel
+ * calibration's determinism guarantee rests on exactly these two
+ * properties.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/bodytrack/bodytrack_app.h"
+#include "apps/searchx/searchx_app.h"
+#include "apps/swaptions/swaptions_app.h"
+#include "apps/videnc/videnc_app.h"
+#include "core/calibration.h"
+#include "sample_apps.h"
+#include "toy_app.h"
+
+namespace powerdial {
+namespace {
+
+/** A sampled spread of the combination space: first, middle, last. */
+std::vector<std::size_t>
+sampledCombinations(const core::App &app)
+{
+    const std::size_t combos = app.knobSpace().combinations();
+    return {0, combos / 2, combos - 1};
+}
+
+void
+expectSameRun(const core::RunMeasurement &a,
+              const core::RunMeasurement &b)
+{
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.output.components, b.output.components);
+    EXPECT_EQ(a.output.weights, b.output.weights);
+}
+
+/** Parameterised over the four benchmark applications. */
+class CloneEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CloneEquivalence, SameInterfaceSurface)
+{
+    auto app = tests::makeSampleApp(GetParam());
+    auto clone = app->clone();
+    ASSERT_NE(clone, nullptr);
+    EXPECT_NE(clone.get(), app.get());
+    EXPECT_EQ(clone->name(), app->name());
+    EXPECT_EQ(clone->knobSpace().combinations(),
+              app->knobSpace().combinations());
+    EXPECT_EQ(clone->knobSpace().parameterCount(),
+              app->knobSpace().parameterCount());
+    EXPECT_EQ(clone->defaultCombination(), app->defaultCombination());
+    EXPECT_EQ(clone->inputCount(), app->inputCount());
+    EXPECT_EQ(clone->trainingInputs(), app->trainingInputs());
+    EXPECT_EQ(clone->productionInputs(), app->productionInputs());
+}
+
+TEST_P(CloneEquivalence, RunFixedMatchesOriginal)
+{
+    auto app = tests::makeSampleApp(GetParam());
+    auto clone = app->clone();
+    for (const std::size_t combo : sampledCombinations(*app)) {
+        for (std::size_t input = 0; input < 2; ++input) {
+            const auto original =
+                core::runFixed(*app, input, combo);
+            const auto cloned =
+                core::runFixed(*clone, input, combo);
+            expectSameRun(original, cloned);
+        }
+    }
+}
+
+TEST_P(CloneEquivalence, CloneAfterConfigureAndLoadInput)
+{
+    // Clone mid-lifecycle: after the original has been configured to
+    // a non-default combination and has an input loaded. The clone
+    // must still reproduce the original's runs exactly.
+    auto app = tests::makeSampleApp(GetParam());
+    const std::size_t combo = app->knobSpace().combinations() / 2;
+    app->configure(app->knobSpace().valuesOf(combo));
+    app->loadInput(1);
+    auto clone = app->clone();
+    EXPECT_EQ(clone->unitCount(), app->unitCount());
+
+    const auto original = core::runFixed(*app, 0, combo);
+    const auto cloned = core::runFixed(*clone, 0, combo);
+    expectSameRun(original, cloned);
+}
+
+TEST_P(CloneEquivalence, NoStateLeaksBetweenInstances)
+{
+    // Reference result from a fresh instance.
+    auto reference_app = tests::makeSampleApp(GetParam());
+    const std::size_t combos =
+        reference_app->knobSpace().combinations();
+    const auto reference =
+        core::runFixed(*reference_app, 0, combos - 1);
+
+    // Run the clone hard on a *different* (input, combination) pair;
+    // the original must still produce the reference result...
+    auto app = tests::makeSampleApp(GetParam());
+    auto clone = app->clone();
+    (void)core::runFixed(*clone, 1, 0);
+    const auto original_after = core::runFixed(*app, 0, combos - 1);
+    expectSameRun(reference, original_after);
+
+    // ...and running the original must not perturb the clone either.
+    auto app2 = tests::makeSampleApp(GetParam());
+    auto clone2 = app2->clone();
+    (void)core::runFixed(*app2, 1, 0);
+    const auto clone_after = core::runFixed(*clone2, 0, combos - 1);
+    expectSameRun(reference, clone_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CloneEquivalence,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(CloneEquivalenceToy, ToyAppCloneMatches)
+{
+    tests::ToyApp app;
+    auto clone = app.clone();
+    const auto a = core::runFixed(app, 0, 2);
+    const auto b = core::runFixed(*clone, 0, 2);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.output.components, b.output.components);
+}
+
+} // namespace
+} // namespace powerdial

@@ -37,6 +37,13 @@ class ToyApp final : public core::App
     }
 
     std::string name() const override { return "toy"; }
+
+    std::unique_ptr<core::App>
+    clone() const override
+    {
+        return std::make_unique<ToyApp>(*this);
+    }
+
     const core::KnobSpace &knobSpace() const override { return space_; }
 
     std::size_t defaultCombination() const override { return 0; }
