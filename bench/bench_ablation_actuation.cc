@@ -31,28 +31,29 @@ struct Outcome
 
 Outcome
 scenario(core::App &app, const CalibratedApp &cal,
-         const core::RuntimeOptions &options)
+         core::SessionOptions options)
 {
     const auto input = app.productionInputs().front();
     const auto baseline =
         core::runFixed(app, input, app.defaultCombination());
-    core::RuntimeOptions opt = options;
     app.loadInput(input);
-    opt.target_rate = static_cast<double>(app.unitCount()) /
-                      baseline.seconds;
+    options.withTargetRate(static_cast<double>(app.unitCount()) /
+                           baseline.seconds);
 
-    core::Runtime runtime(app, cal.ident.table, cal.training.model,
-                          opt);
     sim::Machine machine;
-    auto governor = sim::DvfsGovernor::powerCap(
-        machine, 0.25 * baseline.seconds, 0.75 * baseline.seconds);
-    const auto run = runtime.run(input, machine, &governor);
+    options.withGovernor(sim::DvfsGovernor::powerCap(
+        machine, 0.25 * baseline.seconds, 0.75 * baseline.seconds));
+    core::Session session(app, cal.ident.table, cal.training.model,
+                          options);
+    auto &trace = session.attach<core::BeatTraceRecorder>();
+    const auto run = session.run(input, machine);
+    const auto &beats = trace.beats();
 
     Outcome out{};
-    const std::size_t lo = run.beats.size() * 2 / 5;
-    const std::size_t hi = run.beats.size() * 3 / 5;
+    const std::size_t lo = beats.size() * 2 / 5;
+    const std::size_t hi = beats.size() * 3 / 5;
     for (std::size_t i = lo; i < hi; ++i)
-        out.perf_err += std::abs(run.beats[i].normalized_perf - 1.0);
+        out.perf_err += std::abs(beats[i].normalized_perf - 1.0);
     out.perf_err /= static_cast<double>(hi - lo);
     out.qos_loss = run.mean_qos_loss_estimate;
     out.energy_j = machine.energyJoules();
@@ -80,34 +81,50 @@ main(int argc, char **argv)
                 "perf_err", "qos_loss%", "energy_J");
     std::printf("%s\n", std::string(74, '-').c_str());
 
-    banner("Actuation policy");
+    banner("Actuation strategy");
     {
-        core::RuntimeOptions opt;
-        opt.policy = core::ActuationPolicy::MinimalSpeedup;
-        report("minimal-speedup (paper default)", scenario(*app, cal, opt));
-        opt.policy = core::ActuationPolicy::RaceToIdle;
-        report("race-to-idle", scenario(*app, cal, opt));
+        report("minimal-speedup (paper default)",
+               scenario(*app, cal,
+                        core::SessionOptions().withStrategy(
+                            core::makeMinimalSpeedupStrategy())));
+        report("race-to-idle",
+               scenario(*app, cal,
+                        core::SessionOptions().withStrategy(
+                            core::makeRaceToIdleStrategy())));
+        report("qos-budget (0.5% mean loss cap)",
+               scenario(*app, cal,
+                        core::SessionOptions().withStrategy(
+                            core::makeQosBudgetStrategy(0.005))));
     }
 
     banner("Time quantum (heartbeats)");
     for (const std::size_t quantum : {5u, 10u, 20u, 40u, 80u}) {
-        core::RuntimeOptions opt;
-        opt.quantum_beats = quantum;
         const std::string label =
             "quantum = " + std::to_string(quantum) +
             (quantum == 20 ? " (paper)" : "");
-        report(label.c_str(), scenario(*app, cal, opt));
+        report(label.c_str(),
+               scenario(*app, cal,
+                        core::SessionOptions().withQuantum(quantum)));
     }
 
-    banner("Controller gain");
+    banner("Control law");
     for (const double gain : {0.25, 0.5, 1.0, 1.5}) {
-        core::RuntimeOptions opt;
-        opt.gain = gain;
         char label[64];
-        std::snprintf(label, sizeof(label), "gain = %.2f%s", gain,
-                      gain == 1.0 ? " (paper deadbeat)" : "");
-        report(label, scenario(*app, cal, opt));
+        std::snprintf(label, sizeof(label), "integral, gain = %.2f%s",
+                      gain, gain == 1.0 ? " (paper deadbeat)" : "");
+        report(label,
+               scenario(*app, cal,
+                        core::SessionOptions().withPolicy(
+                            core::makeDeadbeatPolicy(gain))));
     }
+    report("pid (kp 0.1, ki 0.6, kd 0.05)",
+           scenario(*app, cal,
+                    core::SessionOptions().withPolicy(
+                        core::makePidPolicy())));
+    report("gain-scheduled (adaptive)",
+           scenario(*app, cal,
+                    core::SessionOptions().withPolicy(
+                        core::makeGainScheduledPolicy())));
 
     banner("Frontier restriction (QoS cap during calibration)");
     {

@@ -23,7 +23,7 @@
 #include "apps/videnc/videnc_app.h"
 #include "core/calibration.h"
 #include "core/identify.h"
-#include "core/runtime.h"
+#include "core/session.h"
 #include "sim/energy_meter.h"
 
 namespace powerdial::bench {

@@ -34,12 +34,12 @@ figurePanel(core::App &sweep, core::App &app,
     const auto baseline = core::runFixed(app, input,
                                          app.defaultCombination());
     app.loadInput(input);
-    core::RuntimeOptions options;
-    options.target_rate =
-        static_cast<double>(app.unitCount()) / baseline.seconds;
-
-    core::Runtime runtime(app, cal.ident.table, cal.training.model,
-                          options);
+    core::Session session(
+        app, cal.ident.table, cal.training.model,
+        core::SessionOptions().withTargetRate(
+            static_cast<double>(app.unitCount()) / baseline.seconds));
+    core::BeatTraceRecorder trace;
+    session.observe(trace); // Reset at each run start; reusable.
 
     std::printf("%10s %12s %12s %12s %12s\n", "freq_GHz", "power_W",
                 "qos_loss%", "perf/target", "knob_gain");
@@ -50,7 +50,8 @@ figurePanel(core::App &sweep, core::App &app,
         sim::Machine machine;
         machine.setPState(pstate);
         machine.setUtilization(1.0); // App keeps the machine busy.
-        const auto run = runtime.run(input, machine);
+        const auto run = session.run(input, machine);
+        const auto &beats = trace.beats();
 
         const double qos =
             qos::distortion(baseline.output, run.output);
@@ -60,14 +61,14 @@ figurePanel(core::App &sweep, core::App &app,
 
         // Tail-mean performance (after convergence), like the paper's
         // "within 5% of the target" verification.
-        const std::size_t tail = run.beats.size() / 2;
+        const std::size_t tail = beats.size() / 2;
         double perf = 0.0, gain = 0.0;
-        for (std::size_t i = tail; i < run.beats.size(); ++i) {
-            perf += run.beats[i].normalized_perf;
-            gain += run.beats[i].knob_gain;
+        for (std::size_t i = tail; i < beats.size(); ++i) {
+            perf += beats[i].normalized_perf;
+            gain += beats[i].knob_gain;
         }
-        perf /= static_cast<double>(run.beats.size() - tail);
-        gain /= static_cast<double>(run.beats.size() - tail);
+        perf /= static_cast<double>(beats.size() - tail);
+        gain /= static_cast<double>(beats.size() - tail);
 
         std::printf("%10.2f %12.1f %12.3f %12.3f %12.2f\n",
                     machine.scale().frequencyHz(pstate) / 1e9, watts,

@@ -22,11 +22,6 @@ using namespace powerdial::bench;
 
 namespace {
 
-struct Series
-{
-    std::vector<core::BeatTrace> beats;
-};
-
 void
 figurePanel(core::App &sweep, core::App &app,
             const BenchOptions &bopts)
@@ -43,18 +38,19 @@ figurePanel(core::App &sweep, core::App &app,
                           baseline_fixed.seconds;
     const double duration = baseline_fixed.seconds;
 
-    core::RuntimeOptions options;
-    options.target_rate = target;
-
     auto runWith = [&](bool knobs, bool capped) {
-        core::RuntimeOptions opt = options;
-        opt.knobs_enabled = knobs;
-        core::Runtime runtime(app, cal.ident.table, cal.training.model,
-                              opt);
+        core::SessionOptions opt =
+            core::SessionOptions().withTargetRate(target)
+                .withKnobsEnabled(knobs);
         sim::Machine machine;
-        sim::DvfsGovernor governor = sim::DvfsGovernor::powerCap(
-            machine, 0.25 * duration, 0.75 * duration);
-        return runtime.run(input, machine, capped ? &governor : nullptr);
+        if (capped)
+            opt.withGovernor(sim::DvfsGovernor::powerCap(
+                machine, 0.25 * duration, 0.75 * duration));
+        core::Session session(app, cal.ident.table,
+                              cal.training.model, opt);
+        auto &trace = session.attach<core::BeatTraceRecorder>();
+        session.run(input, machine);
+        return trace.beats();
     };
 
     const auto baseline = runWith(true, false);
@@ -64,17 +60,17 @@ figurePanel(core::App &sweep, core::App &app,
     // Print a decimated time series (normalized time in [0, 1]).
     std::printf("%8s %12s %12s %12s %10s %8s\n", "beat", "baseline",
                 "dyn_knobs", "no_knobs", "knob_gain", "capped");
-    const std::size_t n = knobs.beats.size();
+    const std::size_t n = knobs.size();
     const std::size_t stride = std::max<std::size_t>(1, n / 32);
     for (std::size_t i = 0; i < n; i += stride) {
-        const auto &b = knobs.beats[i];
+        const auto &b = knobs[i];
         std::printf("%8zu %12.3f %12.3f %12.3f %10.2f %8s\n", i,
-                    i < baseline.beats.size()
-                        ? baseline.beats[i].normalized_perf
+                    i < baseline.size()
+                        ? baseline[i].normalized_perf
                         : 0.0,
                     b.normalized_perf,
-                    i < noknobs.beats.size()
-                        ? noknobs.beats[i].normalized_perf
+                    i < noknobs.size()
+                        ? noknobs[i].normalized_perf
                         : 0.0,
                     b.knob_gain,
                     b.pstate == 0 ? "no" : "YES");
@@ -92,8 +88,7 @@ figurePanel(core::App &sweep, core::App &app,
     const std::size_t hi = static_cast<std::size_t>(0.65 * n);
     std::printf("-- capped-region mean perf: dyn_knobs %.3f, "
                 "no_knobs %.3f (paper: ~1.0 vs ~0.67)\n",
-                meanPerf(knobs.beats, lo, hi),
-                meanPerf(noknobs.beats, lo, hi));
+                meanPerf(knobs, lo, hi), meanPerf(noknobs, lo, hi));
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 
 #include "bench_common.h"
 #include "core/analytical.h"
+#include "core/consolidation.h"
 #include "sim/cluster.h"
 
 using namespace powerdial;
@@ -89,28 +90,43 @@ figurePanel(core::App &sweep, core::App &app, const Provisioning &prov,
                     instances, orig_watts, cons_watts, 100.0 * qos);
     }
 
-    // Peak-load check with a real controlled run: one instance on an
-    // oversubscribed machine must still hold the baseline rate.
-    const double peak_share =
-        1.0 / consolidated
-                  .loadOf(consolidated.balance(peak).front())
-                  .required_speedup;
-    sim::Machine machine(mconfig);
-    machine.setShare(std::min(1.0, peak_share));
-    machine.setUtilization(1.0);
+    // Measured controlled replays: at each utilisation level, one
+    // instance on the consolidated system's most-loaded machine must
+    // still hold the baseline rate by trading QoS. Each replay is an
+    // independent session on a private app clone, so the batch fans
+    // out over the thread pool (--threads=N) with bit-identical
+    // output at any thread count.
     const auto input = app.productionInputs().front();
     const auto baseline =
         core::runFixed(app, input, app.defaultCombination());
-    core::Runtime runtime(app, cal.ident.table, model);
-    const auto run = runtime.run(input, machine);
-    const std::size_t tail = run.beats.size() / 2;
-    double perf = 0.0;
-    for (std::size_t i = tail; i < run.beats.size(); ++i)
-        perf += run.beats[i].normalized_perf;
-    perf /= static_cast<double>(run.beats.size() - tail);
-    std::printf("-- measured at peak: perf/target %.3f, measured QoS "
-                "loss %.2f%%\n", perf,
-                100.0 * qos::distortion(baseline.output, run.output));
+    std::vector<core::ReplayCase> cases;
+    std::vector<double> levels;
+    for (const double u : {0.25, 0.5, 0.75, 1.0}) {
+        const auto instances = static_cast<std::size_t>(
+            std::round(u * static_cast<double>(peak)));
+        if (instances == 0)
+            continue;
+        core::ReplayCase rc;
+        rc.share = consolidated.minInstanceShare(
+            consolidated.balance(instances));
+        rc.utilization = 1.0;
+        cases.push_back(rc);
+        levels.push_back(u);
+    }
+    core::ConsolidationReplayOptions ropt;
+    ropt.input = input;
+    ropt.threads = bopts.threads; // 0 = all hardware contexts.
+    ropt.machine = mconfig;
+    const auto outcomes = core::replayConsolidation(
+        app, cal.ident.table, model, baseline.output, cases, ropt);
+    std::printf("-- measured replays (parallel sessions):\n");
+    std::printf("%12s %12s %14s %14s\n", "utilization", "share",
+                "perf/target", "qos_loss%");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        std::printf("%12.2f %12.2f %14.3f %14.2f\n", levels[i],
+                    cases[i].share, outcomes[i].tail_mean_perf,
+                    100.0 * outcomes[i].qos_loss_measured);
+    }
 
     const double save25 =
         original.steadyStateWatts(peak / 4) -

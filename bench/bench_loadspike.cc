@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "bench_common.h"
+#include "core/consolidation.h"
 #include "sim/cluster.h"
 #include "workload/load_trace.h"
 
@@ -79,20 +80,19 @@ main(int argc, char **argv)
     const auto input = app->productionInputs().front();
     const auto baseline =
         core::runFixed(*app, input, app->defaultCombination());
-    for (const double share : {1.0, 0.5, 0.25}) {
-        sim::Machine machine;
-        machine.setShare(share);
-        machine.setUtilization(1.0);
-        core::Runtime runtime(*app, cal.ident.table, model);
-        const auto run = runtime.run(input, machine);
-        const std::size_t tail = run.beats.size() / 2;
-        double perf = 0.0;
-        for (std::size_t i = tail; i < run.beats.size(); ++i)
-            perf += run.beats[i].normalized_perf;
-        perf /= static_cast<double>(run.beats.size() - tail);
-        std::printf("%16.2f %14.3f %14.3f\n", share, perf,
-                    100.0 * qos::distortion(baseline.output,
-                                            run.output));
+    // Independent sessions on cloned apps: fan out over the pool.
+    std::vector<core::ReplayCase> cases;
+    for (const double share : {1.0, 0.5, 0.25})
+        cases.push_back({share, 1.0});
+    core::ConsolidationReplayOptions ropt;
+    ropt.input = input;
+    ropt.threads = bopts.threads; // 0 = all hardware contexts.
+    const auto outcomes = core::replayConsolidation(
+        *app, cal.ident.table, model, baseline.output, cases, ropt);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        std::printf("%16.2f %14.3f %14.3f\n", cases[i].share,
+                    outcomes[i].tail_mean_perf,
+                    100.0 * outcomes[i].qos_loss_measured);
     }
     std::printf("\nshape: baseline QoS at low shares' inverse (1.0), "
                 "graceful loss as oversubscription rises; performance "

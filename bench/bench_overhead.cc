@@ -1,19 +1,31 @@
 /**
  * @file
- * Google-benchmark microbenches for the section 5.1 overhead claim:
- * "The overhead of the PowerDial control system is insignificant."
+ * Microbenches for the section 5.1 overhead claim: "The overhead of
+ * the PowerDial control system is insignificant."
  *
  * Measures the real (host) cost of the control-plane primitives — a
  * heartbeat emission, a controller step, an actuation re-plan, a knob
  * application — against the per-unit work of the cheapest benchmark
- * kernel, which dwarfs them.
+ * kernel, which dwarfs them; plus the per-beat cost of the Session's
+ * RunObserver seam, which must be negligible when no observer is
+ * attached.
+ *
+ * Links Google Benchmark when libbenchmark-dev is available; falls
+ * back to the vendored harness in vendor/microbench.h otherwise, so
+ * the binary always builds.
  */
+#if defined(POWERDIAL_HAVE_GOOGLE_BENCHMARK)
 #include <benchmark/benchmark.h>
+#else
+#include "vendor/microbench.h"
+#endif
 
 #include "apps/swaptions/pricer.h"
-#include "core/actuator.h"
+#include "core/actuation_strategy.h"
+#include "core/control_policy.h"
 #include "core/controller.h"
 #include "core/knob.h"
+#include "core/session.h"
 #include "heartbeats/heartbeat.h"
 
 using namespace powerdial;
@@ -60,18 +72,18 @@ benchModel()
 }
 
 static void
-BM_ActuatorPlan(benchmark::State &state)
+BM_StrategyPlan(benchmark::State &state)
 {
     const auto model = benchModel();
-    core::Actuator actuator(model,
-                            core::ActuationPolicy::MinimalSpeedup);
+    core::MinimalSpeedupStrategy strategy;
+    strategy.begin(model, 20);
     double cmd = 1.0;
     for (auto _ : state) {
         cmd = cmd > 9.0 ? 1.0 : cmd + 0.37;
-        benchmark::DoNotOptimize(actuator.plan(cmd));
+        benchmark::DoNotOptimize(strategy.plan(cmd));
     }
 }
-BENCHMARK(BM_ActuatorPlan);
+BENCHMARK(BM_StrategyPlan);
 
 static void
 BM_KnobTableApply(benchmark::State &state)
@@ -109,6 +121,143 @@ BM_AppUnitWork_SwaptionsMinKnob(benchmark::State &state)
         benchmark::DoNotOptimize(apps::swaptions::price(s, 250, 1));
 }
 BENCHMARK(BM_AppUnitWork_SwaptionsMinKnob);
+
+// ---------------------------------------------------------------------------
+// Observer-seam overhead: a full Session run per iteration, on an app
+// whose per-unit work is nearly free, so the measured time is the
+// runtime loop itself. Comparing the three variants isolates the cost
+// of observer dispatch per beat — it must be negligible (and exactly
+// zero trace-building work) when no observer is attached.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kSessionUnits = 256;
+
+/** A nearly-free app: the session loop dominates the measurement. */
+class NullWorkApp final : public core::App
+{
+  public:
+    NullWorkApp() : space_({{"k", {1.0, 2.0}}}) {}
+
+    std::string name() const override { return "nullwork"; }
+    std::unique_ptr<core::App>
+    clone() const override
+    {
+        return std::make_unique<NullWorkApp>(*this);
+    }
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override { return 0; }
+    void
+    configure(const std::vector<double> &params) override
+    {
+        k_ = params.at(0);
+    }
+    void
+    traceRun(influence::TraceRun &trace,
+             const std::vector<double> &params) override
+    {
+        influence::Value<double> k(params.at(0),
+                                   influence::paramBit(0));
+        trace.store("k", k, "nullwork:init");
+        trace.firstHeartbeat();
+        trace.read("k", "nullwork:loop");
+    }
+    void
+    bindControlVariables(core::KnobTable &table) override
+    {
+        table.bind({"k", [this](const std::vector<double> &v) {
+                        k_ = v.at(0);
+                    }});
+    }
+    std::size_t inputCount() const override { return 2; }
+    std::vector<std::size_t>
+    trainingInputs() const override
+    {
+        return {0};
+    }
+    std::vector<std::size_t>
+    productionInputs() const override
+    {
+        return {1};
+    }
+    void loadInput(std::size_t) override {}
+    std::size_t unitCount() const override { return kSessionUnits; }
+    void
+    processUnit(std::size_t, sim::Machine &machine) override
+    {
+        machine.execute(100.0 / k_);
+    }
+    qos::OutputAbstraction
+    output() const override
+    {
+        return {{1.0}, {}};
+    }
+
+  private:
+    core::KnobSpace space_;
+    double k_ = 1.0;
+};
+
+struct SessionFixture
+{
+    NullWorkApp app;
+    core::KnobTable table;
+    core::ResponseModel model;
+
+    SessionFixture()
+    {
+        app.bindControlVariables(table);
+        table.record(0, 0, {1.0});
+        table.record(1, 0, {2.0});
+        model = core::ResponseModel({{0, 1.0, 0.0}, {1, 2.0, 0.01}},
+                                    0, 1.0, 1000.0);
+    }
+};
+
+/** No observer attached: the baseline cost of one 256-beat run. */
+static void
+BM_Session256Beats_NoObserver(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    for (auto _ : state) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_NoObserver);
+
+/** A no-op observer: pure dispatch cost of the seam. */
+static void
+BM_Session256Beats_NoopObserver(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    class Noop final : public core::RunObserver
+    {
+    };
+    Noop noop;
+    session.observe(noop);
+    for (auto _ : state) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_NoopObserver);
+
+/** The full trace recorder (the pre-redesign always-on behaviour). */
+static void
+BM_Session256Beats_TraceRecorder(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    core::BeatTraceRecorder recorder;
+    session.observe(recorder);
+    for (auto _ : state) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_TraceRecorder);
 
 } // namespace
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * A minimal, dependency-free timing harness exposing the subset of the
+ * Google Benchmark API that bench_overhead.cc uses (State, the
+ * range-for iteration protocol, DoNotOptimize, BENCHMARK,
+ * BENCHMARK_MAIN). Used automatically when libbenchmark-dev is absent
+ * so the section 5.1 overhead numbers are always buildable; when the
+ * real library is available the build links it instead (see
+ * bench/CMakeLists.txt), and this header is not compiled.
+ *
+ * The runner calibrates the iteration count per benchmark: it grows
+ * the batch geometrically until a batch takes at least ~50 ms of wall
+ * clock, then reports ns/op over the final batch.
+ */
+#ifndef POWERDIAL_BENCH_VENDOR_MICROBENCH_H
+#define POWERDIAL_BENCH_VENDOR_MICROBENCH_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace powerdial::microbench {
+
+/** Iteration handle: `for (auto _ : state)` runs the timed batch. */
+class State
+{
+  public:
+    explicit State(std::uint64_t iterations)
+        : iterations_(iterations)
+    {
+    }
+
+    /**
+     * The loop variable type; its non-trivial destructor keeps
+     * `for (auto _ : state)` free of unused-variable warnings under
+     * -Wall -Wextra -Werror (mirroring Google Benchmark's iterator
+     * value type).
+     */
+    struct Tick
+    {
+        ~Tick() {}
+    };
+
+    class iterator
+    {
+      public:
+        explicit iterator(std::uint64_t remaining)
+            : remaining_(remaining)
+        {
+        }
+        bool
+        operator!=(const iterator &other) const
+        {
+            return remaining_ != other.remaining_;
+        }
+        iterator &
+        operator++()
+        {
+            --remaining_;
+            return *this;
+        }
+        Tick operator*() const { return Tick{}; }
+
+      private:
+        std::uint64_t remaining_;
+    };
+
+    iterator begin() const { return iterator(iterations_); }
+    iterator end() const { return iterator(0); }
+
+    std::uint64_t iterations() const { return iterations_; }
+
+  private:
+    std::uint64_t iterations_;
+};
+
+/**
+ * Keep @p value alive and observable so the optimiser cannot delete
+ * the computation that produced it.
+ */
+template <typename T>
+inline void
+DoNotOptimize(T &&value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "g"(value) : "memory");
+#else
+    // Portable fallback: escape through a volatile write of the
+    // address.
+    static volatile const void *sink;
+    sink = &value;
+    (void)sink;
+#endif
+}
+
+using BenchFn = void (*)(State &);
+
+struct Registered
+{
+    const char *name;
+    BenchFn fn;
+};
+
+/** The registry; function-local so the header needs no .cc file. */
+inline std::vector<Registered> &
+registry()
+{
+    static std::vector<Registered> benches;
+    return benches;
+}
+
+struct Registrar
+{
+    Registrar(const char *name, BenchFn fn)
+    {
+        registry().push_back({name, fn});
+    }
+};
+
+/** Run one benchmark: calibrate the batch size, report ns/op. */
+inline void
+runOne(const Registered &bench)
+{
+    using clock = std::chrono::steady_clock;
+    constexpr double kMinBatchSeconds = 0.05;
+    constexpr std::uint64_t kMaxIterations = 1ull << 30;
+
+    std::uint64_t iterations = 1;
+    double seconds = 0.0;
+    for (;;) {
+        State state(iterations);
+        const auto start = clock::now();
+        bench.fn(state);
+        const auto stop = clock::now();
+        seconds =
+            std::chrono::duration<double>(stop - start).count();
+        if (seconds >= kMinBatchSeconds ||
+            iterations >= kMaxIterations)
+            break;
+        // Aim past the threshold with headroom; at least double.
+        std::uint64_t next = seconds > 0.0
+            ? static_cast<std::uint64_t>(
+                  static_cast<double>(iterations) *
+                  (1.6 * kMinBatchSeconds / seconds))
+            : iterations * 10;
+        if (next < iterations * 2)
+            next = iterations * 2;
+        iterations = next < kMaxIterations ? next : kMaxIterations;
+    }
+    const double ns_per_op =
+        1e9 * seconds / static_cast<double>(iterations);
+    std::printf("%-44s %14.1f ns %14llu iters\n", bench.name,
+                ns_per_op,
+                static_cast<unsigned long long>(iterations));
+}
+
+inline int
+RunAll()
+{
+    std::printf("%-44s %17s %20s\n", "benchmark (vendored harness)",
+                "time/op", "iterations");
+    std::printf("%s\n", std::string(81, '-').c_str());
+    for (const auto &bench : registry())
+        runOne(bench);
+    return 0;
+}
+
+} // namespace powerdial::microbench
+
+// Google-Benchmark-compatible surface for the subset we use.
+namespace benchmark {
+using State = ::powerdial::microbench::State;
+using ::powerdial::microbench::DoNotOptimize;
+} // namespace benchmark
+
+#define BENCHMARK(fn)                                                  \
+    static ::powerdial::microbench::Registrar                          \
+        powerdial_microbench_reg_##fn(#fn, fn)
+
+#define BENCHMARK_MAIN()                                               \
+    int main()                                                         \
+    {                                                                  \
+        return ::powerdial::microbench::RunAll();                      \
+    }
+
+#endif // POWERDIAL_BENCH_VENDOR_MICROBENCH_H

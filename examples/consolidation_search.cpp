@@ -17,6 +17,7 @@
 #include "apps/searchx/searchx_app.h"
 #include "core/analytical.h"
 #include "core/calibration.h"
+#include "core/consolidation.h"
 #include "core/identify.h"
 #include "sim/cluster.h"
 #include "workload/load_trace.h"
@@ -91,5 +92,33 @@ main()
                 orig_j / static_cast<double>(trace.size()),
                 cons_j / static_cast<double>(trace.size()),
                 100.0 * (orig_j - cons_j) / orig_j);
+
+    // Measured check: real closed-loop sessions at the base load and
+    // at a full spike, fanned out over the thread pool (each replay
+    // is an independent session on a private app clone).
+    const auto input = app.productionInputs().front();
+    const auto baseline =
+        core::runFixed(app, input, app.defaultCombination());
+    std::vector<core::ReplayCase> cases;
+    for (const std::size_t instances :
+         {workload::instancesAt(lt.base_utilization, 3),
+          static_cast<std::size_t>(3)}) {
+        core::ReplayCase rc;
+        rc.share = consolidated.minInstanceShare(
+            consolidated.balance(instances));
+        cases.push_back(rc);
+    }
+    core::ConsolidationReplayOptions ropt;
+    ropt.input = input;
+    ropt.threads = 0; // Replay on every available core.
+    ropt.machine = mconfig;
+    const auto outcomes = core::replayConsolidation(
+        app, ident.table, cal.model, baseline.output, cases, ropt);
+    std::printf("\nmeasured sessions: base load perf %.3f of target "
+                "(QoS loss %.1f%%), spike perf %.3f (QoS loss %.1f%%)\n",
+                outcomes[0].tail_mean_perf,
+                100.0 * outcomes[0].qos_loss_measured,
+                outcomes[1].tail_mean_perf,
+                100.0 * outcomes[1].qos_loss_measured);
     return 0;
 }

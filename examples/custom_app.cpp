@@ -21,7 +21,7 @@
 
 #include "core/calibration.h"
 #include "core/identify.h"
-#include "core/runtime.h"
+#include "core/session.h"
 #include "workload/rng.h"
 
 using namespace powerdial;
@@ -174,12 +174,13 @@ main()
     }
 
     // Hold the baseline rate on a machine stuck at 1.6 GHz.
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
+    auto &trace = session.attach<core::BeatTraceRecorder>();
     sim::Machine machine;
     machine.setPState(machine.scale().lowestState());
-    const auto run = runtime.run(3, machine);
+    const auto run = session.run(3, machine);
     std::printf("\nat 1.6 GHz: final perf %.2f of target, QoS loss "
-                "%.2f%%\n", run.beats.back().normalized_perf,
+                "%.2f%%\n", trace.beats().back().normalized_perf,
                 100.0 * run.mean_qos_loss_estimate);
     return 0;
 }

@@ -17,7 +17,7 @@
 #include "apps/videnc/videnc_app.h"
 #include "core/calibration.h"
 #include "core/identify.h"
-#include "core/runtime.h"
+#include "core/session.h"
 
 using namespace powerdial;
 
@@ -49,19 +49,21 @@ main()
                 "Pareto frontier\n", cal.model.allPoints().size(),
                 cal.model.pareto().size());
 
-    core::Runtime runtime(encoder, ident.table, cal.model);
     sim::Machine machine;
     const double duration = 240.0 / cal.model.baselineRate();
-    auto cap = sim::DvfsGovernor::powerCap(machine, 0.3 * duration,
-                                           0.7 * duration);
-    const auto run = runtime.run(encoder.productionInputs().front(),
-                                 machine, &cap);
+    core::Session session(
+        encoder, ident.table, cal.model,
+        core::SessionOptions().withGovernor(sim::DvfsGovernor::powerCap(
+            machine, 0.3 * duration, 0.7 * duration)));
+    auto &trace = session.attach<core::BeatTraceRecorder>();
+    const auto run =
+        session.run(encoder.productionInputs().front(), machine);
 
     std::printf("\n%8s %10s %12s %10s  %s\n", "frame", "fps/target",
                 "freq_GHz", "gain", "encoder setting (subme/merange/ref)");
     std::size_t last_combo = static_cast<std::size_t>(-1);
-    for (std::size_t i = 0; i < run.beats.size(); ++i) {
-        const auto &b = run.beats[i];
+    for (std::size_t i = 0; i < trace.beats().size(); ++i) {
+        const auto &b = trace.beats()[i];
         const bool setting_changed = b.combination != last_combo;
         if (i % 24 == 0 || setting_changed) {
             const auto values =
@@ -75,7 +77,7 @@ main()
         }
     }
     std::printf("\nencoded %zu frames in %.2f virtual s; estimated "
-                "QoS loss %.2f%%\n", run.beats.size(), run.seconds,
+                "QoS loss %.2f%%\n", run.beat_count, run.seconds,
                 100.0 * run.mean_qos_loss_estimate);
     return 0;
 }

@@ -15,7 +15,7 @@
 #include "apps/swaptions/swaptions_app.h"
 #include "core/calibration.h"
 #include "core/identify.h"
-#include "core/runtime.h"
+#include "core/session.h"
 
 using namespace powerdial;
 
@@ -53,19 +53,26 @@ main()
     // 4. Closed-loop control (section 2.3) under a power cap: the
     //    machine drops from 2.4 GHz to 1.6 GHz a quarter of the way
     //    in; PowerDial trades a little accuracy to stay responsive.
-    core::Runtime runtime(app, ident.table, cal.model);
+    //    The session composes the control law (default: the paper's
+    //    deadbeat integral law), the actuation strategy (default:
+    //    minimal-speedup), and any observers; the governor is an
+    //    owned component of the options.
     sim::Machine machine;
     const double duration =
         400.0 / cal.model.baselineRate(); // Expected run time.
-    auto cap = sim::DvfsGovernor::powerCap(machine, 0.25 * duration,
-                                           0.75 * duration);
+    core::Session session(
+        app, ident.table, cal.model,
+        core::SessionOptions().withGovernor(sim::DvfsGovernor::powerCap(
+            machine, 0.25 * duration, 0.75 * duration)));
+    auto &trace = session.attach<core::BeatTraceRecorder>();
     const auto run =
-        runtime.run(app.productionInputs().front(), machine, &cap);
+        session.run(app.productionInputs().front(), machine);
 
-    const auto &mid = run.beats[run.beats.size() / 2];
+    const auto &beats = trace.beats();
+    const auto &mid = beats[beats.size() / 2];
     std::printf("\nunder the cap (beat %llu): performance %.2f of "
                 "target, knob gain %.2fx\n",
-                static_cast<unsigned long long>(run.beats.size() / 2),
+                static_cast<unsigned long long>(beats.size() / 2),
                 mid.normalized_perf, mid.knob_gain);
     std::printf("run finished in %.2f virtual seconds, estimated QoS "
                 "loss %.2f%%, energy %.0f J\n", run.seconds,

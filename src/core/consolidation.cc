@@ -1,0 +1,90 @@
+#include "core/consolidation.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/thread_pool.h"
+#include "qos/distortion.h"
+
+namespace powerdial::core {
+
+namespace {
+
+/** One replay on a private clone; pure function of its inputs. */
+ReplayOutcome
+replayOne(App &app, const KnobTable &table, const ResponseModel &model,
+          const qos::OutputAbstraction &baseline, const ReplayCase &c,
+          const ConsolidationReplayOptions &options)
+{
+    sim::Machine machine(options.machine);
+    machine.setShare(std::min(1.0, c.share));
+    machine.setUtilization(c.utilization);
+
+    Session session(app, table, model, options.session);
+    BeatTraceRecorder recorder;
+    session.observe(recorder);
+    const ControlledRun run = session.run(options.input, machine);
+
+    ReplayOutcome out;
+    const auto &beats = recorder.beats();
+    const std::size_t tail = beats.size() / 2;
+    double perf = 0.0;
+    for (std::size_t i = tail; i < beats.size(); ++i)
+        perf += beats[i].normalized_perf;
+    out.tail_mean_perf = beats.size() > tail
+        ? perf / static_cast<double>(beats.size() - tail)
+        : 0.0;
+    out.qos_loss_measured = qos::distortion(baseline, run.output);
+    out.qos_loss_estimate = run.mean_qos_loss_estimate;
+    out.seconds = run.seconds;
+    out.energy_j = machine.energyJoules();
+    out.mean_watts = machine.meanWatts();
+    return out;
+}
+
+} // namespace
+
+std::vector<ReplayOutcome>
+replayConsolidation(const App &app, const KnobTable &table,
+                    const ResponseModel &model,
+                    const qos::OutputAbstraction &baseline,
+                    const std::vector<ReplayCase> &cases,
+                    const ConsolidationReplayOptions &options)
+{
+    std::vector<ReplayOutcome> outcomes(cases.size());
+    if (cases.empty())
+        return outcomes;
+
+    // Every case runs on a private clone with a rebound knob table —
+    // identical work on the serial and pooled paths, so outcomes are
+    // bit-identical at any thread count. Clones are created serially:
+    // App::clone() of a shared instance is not required to be
+    // thread-safe.
+    std::vector<std::unique_ptr<App>> clones(cases.size());
+    std::vector<KnobTable> tables;
+    tables.reserve(cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        clones[i] = app.clone();
+        tables.push_back(rebindKnobTable(table, *clones[i]));
+    }
+
+    if (options.threads == 1 || cases.size() == 1) {
+        for (std::size_t i = 0; i < cases.size(); ++i)
+            outcomes[i] = replayOne(*clones[i], tables[i], model,
+                                    baseline, cases[i], options);
+        return outcomes;
+    }
+
+    ThreadPool pool(options.threads == 0
+                        ? 0
+                        : std::min(options.threads, cases.size()));
+    pool.parallelFor(cases.size(),
+                     [&](std::size_t task, std::size_t /*worker*/) {
+                         outcomes[task] = replayOne(
+                             *clones[task], tables[task], model,
+                             baseline, cases[task], options);
+                     });
+    return outcomes;
+}
+
+} // namespace powerdial::core

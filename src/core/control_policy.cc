@@ -1,0 +1,195 @@
+#include "core/control_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerdial::core {
+
+// ---------------------------------------------------------------------------
+// DeadbeatPolicy
+// ---------------------------------------------------------------------------
+
+DeadbeatPolicy::DeadbeatPolicy(double gain) : gain_(gain)
+{
+    if (gain_ <= 0.0)
+        throw std::invalid_argument("DeadbeatPolicy: gain must be > 0");
+}
+
+std::string
+DeadbeatPolicy::name() const
+{
+    return gain_ == 1.0 ? "deadbeat" : "integral";
+}
+
+void
+DeadbeatPolicy::begin(const ControlSetup &setup)
+{
+    ControllerConfig cc;
+    cc.baseline_rate = setup.baseline_rate;
+    cc.target_rate = setup.target_rate;
+    cc.gain = gain_;
+    cc.min_speedup = setup.min_speedup;
+    cc.max_speedup = setup.max_speedup;
+    law_ = std::make_unique<HeartRateController>(cc);
+}
+
+double
+DeadbeatPolicy::update(double observed_rate)
+{
+    if (law_ == nullptr)
+        throw std::logic_error("DeadbeatPolicy: update before begin");
+    return law_->update(observed_rate);
+}
+
+// ---------------------------------------------------------------------------
+// PidPolicy
+// ---------------------------------------------------------------------------
+
+PidPolicy::PidPolicy(const PidGains &gains) : gains_(gains)
+{
+    if (gains_.ki <= 0.0)
+        throw std::invalid_argument("PidPolicy: ki must be > 0");
+    if (gains_.kp < 0.0 || gains_.kd < 0.0)
+        throw std::invalid_argument("PidPolicy: kp/kd must be >= 0");
+}
+
+std::string
+PidPolicy::name() const
+{
+    return "pid";
+}
+
+void
+PidPolicy::begin(const ControlSetup &setup)
+{
+    if (setup.baseline_rate <= 0.0)
+        throw std::invalid_argument("PidPolicy: baseline rate must be > 0");
+    if (setup.target_rate <= 0.0)
+        throw std::invalid_argument("PidPolicy: target rate must be > 0");
+    if (setup.max_speedup < setup.min_speedup)
+        throw std::invalid_argument("PidPolicy: max < min speedup");
+    setup_ = setup;
+    integral_ = 0.0;
+    prev_error_ = 0.0;
+    has_prev_ = false;
+}
+
+double
+PidPolicy::update(double observed_rate)
+{
+    if (setup_.baseline_rate <= 0.0)
+        throw std::logic_error("PidPolicy: update before begin");
+    const double error = setup_.target_rate - observed_rate;
+    integral_ += error;
+    const double derivative = has_prev_ ? error - prev_error_ : 0.0;
+    prev_error_ = error;
+    has_prev_ = true;
+
+    const double b = setup_.baseline_rate;
+    double s = setup_.min_speedup +
+               (gains_.kp * error + gains_.ki * integral_ +
+                gains_.kd * derivative) /
+                   b;
+    // Anti-windup: pull the integral back so the command it implies
+    // stays within the actuation range (the paper's clamp on s(t)
+    // serves the same purpose for the pure integral law).
+    if (s > setup_.max_speedup) {
+        integral_ -=
+            (s - setup_.max_speedup) * b / gains_.ki;
+        s = setup_.max_speedup;
+    } else if (s < setup_.min_speedup) {
+        integral_ -=
+            (s - setup_.min_speedup) * b / gains_.ki;
+        s = setup_.min_speedup;
+    }
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// GainScheduledPolicy
+// ---------------------------------------------------------------------------
+
+GainScheduledPolicy::GainScheduledPolicy(const GainScheduleConfig &config)
+    : config_(config)
+{
+    if (config_.estimate_alpha <= 0.0 || config_.estimate_alpha > 1.0)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: alpha must be in (0, 1]");
+    if (config_.gain <= 0.0)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: gain must be > 0");
+    if (config_.min_scale <= 0.0 || config_.max_scale < config_.min_scale)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: bad estimate clamp");
+}
+
+std::string
+GainScheduledPolicy::name() const
+{
+    return "gain-scheduled";
+}
+
+void
+GainScheduledPolicy::begin(const ControlSetup &setup)
+{
+    if (setup.baseline_rate <= 0.0)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: baseline rate must be > 0");
+    if (setup.target_rate <= 0.0)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: target rate must be > 0");
+    if (setup.max_speedup < setup.min_speedup)
+        throw std::invalid_argument(
+            "GainScheduledPolicy: max < min speedup");
+    setup_ = setup;
+    speedup_ = setup.min_speedup;
+    b_hat_ = setup.baseline_rate; // Start from the calibrated model.
+}
+
+double
+GainScheduledPolicy::update(double observed_rate)
+{
+    if (setup_.baseline_rate <= 0.0)
+        throw std::logic_error(
+            "GainScheduledPolicy: update before begin");
+    // Refresh the plant-gain estimate from the last commanded speedup:
+    // the Equation 2 model says h = b_eff * s, so h/s observes b_eff.
+    if (speedup_ > 0.0 && observed_rate > 0.0) {
+        const double sample = observed_rate / speedup_;
+        b_hat_ = config_.estimate_alpha * sample +
+                 (1.0 - config_.estimate_alpha) * b_hat_;
+        b_hat_ = std::clamp(
+            b_hat_, config_.min_scale * setup_.baseline_rate,
+            config_.max_scale * setup_.baseline_rate);
+    }
+    const double error = setup_.target_rate - observed_rate;
+    speedup_ += config_.gain * error / b_hat_;
+    speedup_ =
+        std::clamp(speedup_, setup_.min_speedup, setup_.max_speedup);
+    return speedup_;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+PolicyFactory
+makeDeadbeatPolicy(double gain)
+{
+    return [gain] { return std::make_unique<DeadbeatPolicy>(gain); };
+}
+
+PolicyFactory
+makePidPolicy(const PidGains &gains)
+{
+    return [gains] { return std::make_unique<PidPolicy>(gains); };
+}
+
+PolicyFactory
+makeGainScheduledPolicy(const GainScheduleConfig &config)
+{
+    return
+        [config] { return std::make_unique<GainScheduledPolicy>(config); };
+}
+
+} // namespace powerdial::core

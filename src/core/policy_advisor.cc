@@ -6,6 +6,13 @@
 
 namespace powerdial::core {
 
+StrategyFactory
+PolicyAdvice::makeStrategy() const
+{
+    return race_to_idle_wins ? makeRaceToIdleStrategy()
+                             : makeMinimalSpeedupStrategy();
+}
+
 PolicyAdvice
 advisePolicy(const sim::PowerModel &power,
              const sim::FrequencyScale &scale, double speedup,
@@ -34,9 +41,10 @@ advisePolicy(const sim::PowerModel &power,
         p_hi * t1p + sleep_watts * (t2 - t1p); // Equation 14.
     advice.stretch_energy_j =
         p_lo * t2p + sleep_watts * (t2 - t2p); // Equation 16.
-    advice.policy = advice.race_energy_j < advice.stretch_energy_j
-        ? ActuationPolicy::RaceToIdle
-        : ActuationPolicy::MinimalSpeedup;
+    advice.race_to_idle_wins =
+        advice.race_energy_j < advice.stretch_energy_j;
+    advice.strategy_name =
+        advice.race_to_idle_wins ? "race-to-idle" : "minimal-speedup";
 
     // Sleep power at which the strategies break even:
     // (p_hi - P_s) t1p = (p_lo - P_s) t2p  =>

@@ -1,6 +1,6 @@
 /**
  * @file
- * Actuation-policy advisor.
+ * Actuation-strategy advisor.
  *
  * Paper section 2.3.3 gives two solutions of the actuation constraint
  * system and section 3 explains when each wins: "for platforms with
@@ -9,20 +9,27 @@
  * server class machines" the minimal-speedup (low-power-state)
  * solution is better. The advisor makes that choice automatically by
  * evaluating the section 3 energy models (Equations 13-17) against the
- * platform's power model.
+ * platform's power model, and hands back a StrategyFactory ready to
+ * drop into SessionOptions.
  */
 #ifndef POWERDIAL_CORE_POLICY_ADVISOR_H
 #define POWERDIAL_CORE_POLICY_ADVISOR_H
 
-#include "core/actuator.h"
+#include <string>
+
+#include "core/actuation_strategy.h"
 #include "sim/power_model.h"
 
 namespace powerdial::core {
 
-/** Outcome of the policy analysis. */
+/** Outcome of the strategy analysis. */
 struct PolicyAdvice
 {
-    ActuationPolicy policy;
+    /** True when racing to idle beats the low-power-state solution. */
+    bool race_to_idle_wins;
+    /** Name of the winning strategy ("race-to-idle" or
+     *  "minimal-speedup"), matching ActuationStrategy::name(). */
+    std::string strategy_name;
     double race_energy_j;   //!< E1: sprint-then-sleep energy (Eq. 14).
     double stretch_energy_j;//!< E2: low-power-state energy (Eq. 16).
     /**
@@ -34,10 +41,13 @@ struct PolicyAdvice
     double breakeven_sleep_watts;
     /** The same break-even expressed as a fraction of peak power. */
     double breakeven_idle_fraction;
+
+    /** Factory for the winning strategy, for SessionOptions. */
+    StrategyFactory makeStrategy() const;
 };
 
 /**
- * Choose the actuation policy for a platform.
+ * Choose the actuation strategy for a platform.
  *
  * Evaluates one unit of slack-free work (the power-cap scenario of
  * section 3, where t_delay = 0) at knob speedup @p speedup: racing at

@@ -1,0 +1,18 @@
+#include "core/run_observer.h"
+
+namespace powerdial::core {
+
+void
+BeatTraceRecorder::onRunStart(const RunStartEvent &event)
+{
+    beats_.clear();
+    beats_.reserve(event.units);
+}
+
+void
+BeatTraceRecorder::onBeat(const BeatEvent &event)
+{
+    beats_.push_back(event.trace);
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,250 @@
+#include "core/session.h"
+
+#include <stdexcept>
+
+#include "heartbeats/heartbeat.h"
+
+namespace powerdial::core {
+
+SessionOptions &
+SessionOptions::withQuantum(std::size_t beats)
+{
+    quantum_beats = beats;
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withWindow(std::size_t beats)
+{
+    window = beats;
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withTargetRate(double rate)
+{
+    target_rate = rate;
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withKnobsEnabled(bool enabled)
+{
+    knobs_enabled = enabled;
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withPolicy(PolicyFactory factory)
+{
+    policy = std::move(factory);
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withStrategy(StrategyFactory factory)
+{
+    strategy = std::move(factory);
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withGovernor(sim::DvfsGovernor gov)
+{
+    governor = std::move(gov);
+    return *this;
+}
+
+Session::Session(App &app, const KnobTable &table,
+                 const ResponseModel &model, SessionOptions options)
+    : app_(&app), table_(&table), model_(&model),
+      options_(std::move(options))
+{
+    if (options_.quantum_beats == 0)
+        throw std::invalid_argument("Session: quantum must be >= 1");
+    if (options_.window == 0)
+        throw std::invalid_argument("Session: window must be >= 1");
+    policy_ = options_.policy ? options_.policy()
+                              : std::make_unique<DeadbeatPolicy>();
+    if (policy_ == nullptr)
+        throw std::invalid_argument("Session: policy factory returned null");
+    strategy_ = options_.strategy
+        ? options_.strategy()
+        : std::make_unique<MinimalSpeedupStrategy>();
+    if (strategy_ == nullptr)
+        throw std::invalid_argument(
+            "Session: strategy factory returned null");
+}
+
+void
+Session::observe(RunObserver &observer)
+{
+    observers_.push_back(&observer);
+}
+
+RunObserver &
+Session::observe(std::unique_ptr<RunObserver> observer)
+{
+    if (observer == nullptr)
+        throw std::invalid_argument("Session: null observer");
+    RunObserver &ref = *observer;
+    owned_observers_.push_back(std::move(observer));
+    observers_.push_back(&ref);
+    return ref;
+}
+
+ControlledRun
+Session::run(std::size_t input, sim::Machine &machine)
+{
+    const double target = options_.target_rate > 0.0
+        ? options_.target_rate
+        : model_->baselineRate();
+
+    // Paper setup: min and max target are both the baseline rate.
+    hb::Monitor monitor(options_.window, {target, target});
+
+    ControlSetup setup;
+    setup.baseline_rate = model_->baselineRate();
+    setup.target_rate = target;
+    setup.min_speedup = model_->baselinePoint().speedup;
+    setup.max_speedup = model_->maxSpeedup();
+    policy_->begin(setup);
+    strategy_->begin(*model_, options_.quantum_beats);
+
+    // Rewind the owned governor with its schedule re-anchored at this
+    // run's start time, so a powerCap built against t = 0 replays
+    // correctly even when the machine carries time over from a
+    // previous run.
+    sim::DvfsGovernor *governor = nullptr;
+    if (options_.governor.has_value()) {
+        governor = &*options_.governor;
+        governor->reset(machine.now());
+    }
+
+    // Start at the baseline (highest QoS) setting, like the paper.
+    const std::size_t baseline = model_->baselineCombination();
+    app_->configure(app_->knobSpace().valuesOf(baseline));
+    app_->loadInput(input);
+
+    ActuationPlan plan;
+    plan.slices.push_back({baseline, 1.0, model_->baselinePoint().speedup,
+                           model_->baselinePoint().qos_loss});
+
+    ControlledRun result;
+    const double start = machine.now();
+    const std::size_t units = app_->unitCount();
+
+    if (!observers_.empty()) {
+        RunStartEvent event;
+        event.app_name = app_->name();
+        event.input = input;
+        event.units = units;
+        event.target_rate = target;
+        event.start_time_s = start;
+        for (RunObserver *observer : observers_)
+            observer->onRunStart(event);
+    }
+
+    std::size_t applied = baseline;
+    double commanded = setup.min_speedup;
+    double qos_weighted = 0.0;
+    double qos_work = 0.0;
+
+    for (std::size_t u = 0; u < units; ++u) {
+        // Main control loop: heartbeat at the top of the loop.
+        monitor.beat(machine.now());
+        if (governor != nullptr)
+            governor->poll(machine);
+
+        // Quantum boundary: run the policy and re-plan.
+        if (options_.knobs_enabled && u > 0 &&
+            u % options_.quantum_beats == 0) {
+            const double rate = monitor.windowRate();
+            if (rate > 0.0) {
+                commanded = policy_->update(rate);
+                plan = strategy_->plan(commanded);
+                if (!observers_.empty()) {
+                    const QuantumEvent event{u, rate, commanded, plan};
+                    for (RunObserver *observer : observers_)
+                        observer->onQuantum(event);
+                }
+            }
+        }
+
+        const std::size_t combo = options_.knobs_enabled
+            ? plan.combinationAtBeat(u % options_.quantum_beats,
+                                     options_.quantum_beats)
+            : baseline;
+        if (combo != applied) {
+            table_->apply(combo);
+            applied = combo;
+        }
+
+        const double before = machine.now();
+        app_->processUnit(u, machine);
+        const double busy = machine.now() - before;
+
+        // Race-to-idle: insert the plan's idle slack after the work.
+        const double idle_ratio = options_.knobs_enabled
+            ? plan.idlePerBusySecond()
+            : 0.0;
+        if (idle_ratio > 0.0)
+            machine.idleFor(idle_ratio * busy);
+
+        // Account the calibrated QoS loss of the installed setting,
+        // weighted by the work (one unit) it produced.
+        double combo_qos = 0.0;
+        double combo_speedup = 1.0;
+        for (const auto &p : model_->allPoints()) {
+            if (p.combination == applied) {
+                combo_qos = p.qos_loss;
+                combo_speedup = p.speedup;
+                break;
+            }
+        }
+        qos_weighted += combo_qos;
+        qos_work += 1.0;
+        ++result.beat_count;
+
+        if (!observers_.empty()) {
+            BeatTrace bt;
+            bt.time_s = machine.now();
+            bt.window_rate = monitor.windowRate();
+            bt.normalized_perf =
+                target > 0.0 ? bt.window_rate / target : 0.0;
+            bt.commanded_speedup = commanded;
+            bt.knob_gain = combo_speedup;
+            bt.combination = applied;
+            bt.pstate = machine.pstate();
+            const BeatEvent event{u, bt};
+            for (RunObserver *observer : observers_)
+                observer->onBeat(event);
+        }
+    }
+
+    result.seconds = machine.now() - start;
+    result.output = app_->output();
+    result.mean_qos_loss_estimate =
+        qos_work > 0.0 ? qos_weighted / qos_work : 0.0;
+
+    for (RunObserver *observer : observers_)
+        observer->onRunEnd(result);
+    return result;
+}
+
+KnobTable
+rebindKnobTable(const KnobTable &source, App &app)
+{
+    KnobTable table;
+    app.bindControlVariables(table);
+    if (table.variableCount() != source.variableCount())
+        throw std::invalid_argument(
+            "rebindKnobTable: binding count mismatch");
+    const std::size_t combinations = app.knobSpace().combinations();
+    for (std::size_t c = 0; c < combinations; ++c)
+        for (std::size_t v = 0; v < source.variableCount(); ++v)
+            table.record(c, v, source.value(c, v));
+    return table;
+}
+
+} // namespace powerdial::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The PowerDial control-loop runtime (paper section 2.3, Figure 2) as
+ * a composable session.
+ *
+ * A Session composes the three separable components of the control
+ * system around an application's main loop, each behind its own seam:
+ *
+ *   - heart-rate feedback   : hb::Monitor (the Application Heartbeats
+ *                             sliding window);
+ *   - the control law       : core::ControlPolicy (default: the
+ *                             paper's deadbeat integral law);
+ *   - the actuator          : core::ActuationStrategy (default: the
+ *                             minimal-speedup constraint solution);
+ *   - observation           : any number of core::RunObserver
+ *                             callbacks (trace recording, CSV export).
+ *
+ * Each loop iteration emits a heartbeat; every quantum (twenty beats
+ * by default) the policy converts the heart-rate error into a speedup
+ * command, the strategy converts it into a knob schedule, and the
+ * session installs knob settings by writing the recorded control
+ * variable values into the application's address space.
+ *
+ * The Session replaces the pre-redesign core::Runtime, whose single
+ * run() hard-wired one control law, a two-value actuation enum, baked-
+ * in trace collection, and a raw-pointer DVFS governor. The DVFS
+ * governor is now an owned component of SessionOptions, reset at the
+ * start of every run so sessions are replayable and parallelizable.
+ */
+#ifndef POWERDIAL_CORE_SESSION_H
+#define POWERDIAL_CORE_SESSION_H
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/actuation_strategy.h"
+#include "core/app.h"
+#include "core/control_policy.h"
+#include "core/response_model.h"
+#include "core/run_observer.h"
+#include "sim/dvfs_governor.h"
+
+namespace powerdial::core {
+
+/**
+ * Session configuration: plain fields plus builder-style setters so
+ * call sites can compose options fluently:
+ *
+ *   Session session(app, table, model,
+ *                   SessionOptions()
+ *                       .withTargetRate(rate)
+ *                       .withStrategy(makeRaceToIdleStrategy())
+ *                       .withGovernor(sim::DvfsGovernor::powerCap(...)));
+ */
+struct SessionOptions
+{
+    std::size_t quantum_beats = 20; //!< Paper's heuristic quantum.
+    std::size_t window = 20;        //!< Heartbeat sliding window.
+    /**
+     * Target heart rate; 0 means "use the calibrated baseline rate",
+     * the paper's standard setup (min == max == baseline rate).
+     */
+    double target_rate = 0.0;
+    /** If false, knobs are pinned at the default setting (the paper's
+     *  "without dynamic knobs" comparison runs). */
+    bool knobs_enabled = true;
+    /** Control-law factory; null means the deadbeat integral law. */
+    PolicyFactory policy;
+    /** Actuation factory; null means minimal-speedup. */
+    StrategyFactory strategy;
+    /**
+     * Owned DVFS governor imposing frequency changes (the power-cap
+     * scenario). At every run start the session rewinds it and
+     * re-anchors its schedule at the machine's current virtual time,
+     * so event times are relative to the run, not absolute — the
+     * session replays the same scenario on every run, including on a
+     * machine reused across runs.
+     */
+    std::optional<sim::DvfsGovernor> governor;
+
+    SessionOptions &withQuantum(std::size_t beats);
+    SessionOptions &withWindow(std::size_t beats);
+    SessionOptions &withTargetRate(double rate);
+    SessionOptions &withKnobsEnabled(bool enabled);
+    SessionOptions &withPolicy(PolicyFactory factory);
+    SessionOptions &withStrategy(StrategyFactory factory);
+    SessionOptions &withGovernor(sim::DvfsGovernor governor);
+};
+
+/**
+ * One controlled-execution session for one application.
+ *
+ * The application, knob table, and response model must outlive the
+ * session. A session is single-threaded, but independent sessions on
+ * cloned applications run concurrently (see core/consolidation.h).
+ */
+class Session
+{
+  public:
+    /**
+     * @param app     The heartbeat-instrumented application.
+     * @param table   Recorded control-variable values + write bindings.
+     * @param model   Calibrated response model.
+     * @param options Control-system composition options.
+     */
+    Session(App &app, const KnobTable &table, const ResponseModel &model,
+            SessionOptions options = {});
+
+    /** Register a borrowed observer (must outlive the session). */
+    void observe(RunObserver &observer);
+
+    /** Register an owned observer; returns a reference to it. */
+    RunObserver &observe(std::unique_ptr<RunObserver> observer);
+
+    /** Construct and register an owned observer of type T in place. */
+    template <typename T, typename... Args>
+    T &
+    attach(Args &&...args)
+    {
+        auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+        T &ref = *owned;
+        observe(std::move(owned));
+        return ref;
+    }
+
+    /**
+     * Execute input @p input to completion on @p machine under closed-
+     * loop control.
+     */
+    ControlledRun run(std::size_t input, sim::Machine &machine);
+
+    const SessionOptions &options() const { return options_; }
+    const ResponseModel &model() const { return *model_; }
+    /** The control law instance this session composes. */
+    const ControlPolicy &policy() const { return *policy_; }
+    /** The actuation strategy instance this session composes. */
+    const ActuationStrategy &strategy() const { return *strategy_; }
+
+  private:
+    App *app_;
+    const KnobTable *table_;
+    const ResponseModel *model_;
+    SessionOptions options_;
+    std::unique_ptr<ControlPolicy> policy_;
+    std::unique_ptr<ActuationStrategy> strategy_;
+    std::vector<RunObserver *> observers_;
+    std::vector<std::unique_ptr<RunObserver>> owned_observers_;
+};
+
+/**
+ * Rebind a knob table onto another instance of the same application
+ * (typically an App::clone()): copies every recorded control-variable
+ * value and lets @p app install its own write bindings. The building
+ * block for running sessions on cloned applications in parallel.
+ */
+KnobTable rebindKnobTable(const KnobTable &source, App &app);
+
+} // namespace powerdial::core
+
+#endif // POWERDIAL_CORE_SESSION_H

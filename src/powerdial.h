@@ -9,9 +9,10 @@
  *   MyApp app;                                   // implements core::App
  *   auto ident = powerdial::core::identifyKnobs(app);
  *   auto cal = powerdial::core::calibrate(app, app.trainingInputs());
- *   powerdial::core::Runtime rt(app, ident.table, cal.model);
+ *   powerdial::core::Session session(app, ident.table, cal.model);
+ *   auto &trace = session.attach<powerdial::core::BeatTraceRecorder>();
  *   powerdial::sim::Machine machine;
- *   auto run = rt.run(input, machine);
+ *   auto run = session.run(input, machine);
  *
  * Individual headers remain includable on their own; this file only
  * aggregates them.
@@ -20,17 +21,20 @@
 #define POWERDIAL_POWERDIAL_H
 
 // The paper's primary contribution.
-#include "core/actuator.h"
+#include "core/actuation_strategy.h"
 #include "core/analytical.h"
 #include "core/app.h"
 #include "core/calibration.h"
+#include "core/consolidation.h"
+#include "core/control_policy.h"
 #include "core/controller.h"
 #include "core/identify.h"
 #include "core/knob.h"
 #include "core/pareto.h"
 #include "core/policy_advisor.h"
 #include "core/response_model.h"
-#include "core/runtime.h"
+#include "core/run_observer.h"
+#include "core/session.h"
 #include "core/thread_pool.h"
 #include "core/trace_export.h"
 

@@ -74,4 +74,10 @@ Cluster::maxRequiredSpeedup(const std::vector<std::size_t> &placement) const
     return worst;
 }
 
+double
+Cluster::minInstanceShare(const std::vector<std::size_t> &placement) const
+{
+    return 1.0 / maxRequiredSpeedup(placement);
+}
+
 } // namespace powerdial::sim

@@ -90,6 +90,15 @@ class Cluster
     double maxRequiredSpeedup(const std::vector<std::size_t> &placement)
         const;
 
+    /**
+     * Smallest per-instance core share across a placement — the share
+     * each instance receives on the most-loaded machine (the inverse
+     * of maxRequiredSpeedup). This is the share a consolidation
+     * replay pins on its simulated machine (core::replayConsolidation).
+     */
+    double minInstanceShare(const std::vector<std::size_t> &placement)
+        const;
+
   private:
     std::vector<Machine> machines_;
     Machine::Config config_;

@@ -28,7 +28,7 @@ DvfsGovernor::poll(Machine &machine)
 {
     bool changed = false;
     while (next_ < events_.size() &&
-           machine.now() >= events_[next_].time_s) {
+           machine.now() >= origin_s_ + events_[next_].time_s) {
         if (machine.pstate() != events_[next_].pstate) {
             machine.setPState(events_[next_].pstate);
             changed = true;

@@ -51,12 +51,28 @@ class DvfsGovernor
      */
     bool poll(Machine &machine);
 
+    /**
+     * Rewind to the top of the schedule so the governor can replay it
+     * on a fresh run, with event times re-interpreted relative to
+     * @p origin_s. core::Session resets its owned governor to the
+     * machine's current time at every run start, so a schedule built
+     * against t = 0 (like powerCap) replays correctly even when the
+     * same machine carries virtual time over from a previous run.
+     */
+    void
+    reset(double origin_s = 0.0)
+    {
+        next_ = 0;
+        origin_s_ = origin_s;
+    }
+
     /** Events not yet applied. */
     std::size_t pending() const { return events_.size() - next_; }
 
   private:
     std::vector<PStateEvent> events_;
     std::size_t next_ = 0;
+    double origin_s_ = 0.0; //!< Added to event times when polling.
 };
 
 } // namespace powerdial::sim

@@ -1,0 +1,325 @@
+/** @file Unit and property tests for the actuation strategies. */
+#include <gtest/gtest.h>
+
+#include "core/actuation_strategy.h"
+
+namespace powerdial::core {
+namespace {
+
+ResponseModel
+model()
+{
+    // Frontier: (1, 0), (2, 0.01), (4, 0.05), (8, 0.2).
+    return ResponseModel({{0, 1.0, 0.00},
+                          {1, 2.0, 0.01},
+                          {2, 4.0, 0.05},
+                          {3, 8.0, 0.20}},
+                         0, 10.0, 5.0);
+}
+
+MinimalSpeedupStrategy
+minimal(const ResponseModel &m, std::size_t quantum = 20)
+{
+    MinimalSpeedupStrategy s;
+    s.begin(m, quantum);
+    return s;
+}
+
+RaceToIdleStrategy
+race(const ResponseModel &m, std::size_t quantum = 20)
+{
+    RaceToIdleStrategy s;
+    s.begin(m, quantum);
+    return s;
+}
+
+TEST(ActuationStrategy, PaperExampleSpeedupOneAndAHalf)
+{
+    // Paper section 2.3.3: command 1.5 with available speedups {1, 2}
+    // -> half the quantum at 2, half at the default.
+    const auto m = model();
+    auto act = minimal(m);
+    const auto plan = act.plan(1.5);
+    ASSERT_EQ(plan.slices.size(), 2u);
+    EXPECT_EQ(plan.slices[0].combination, 1u);
+    EXPECT_NEAR(plan.slices[0].fraction, 0.5, 1e-12);
+    EXPECT_EQ(plan.slices[1].combination, 0u);
+    EXPECT_NEAR(plan.slices[1].fraction, 0.5, 1e-12);
+    EXPECT_NEAR(plan.averageSpeedup(), 1.5, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.idle_fraction, 0.0);
+}
+
+TEST(ActuationStrategy, MinimalSpeedupUsesSlowestSufficientSetting)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    // Command 3: s_min = 4 (slowest Pareto speedup >= 3), mixed with
+    // the default, not with s_max = 8.
+    const auto plan = act.plan(3.0);
+    for (const auto &s : plan.slices)
+        EXPECT_NE(s.combination, 3u);
+    EXPECT_NEAR(plan.averageSpeedup(), 3.0, 1e-12);
+}
+
+TEST(ActuationStrategy, CommandAtBaselineRunsDefaultOnly)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    const auto plan = act.plan(1.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 0u);
+    EXPECT_DOUBLE_EQ(plan.slices[0].fraction, 1.0);
+}
+
+TEST(ActuationStrategy, CommandBelowBaselineClamps)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    const auto plan = act.plan(0.25);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 0u);
+}
+
+TEST(ActuationStrategy, CommandBeyondMaxRunsFlatOut)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    const auto plan = act.plan(50.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 3u);
+    EXPECT_NEAR(plan.averageSpeedup(), 8.0, 1e-12);
+}
+
+TEST(ActuationStrategy, RaceToIdleSprintsThenIdles)
+{
+    const auto m = model();
+    auto act = race(m);
+    // Command 2 with s_max = 8: run the fastest setting for 1/4 of the
+    // quantum, idle 3/4.
+    const auto plan = act.plan(2.0);
+    ASSERT_EQ(plan.slices.size(), 1u);
+    EXPECT_EQ(plan.slices[0].combination, 3u);
+    EXPECT_NEAR(plan.slices[0].fraction, 0.25, 1e-12);
+    EXPECT_NEAR(plan.idle_fraction, 0.75, 1e-12);
+    // Idle per busy second: 0.75 / 0.25 = 3.
+    EXPECT_NEAR(plan.idlePerBusySecond(), 3.0, 1e-12);
+}
+
+TEST(ActuationStrategy, RaceToIdleNeverExceedsQuantum)
+{
+    const auto m = model();
+    auto act = race(m);
+    const auto plan = act.plan(100.0);
+    EXPECT_NEAR(plan.slices[0].fraction, 1.0, 1e-12);
+    EXPECT_NEAR(plan.idle_fraction, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.idlePerBusySecond(), 0.0);
+}
+
+TEST(ActuationStrategy, BeatScheduleLaysSlicesContiguously)
+{
+    const auto m = model();
+    auto act = minimal(m, 20);
+    const auto plan = act.plan(1.5);
+    // First half of the quantum at the fast setting, rest at default.
+    std::size_t fast_beats = 0;
+    for (std::size_t beat = 0; beat < 20; ++beat) {
+        const auto combo = plan.combinationAtBeat(beat, 20);
+        if (combo == 1u)
+            ++fast_beats;
+        if (beat >= 10) {
+            EXPECT_EQ(combo, 0u);
+        }
+    }
+    EXPECT_EQ(fast_beats, 10u);
+}
+
+TEST(ActuationStrategy, AverageQosLossIsWorkWeighted)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    const auto plan = act.plan(1.5);
+    // Slices: (s=2, qos=0.01) at 0.5, (s=1, qos=0) at 0.5.
+    // Work weights: 1.0 vs 0.5 -> loss = 0.01 * (1.0 / 1.5).
+    EXPECT_NEAR(plan.averageQosLoss(), 0.01 * (1.0 / 1.5), 1e-12);
+}
+
+TEST(ActuationStrategy, Validation)
+{
+    const auto m = model();
+    MinimalSpeedupStrategy strategy;
+    EXPECT_THROW(strategy.begin(m, 0), std::invalid_argument);
+    EXPECT_THROW(strategy.plan(1.0), std::logic_error);
+    ActuationPlan empty;
+    EXPECT_THROW(empty.combinationAtBeat(0, 20), std::logic_error);
+    EXPECT_THROW(QosBudgetStrategy{-0.1}, std::invalid_argument);
+}
+
+TEST(ActuationStrategy, Names)
+{
+    EXPECT_EQ(MinimalSpeedupStrategy().name(), "minimal-speedup");
+    EXPECT_EQ(RaceToIdleStrategy().name(), "race-to-idle");
+    EXPECT_EQ(QosBudgetStrategy(0.01).name(), "qos-budget");
+}
+
+// ---------------------------------------------------------------------------
+// QosBudgetStrategy
+// ---------------------------------------------------------------------------
+
+TEST(QosBudget, LargeBudgetMatchesMinimalSpeedup)
+{
+    const auto m = model();
+    QosBudgetStrategy budget(1.0); // Never binding.
+    budget.begin(m, 20);
+    auto act = minimal(m);
+    for (const double cmd : {1.0, 1.5, 2.7, 4.0, 8.0}) {
+        const auto a = budget.plan(cmd);
+        const auto b = act.plan(cmd);
+        ASSERT_EQ(a.slices.size(), b.slices.size());
+        for (std::size_t i = 0; i < a.slices.size(); ++i) {
+            EXPECT_EQ(a.slices[i].combination, b.slices[i].combination);
+            EXPECT_DOUBLE_EQ(a.slices[i].fraction, b.slices[i].fraction);
+        }
+    }
+}
+
+TEST(QosBudget, ZeroBudgetPinsBaseline)
+{
+    const auto m = model();
+    QosBudgetStrategy budget(0.0);
+    budget.begin(m, 20);
+    for (const double cmd : {1.0, 2.0, 8.0}) {
+        const auto plan = budget.plan(cmd);
+        ASSERT_EQ(plan.slices.size(), 1u);
+        EXPECT_EQ(plan.slices[0].combination, 0u);
+        EXPECT_DOUBLE_EQ(plan.averageQosLoss(), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(budget.meanSpent(), 0.0);
+}
+
+TEST(QosBudget, RunningMeanNeverExceedsBudget)
+{
+    const auto m = model();
+    const double cap = 0.02;
+    QosBudgetStrategy budget(cap);
+    budget.begin(m, 20);
+    // Hammer the strategy with expensive commands; the running mean
+    // of spent QoS loss must stay within the budget at every quantum.
+    for (int q = 0; q < 200; ++q) {
+        budget.plan(8.0);
+        EXPECT_LE(budget.meanSpent(), cap + 1e-12)
+            << "quantum " << q;
+    }
+    // And the strategy must still be *spending* the budget, not just
+    // sitting at the baseline: the mean should approach the cap.
+    EXPECT_GT(budget.meanSpent(), 0.5 * cap);
+}
+
+TEST(QosBudget, BanksUnspentAllowance)
+{
+    const auto m = model();
+    QosBudgetStrategy budget(0.01);
+    budget.begin(m, 20);
+    // Ten cheap quanta bank allowance...
+    for (int q = 0; q < 10; ++q) {
+        const auto plan = budget.plan(1.0);
+        EXPECT_DOUBLE_EQ(plan.averageQosLoss(), 0.0);
+    }
+    // ...so the next expensive quantum may exceed the per-quantum rate
+    // while the running mean stays under the cap.
+    const auto plan = budget.plan(8.0);
+    EXPECT_GT(plan.averageQosLoss(), 0.01);
+    EXPECT_LE(budget.meanSpent(), 0.01 + 1e-12);
+}
+
+TEST(QosBudget, BeginResetsSpend)
+{
+    const auto m = model();
+    QosBudgetStrategy budget(0.01);
+    budget.begin(m, 20);
+    for (int q = 0; q < 5; ++q)
+        budget.plan(8.0);
+    EXPECT_GT(budget.meanSpent(), 0.0);
+    budget.begin(m, 20);
+    EXPECT_DOUBLE_EQ(budget.meanSpent(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+/**
+ * Property: for any achievable command, the minimal-speedup plan's
+ * quantum-average speedup equals the command exactly, and the plan
+ * never uses a setting faster than the slowest sufficient one.
+ */
+class PlanAccuracy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PlanAccuracy, AverageEqualsCommand)
+{
+    const auto m = model();
+    auto act = minimal(m);
+    const double cmd = GetParam();
+    const auto plan = act.plan(cmd);
+    EXPECT_NEAR(plan.averageSpeedup(), cmd, 1e-9);
+    double fractions = plan.idle_fraction;
+    for (const auto &s : plan.slices)
+        fractions += s.fraction;
+    EXPECT_NEAR(fractions, 1.0, 1e-9); // Equation 10 at equality.
+}
+
+INSTANTIATE_TEST_SUITE_P(Commands, PlanAccuracy,
+                         ::testing::Values(1.0, 1.1, 1.5, 1.9, 2.0, 2.7,
+                                           3.9, 4.0, 5.5, 7.9, 8.0));
+
+/** Property: race-to-idle also meets the command on average. */
+class RaceAccuracy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RaceAccuracy, WorkMatchesCommand)
+{
+    const auto m = model();
+    auto act = race(m);
+    const double cmd = GetParam();
+    const auto plan = act.plan(cmd);
+    // Work produced = s_max * busy fraction = command.
+    EXPECT_NEAR(plan.averageSpeedup(), cmd, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Commands, RaceAccuracy,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0, 6.0, 8.0));
+
+/**
+ * Property: whatever the command sequence, the QoS-budget strategy's
+ * running mean stays within budget while delivering no more speedup
+ * than the unconstrained minimal-speedup plan.
+ */
+class BudgetCompliance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BudgetCompliance, MeanWithinCap)
+{
+    const auto m = model();
+    const double cap = GetParam();
+    QosBudgetStrategy budget(cap);
+    budget.begin(m, 20);
+    auto act = minimal(m);
+    double cmd = 1.0;
+    for (int q = 0; q < 150; ++q) {
+        cmd = cmd > 7.5 ? 1.0 : cmd + 0.61;
+        const auto constrained = budget.plan(cmd);
+        const auto free = act.plan(cmd);
+        EXPECT_LE(constrained.averageSpeedup(),
+                  free.averageSpeedup() + 1e-9);
+        EXPECT_LE(budget.meanSpent(), cap + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetCompliance,
+                         ::testing::Values(0.0, 0.005, 0.02, 0.1, 0.5));
+
+} // namespace
+} // namespace powerdial::core

@@ -1,0 +1,141 @@
+/** @file Tests for parallel consolidation replays (core/consolidation). */
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/consolidation.h"
+#include "core/identify.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+struct Pipeline
+{
+    ToyApp app;
+    KnobTable table;
+    ResponseModel model;
+    qos::OutputAbstraction baseline;
+    std::size_t input = 0;
+};
+
+Pipeline
+makePipeline()
+{
+    ToyApp::Config config;
+    config.units = 300;
+    Pipeline p{ToyApp(config), {}, {}, {}, 0};
+    auto ident = identifyKnobs(p.app);
+    EXPECT_TRUE(ident.analysis.accepted);
+    p.table = std::move(ident.table);
+    p.model = calibrate(p.app, p.app.trainingInputs()).model;
+    p.input = p.app.productionInputs().front();
+    p.baseline =
+        runFixed(p.app, p.input, p.app.defaultCombination()).output;
+    return p;
+}
+
+std::vector<ReplayCase>
+sampleCases()
+{
+    return {{1.0, 1.0}, {0.5, 1.0}, {0.25, 1.0}, {0.125, 0.5}};
+}
+
+TEST(ConsolidationReplay, OversubscribedSharesHoldTargetAtQosCost)
+{
+    auto p = makePipeline();
+    ConsolidationReplayOptions options;
+    options.input = p.input;
+    const auto outcomes = replayConsolidation(
+        p.app, p.table, p.model, p.baseline, sampleCases(), options);
+    ASSERT_EQ(outcomes.size(), 4u);
+    // Dedicated core: on target, no QoS loss.
+    EXPECT_NEAR(outcomes[0].tail_mean_perf, 1.0, 0.05);
+    EXPECT_NEAR(outcomes[0].qos_loss_measured, 0.0, 0.005);
+    // Oversubscribed: still on target, growing QoS loss.
+    EXPECT_NEAR(outcomes[1].tail_mean_perf, 1.0, 0.1);
+    EXPECT_GT(outcomes[1].qos_loss_measured, 0.0);
+    EXPECT_NEAR(outcomes[2].tail_mean_perf, 1.0, 0.1);
+    EXPECT_GT(outcomes[2].qos_loss_measured,
+              outcomes[1].qos_loss_measured);
+    for (const auto &o : outcomes) {
+        EXPECT_GT(o.seconds, 0.0);
+        EXPECT_GT(o.energy_j, 0.0);
+        EXPECT_GT(o.mean_watts, 0.0);
+    }
+}
+
+TEST(ConsolidationReplay, ParallelBitIdenticalToSerial)
+{
+    auto p = makePipeline();
+    const auto cases = sampleCases();
+
+    ConsolidationReplayOptions serial;
+    serial.input = p.input;
+    serial.threads = 1;
+    const auto expected = replayConsolidation(
+        p.app, p.table, p.model, p.baseline, cases, serial);
+
+    for (const std::size_t threads : {2u, 4u, 0u}) {
+        ConsolidationReplayOptions parallel = serial;
+        parallel.threads = threads;
+        const auto actual = replayConsolidation(
+            p.app, p.table, p.model, p.baseline, cases, parallel);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < actual.size(); ++i) {
+            EXPECT_EQ(actual[i].tail_mean_perf,
+                      expected[i].tail_mean_perf)
+                << "case " << i << " threads " << threads;
+            EXPECT_EQ(actual[i].qos_loss_measured,
+                      expected[i].qos_loss_measured);
+            EXPECT_EQ(actual[i].qos_loss_estimate,
+                      expected[i].qos_loss_estimate);
+            EXPECT_EQ(actual[i].seconds, expected[i].seconds);
+            EXPECT_EQ(actual[i].energy_j, expected[i].energy_j);
+            EXPECT_EQ(actual[i].mean_watts, expected[i].mean_watts);
+        }
+    }
+}
+
+TEST(ConsolidationReplay, OriginalAppStateUntouched)
+{
+    auto p = makePipeline();
+    p.app.configure({2.0});
+    const double k_before = p.app.k();
+    ConsolidationReplayOptions options;
+    options.input = p.input;
+    replayConsolidation(p.app, p.table, p.model, p.baseline,
+                        sampleCases(), options);
+    // Replays ran on clones; the caller's instance kept its knob.
+    EXPECT_EQ(p.app.k(), k_before);
+}
+
+TEST(ConsolidationReplay, EmptyCasesReturnEmpty)
+{
+    auto p = makePipeline();
+    ConsolidationReplayOptions options;
+    options.input = p.input;
+    const auto outcomes = replayConsolidation(
+        p.app, p.table, p.model, p.baseline, {}, options);
+    EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(ConsolidationReplay, SessionOptionsComposeIntoReplays)
+{
+    // The replay batch inherits the session composition: a QoS-budget
+    // strategy with a zero budget pins replays at the baseline knob,
+    // so an oversubscribed share cannot recover the target.
+    auto p = makePipeline();
+    ConsolidationReplayOptions options;
+    options.input = p.input;
+    options.session.withStrategy(makeQosBudgetStrategy(0.0));
+    const auto outcomes = replayConsolidation(
+        p.app, p.table, p.model, p.baseline, {{0.5, 1.0}}, options);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_LT(outcomes[0].tail_mean_perf, 0.75);
+    EXPECT_NEAR(outcomes[0].qos_loss_measured, 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace powerdial::core

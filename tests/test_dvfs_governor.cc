@@ -65,6 +65,24 @@ TEST(DvfsGovernor, LiftBeforeImposeRejected)
                  std::invalid_argument);
 }
 
+TEST(DvfsGovernor, ResetReplaysSchedule)
+{
+    // core::Session resets its owned governor at every run start so
+    // the same schedule replays against each fresh machine.
+    Machine first;
+    auto gov = DvfsGovernor::powerCap(first, 1.0, 3.0);
+    first.idleFor(5.0);
+    gov.poll(first);
+    EXPECT_EQ(gov.pending(), 0u);
+
+    gov.reset();
+    EXPECT_EQ(gov.pending(), 2u);
+    Machine second;
+    second.idleFor(1.5);
+    EXPECT_TRUE(gov.poll(second));
+    EXPECT_EQ(second.pstate(), second.scale().lowestState());
+}
+
 TEST(DvfsGovernor, CustomMultiStepSchedule)
 {
     Machine m;

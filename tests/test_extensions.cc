@@ -1,5 +1,5 @@
-/** @file Tests for the extension features: policy advisor, CSV trace
- *  export, and heartbeat window statistics. */
+/** @file Tests for the extension features: strategy advisor, CSV trace
+ *  export (batch + streaming), and heartbeat window statistics. */
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -10,6 +10,7 @@
 #include "core/trace_export.h"
 #include "core/calibration.h"
 #include "core/identify.h"
+#include "core/session.h"
 #include "heartbeats/heartbeat.h"
 #include "toy_app.h"
 
@@ -24,8 +25,11 @@ TEST(PolicyAdvisor, ServerClassIdlePowerPrefersMinimalSpeedup)
     sim::PowerModel server; // Idle 90 W of 220 W peak (~41%).
     const auto advice = core::advisePolicy(
         server, sim::FrequencyScale::xeonE5530(), 2.0);
-    EXPECT_EQ(advice.policy, core::ActuationPolicy::MinimalSpeedup);
+    EXPECT_FALSE(advice.race_to_idle_wins);
+    EXPECT_EQ(advice.strategy_name, "minimal-speedup");
     EXPECT_GT(advice.race_energy_j, advice.stretch_energy_j);
+    // The factory must mint the winning strategy.
+    EXPECT_EQ(advice.makeStrategy()()->name(), "minimal-speedup");
 }
 
 TEST(PolicyAdvisor, CheapSleepAndFlatVoltagePreferRaceToIdle)
@@ -39,10 +43,12 @@ TEST(PolicyAdvisor, CheapSleepAndFlatVoltagePreferRaceToIdle)
     const auto advice = core::advisePolicy(
         flat, sim::FrequencyScale::xeonE5530(), 2.0,
         /*sleep_watts=*/5.0);
-    EXPECT_EQ(advice.policy, core::ActuationPolicy::RaceToIdle);
+    EXPECT_TRUE(advice.race_to_idle_wins);
+    EXPECT_EQ(advice.strategy_name, "race-to-idle");
     EXPECT_LT(advice.race_energy_j, advice.stretch_energy_j);
     // The break-even sits between the sleep power and idle power.
     EXPECT_GT(advice.breakeven_sleep_watts, 5.0);
+    EXPECT_EQ(advice.makeStrategy()()->name(), "race-to-idle");
 }
 
 TEST(PolicyAdvisor, ServerIdlePowerAboveBreakevenPrefersStretch)
@@ -55,7 +61,7 @@ TEST(PolicyAdvisor, ServerIdlePowerAboveBreakevenPrefersStretch)
     sim::PowerModel pm;
     const auto scale = sim::FrequencyScale::xeonE5530();
     const auto at_idle = core::advisePolicy(pm, scale, 2.0);
-    EXPECT_EQ(at_idle.policy, core::ActuationPolicy::MinimalSpeedup);
+    EXPECT_FALSE(at_idle.race_to_idle_wins);
     EXPECT_GT(at_idle.breakeven_sleep_watts, 0.0);
     EXPECT_LT(at_idle.breakeven_sleep_watts, pm.idleWatts());
 
@@ -64,7 +70,7 @@ TEST(PolicyAdvisor, ServerIdlePowerAboveBreakevenPrefersStretch)
     const auto deep_sleep = core::advisePolicy(
         pm, scale, 2.0,
         /*sleep_watts=*/0.5 * at_idle.breakeven_sleep_watts);
-    EXPECT_EQ(deep_sleep.policy, core::ActuationPolicy::RaceToIdle);
+    EXPECT_TRUE(deep_sleep.race_to_idle_wins);
 }
 
 TEST(PolicyAdvisor, Validation)
@@ -75,42 +81,79 @@ TEST(PolicyAdvisor, Validation)
                  std::invalid_argument);
 }
 
-core::ControlledRun
-sampleRun()
+/** A sample controlled run with both batch and streaming exports. */
+struct Sample
+{
+    core::ControlledRun run;
+    std::vector<core::BeatTrace> beats;
+    std::string streamed_csv;
+};
+
+Sample
+sampleRun(std::size_t decimate = 1)
 {
     tests::ToyApp app;
     auto ident = core::identifyKnobs(app);
     const auto cal = core::calibrate(app, app.trainingInputs());
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
+    auto &recorder = session.attach<core::BeatTraceRecorder>();
+    std::ostringstream stream;
+    auto &csv = session.attach<core::CsvTraceObserver>(stream, decimate);
+    (void)csv;
     sim::Machine machine;
-    return runtime.run(0, machine);
+    Sample out;
+    out.run = session.run(0, machine);
+    out.beats = recorder.beats();
+    out.streamed_csv = stream.str();
+    return out;
 }
 
 TEST(TraceExport, BeatsCsvHasHeaderAndRows)
 {
-    const auto run = sampleRun();
+    const auto sample = sampleRun();
     std::ostringstream os;
-    core::writeBeatsCsv(os, run);
+    core::writeBeatsCsv(os, sample.beats);
     const std::string csv = os.str();
     EXPECT_NE(csv.find("beat,time_s,window_rate"), std::string::npos);
     // Header + one line per beat.
     const auto lines =
         static_cast<std::size_t>(std::count(csv.begin(), csv.end(),
                                             '\n'));
-    EXPECT_EQ(lines, run.beats.size() + 1);
+    EXPECT_EQ(lines, sample.beats.size() + 1);
+}
+
+TEST(TraceExport, StreamingObserverMatchesBatchExport)
+{
+    // The CsvTraceObserver streamed during the run must produce the
+    // same bytes as the batch export of the recorded series.
+    const auto sample = sampleRun();
+    std::ostringstream batch;
+    core::writeBeatsCsv(batch, sample.beats);
+    EXPECT_EQ(sample.streamed_csv, batch.str());
+}
+
+TEST(TraceExport, StreamingObserverDecimates)
+{
+    const auto sample = sampleRun(10);
+    std::ostringstream batch;
+    core::writeBeatsCsv(batch, sample.beats, 10);
+    EXPECT_EQ(sample.streamed_csv, batch.str());
 }
 
 TEST(TraceExport, DecimationKeepsEveryNth)
 {
-    const auto run = sampleRun();
+    const auto sample = sampleRun();
     std::ostringstream os;
-    core::writeBeatsCsv(os, run, 10);
+    core::writeBeatsCsv(os, sample.beats, 10);
     const std::string csv = os.str();
     const auto lines =
         static_cast<std::size_t>(std::count(csv.begin(), csv.end(),
                                             '\n'));
-    EXPECT_EQ(lines, (run.beats.size() + 9) / 10 + 1);
-    EXPECT_THROW(core::writeBeatsCsv(os, run, 0),
+    EXPECT_EQ(lines, (sample.beats.size() + 9) / 10 + 1);
+    EXPECT_THROW(core::writeBeatsCsv(os, sample.beats, 0),
+                 std::invalid_argument);
+    std::ostringstream sink;
+    EXPECT_THROW(core::CsvTraceObserver(sink, 0),
                  std::invalid_argument);
 }
 

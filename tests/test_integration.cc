@@ -14,11 +14,31 @@
 #include "apps/videnc/videnc_app.h"
 #include "core/calibration.h"
 #include "core/identify.h"
-#include "core/runtime.h"
+#include "core/session.h"
 #include "sim/energy_meter.h"
 
 namespace powerdial {
 namespace {
+
+/** Session run with a beat-trace recorder attached. */
+struct TracedRun
+{
+    core::ControlledRun run;
+    std::vector<core::BeatTrace> beats;
+};
+
+TracedRun
+runTraced(core::Session &session, std::size_t input,
+          sim::Machine &machine)
+{
+    // Owned (attach) rather than borrowed: the recorder must outlive
+    // the session in case the caller runs it again later.
+    auto &recorder = session.attach<core::BeatTraceRecorder>();
+    TracedRun out;
+    out.run = session.run(input, machine);
+    out.beats = recorder.beats();
+    return out;
+}
 
 /**
  * Run the section 5.4 power-cap scenario on an app and check the
@@ -41,35 +61,37 @@ powerCapScenario(core::App &app, double tolerance)
     app.loadInput(input);
     const double observed_rate =
         static_cast<double>(app.unitCount()) / baseline_run.seconds;
-    core::RuntimeOptions options;
-    options.target_rate = observed_rate;
-    core::Runtime runtime(app, ident.table, cal.model, options);
     sim::Machine machine;
     const double expected = baseline_run.seconds;
-    auto governor = sim::DvfsGovernor::powerCap(
-        machine, 0.25 * expected, 0.75 * expected);
-    const auto run = runtime.run(input, machine, &governor);
+    core::Session session(
+        app, ident.table, cal.model,
+        core::SessionOptions()
+            .withTargetRate(observed_rate)
+            .withGovernor(sim::DvfsGovernor::powerCap(
+                machine, 0.25 * expected, 0.75 * expected)));
+    const auto traced = runTraced(session, input, machine);
+    const auto &beats = traced.beats;
 
     // Mid-run (capped): performance recovered to target. Applications
     // with noisy per-unit work (the paper singles out swish++) need
     // the same sliding-window averaging the paper's figures use, so
     // check the mean over the middle fifth of the run.
-    const std::size_t lo = run.beats.size() * 2 / 5;
-    const std::size_t hi = run.beats.size() * 3 / 5;
+    const std::size_t lo = beats.size() * 2 / 5;
+    const std::size_t hi = beats.size() * 3 / 5;
     double perf = 0.0;
     double max_gain = 0.0;
     for (std::size_t i = lo; i < hi; ++i) {
-        perf += run.beats[i].normalized_perf;
-        max_gain = std::max(max_gain, run.beats[i].knob_gain);
+        perf += beats[i].normalized_perf;
+        max_gain = std::max(max_gain, beats[i].knob_gain);
     }
     perf /= static_cast<double>(hi - lo);
-    EXPECT_EQ(run.beats[(lo + hi) / 2].pstate,
+    EXPECT_EQ(beats[(lo + hi) / 2].pstate,
               machine.scale().lowestState());
     EXPECT_NEAR(perf, 1.0, tolerance);
     EXPECT_GT(max_gain, 1.0);
 
     // End of run (cap lifted): back at the baseline setting.
-    EXPECT_EQ(run.beats.back().combination,
+    EXPECT_EQ(beats.back().combination,
               cal.model.baselineCombination());
 }
 
@@ -118,26 +140,29 @@ TEST(Integration, VidencPowerCap)
     const auto baseline =
         core::runFixed(app, input, app.defaultCombination());
     app.loadInput(input);
-    core::RuntimeOptions options;
-    options.target_rate =
-        static_cast<double>(app.unitCount()) / baseline.seconds;
-    core::Runtime runtime(app, ident.table, cal.model, options);
     sim::Machine machine;
-    auto governor = sim::DvfsGovernor::powerCap(
-        machine, 0.25 * baseline.seconds, 0.75 * baseline.seconds);
-    const auto run = runtime.run(input, machine, &governor);
+    core::Session session(
+        app, ident.table, cal.model,
+        core::SessionOptions()
+            .withTargetRate(static_cast<double>(app.unitCount()) /
+                            baseline.seconds)
+            .withGovernor(sim::DvfsGovernor::powerCap(
+                machine, 0.25 * baseline.seconds,
+                0.75 * baseline.seconds)));
+    const auto traced = runTraced(session, input, machine);
+    const auto &beats = traced.beats;
 
-    const std::size_t lo = run.beats.size() * 2 / 5;
-    const std::size_t hi = run.beats.size() * 3 / 5;
+    const std::size_t lo = beats.size() * 2 / 5;
+    const std::size_t hi = beats.size() * 3 / 5;
     double perf = 0.0, max_gain = 0.0;
     for (std::size_t i = lo; i < hi; ++i) {
-        perf += run.beats[i].normalized_perf;
-        max_gain = std::max(max_gain, run.beats[i].knob_gain);
+        perf += beats[i].normalized_perf;
+        max_gain = std::max(max_gain, beats[i].knob_gain);
     }
     perf /= static_cast<double>(hi - lo);
     EXPECT_NEAR(perf, 1.0, 0.15);
     EXPECT_GT(max_gain, 1.0);
-    EXPECT_EQ(run.beats.back().combination,
+    EXPECT_EQ(beats.back().combination,
               cal.model.baselineCombination());
 }
 
@@ -160,21 +185,24 @@ TEST(Integration, BodytrackPowerCap)
     const auto baseline =
         core::runFixed(app, input, app.defaultCombination());
     app.loadInput(input);
-    core::RuntimeOptions options;
-    options.target_rate =
-        static_cast<double>(app.unitCount()) / baseline.seconds;
-    core::Runtime runtime(app, ident.table, cal.model, options);
     sim::Machine machine;
-    auto governor = sim::DvfsGovernor::powerCap(
-        machine, 0.25 * baseline.seconds, 0.75 * baseline.seconds);
-    const auto run = runtime.run(input, machine, &governor);
+    core::Session session(
+        app, ident.table, cal.model,
+        core::SessionOptions()
+            .withTargetRate(static_cast<double>(app.unitCount()) /
+                            baseline.seconds)
+            .withGovernor(sim::DvfsGovernor::powerCap(
+                machine, 0.25 * baseline.seconds,
+                0.75 * baseline.seconds)));
+    const auto traced = runTraced(session, input, machine);
+    const auto &beats = traced.beats;
 
-    const std::size_t lo = run.beats.size() * 2 / 5;
-    const std::size_t hi = run.beats.size() * 3 / 5;
+    const std::size_t lo = beats.size() * 2 / 5;
+    const std::size_t hi = beats.size() * 3 / 5;
     double perf = 0.0, max_gain = 0.0;
     for (std::size_t i = lo; i < hi; ++i) {
-        perf += run.beats[i].normalized_perf;
-        max_gain = std::max(max_gain, run.beats[i].knob_gain);
+        perf += beats[i].normalized_perf;
+        max_gain = std::max(max_gain, beats[i].knob_gain);
     }
     perf /= static_cast<double>(hi - lo);
     EXPECT_NEAR(perf, 1.0, 0.12);
@@ -200,19 +228,19 @@ TEST(Integration, Figure6ProtocolHoldsPerformanceAtLowFrequency)
     ASSERT_TRUE(ident.analysis.accepted);
     const auto cal = core::calibrate(app, app.trainingInputs());
 
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
     sim::Machine machine;
     machine.setPState(machine.scale().lowestState());
-    const auto run =
-        runtime.run(app.productionInputs().front(), machine);
+    const auto traced =
+        runTraced(session, app.productionInputs().front(), machine);
 
-    const std::size_t tail = run.beats.size() / 2;
+    const std::size_t tail = traced.beats.size() / 2;
     double perf = 0.0;
-    for (std::size_t i = tail; i < run.beats.size(); ++i)
-        perf += run.beats[i].normalized_perf;
-    perf /= static_cast<double>(run.beats.size() - tail);
+    for (std::size_t i = tail; i < traced.beats.size(); ++i)
+        perf += traced.beats[i].normalized_perf;
+    perf /= static_cast<double>(traced.beats.size() - tail);
     EXPECT_NEAR(perf, 1.0, 0.05);
-    EXPECT_GT(run.mean_qos_loss_estimate, 0.0);
+    EXPECT_GT(traced.run.mean_qos_loss_estimate, 0.0);
 }
 
 TEST(Integration, LowerFrequencyWithControlUsesLessPower)
@@ -228,13 +256,13 @@ TEST(Integration, LowerFrequencyWithControlUsesLessPower)
     auto ident = core::identifyKnobs(app);
     ASSERT_TRUE(ident.analysis.accepted);
     const auto cal = core::calibrate(app, app.trainingInputs());
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
 
     auto meanPowerAt = [&](std::size_t pstate) {
         sim::Machine machine;
         machine.setPState(pstate);
         machine.setUtilization(1.0);
-        runtime.run(app.productionInputs().front(), machine);
+        session.run(app.productionInputs().front(), machine);
         return machine.meanWatts();
     };
     EXPECT_LT(meanPowerAt(6), meanPowerAt(0));
@@ -254,27 +282,28 @@ TEST(Integration, ConsolidatedMachineHoldsRateWhenOversubscribed)
     auto ident = core::identifyKnobs(app);
     ASSERT_TRUE(ident.analysis.accepted);
     const auto cal = core::calibrate(app, app.trainingInputs());
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
 
     sim::Machine machine;
     machine.setShare(0.25); // 32 instances on 8 cores.
     machine.setUtilization(1.0);
-    const auto run =
-        runtime.run(app.productionInputs().front(), machine);
-    const std::size_t tail = run.beats.size() / 2;
+    const auto traced =
+        runTraced(session, app.productionInputs().front(), machine);
+    const std::size_t tail = traced.beats.size() / 2;
     double perf = 0.0;
-    for (std::size_t i = tail; i < run.beats.size(); ++i)
-        perf += run.beats[i].normalized_perf;
-    perf /= static_cast<double>(run.beats.size() - tail);
+    for (std::size_t i = tail; i < traced.beats.size(); ++i)
+        perf += traced.beats[i].normalized_perf;
+    perf /= static_cast<double>(traced.beats.size() - tail);
     EXPECT_NEAR(perf, 1.0, 0.1);
-    EXPECT_GT(run.mean_qos_loss_estimate, 0.0);
+    EXPECT_GT(traced.run.mean_qos_loss_estimate, 0.0);
 }
 
 TEST(Integration, ControlOverheadInsignificant)
 {
     // Section 5.1: "The overhead of the PowerDial control system is
     // insignificant." Compare controlled vs uncontrolled virtual time
-    // on an undisturbed machine.
+    // on an undisturbed machine — with no observers attached, like a
+    // production deployment.
     apps::swaptions::SwaptionsConfig config;
     config.sim_values = apps::swaptions::SwaptionsConfig::makeRange(
         500, 2000, 500);
@@ -283,11 +312,11 @@ TEST(Integration, ControlOverheadInsignificant)
     apps::swaptions::SwaptionsApp app(config);
     auto ident = core::identifyKnobs(app);
     const auto cal = core::calibrate(app, app.trainingInputs());
-    core::Runtime runtime(app, ident.table, cal.model);
+    core::Session session(app, ident.table, cal.model);
 
     const auto input = app.productionInputs().front();
     sim::Machine controlled;
-    const auto run = runtime.run(input, controlled);
+    const auto run = session.run(input, controlled);
     const auto fixed =
         core::runFixed(app, input, app.defaultCombination());
     EXPECT_NEAR(run.seconds, fixed.seconds, 0.02 * fixed.seconds);

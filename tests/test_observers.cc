@@ -1,0 +1,244 @@
+/** @file Tests for the RunObserver seam: ordering, exception safety,
+ *  ownership, and recorder reuse. */
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/session.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+struct Pipeline
+{
+    ToyApp app;
+    KnobTable table;
+    ResponseModel model;
+};
+
+Pipeline
+makePipeline()
+{
+    ToyApp::Config config;
+    config.units = 60;
+    Pipeline p{ToyApp(config), {}, {}};
+    auto ident = identifyKnobs(p.app);
+    EXPECT_TRUE(ident.analysis.accepted);
+    p.table = std::move(ident.table);
+    p.model = calibrate(p.app, p.app.trainingInputs()).model;
+    return p;
+}
+
+/** Appends "<tag>:<event>" markers to a shared log. */
+class LoggingObserver final : public RunObserver
+{
+  public:
+    LoggingObserver(std::string tag, std::vector<std::string> &log)
+        : tag_(std::move(tag)), log_(&log)
+    {
+    }
+
+    void
+    onRunStart(const RunStartEvent &) override
+    {
+        log_->push_back(tag_ + ":start");
+    }
+    void
+    onQuantum(const QuantumEvent &) override
+    {
+        log_->push_back(tag_ + ":quantum");
+    }
+    void
+    onBeat(const BeatEvent &event) override
+    {
+        if (event.beat == 0)
+            log_->push_back(tag_ + ":beat0");
+    }
+    void
+    onRunEnd(const ControlledRun &) override
+    {
+        log_->push_back(tag_ + ":end");
+    }
+
+  private:
+    std::string tag_;
+    std::vector<std::string> *log_;
+};
+
+/** Throws on the n-th beat. */
+class ThrowingObserver final : public RunObserver
+{
+  public:
+    explicit ThrowingObserver(std::size_t throw_at)
+        : throw_at_(throw_at)
+    {
+    }
+
+    void
+    onBeat(const BeatEvent &event) override
+    {
+        ++beats_seen_;
+        if (event.beat == throw_at_)
+            throw std::runtime_error("observer exploded");
+    }
+
+    std::size_t beatsSeen() const { return beats_seen_; }
+
+  private:
+    std::size_t throw_at_;
+    std::size_t beats_seen_ = 0;
+};
+
+TEST(Observers, NotifiedInRegistrationOrder)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    std::vector<std::string> log;
+    LoggingObserver first("a", log);
+    LoggingObserver second("b", log);
+    session.observe(first);
+    session.observe(second);
+    sim::Machine machine;
+    session.run(0, machine);
+
+    ASSERT_GE(log.size(), 6u);
+    // Start events in order.
+    EXPECT_EQ(log[0], "a:start");
+    EXPECT_EQ(log[1], "b:start");
+    // First beat events in order.
+    EXPECT_EQ(log[2], "a:beat0");
+    EXPECT_EQ(log[3], "b:beat0");
+    // End events in order.
+    EXPECT_EQ(log[log.size() - 2], "a:end");
+    EXPECT_EQ(log[log.size() - 1], "b:end");
+    // Quantum events arrived (60 units / 20 per quantum -> 2 barriers).
+    EXPECT_NE(std::find(log.begin(), log.end(), "a:quantum"),
+              log.end());
+}
+
+TEST(Observers, ExceptionAbortsRunAndPropagates)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    auto &thrower = session.attach<ThrowingObserver>(5);
+    sim::Machine machine;
+    EXPECT_THROW(session.run(0, machine), std::runtime_error);
+    // The run stopped at the throwing beat, not at the end.
+    EXPECT_EQ(thrower.beatsSeen(), 6u); // Beats 0..5 inclusive.
+}
+
+TEST(Observers, EarlierObserverSeesEventLaterDoesNot)
+{
+    // Ordering under exceptions: the observer registered *before* the
+    // thrower received the fatal beat; the one registered after it
+    // did not.
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    auto &before = session.attach<ThrowingObserver>(1000000); // Never.
+    auto &thrower = session.attach<ThrowingObserver>(3);
+    auto &after = session.attach<ThrowingObserver>(1000000); // Never.
+    sim::Machine machine;
+    EXPECT_THROW(session.run(0, machine), std::runtime_error);
+    EXPECT_EQ(before.beatsSeen(), 4u); // Beats 0..3.
+    EXPECT_EQ(thrower.beatsSeen(), 4u);
+    EXPECT_EQ(after.beatsSeen(), 3u); // Beats 0..2 only.
+}
+
+TEST(Observers, SessionUsableAfterObserverException)
+{
+    // An aborted run must not poison the session: with the faulty
+    // observer gone (borrowed registration), the next run completes.
+    auto p = makePipeline();
+    ThrowingObserver thrower(2);
+    BeatTraceRecorder recorder;
+    {
+        Session session(p.app, p.table, p.model);
+        session.observe(thrower);
+        sim::Machine machine;
+        EXPECT_THROW(session.run(0, machine), std::runtime_error);
+    }
+    Session session(p.app, p.table, p.model);
+    session.observe(recorder);
+    sim::Machine machine;
+    const auto run = session.run(0, machine);
+    EXPECT_EQ(run.beat_count, 60u);
+    EXPECT_EQ(recorder.beats().size(), 60u);
+}
+
+TEST(Observers, RecorderResetsBetweenRuns)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    BeatTraceRecorder recorder;
+    session.observe(recorder);
+    sim::Machine m1;
+    session.run(0, m1);
+    const auto first_beats = recorder.beats().size();
+    sim::Machine m2;
+    session.run(1, m2);
+    EXPECT_EQ(recorder.beats().size(), first_beats);
+    // The second run's trace starts at the second machine's origin,
+    // not appended after the first run's.
+    EXPECT_LE(recorder.beats().front().time_s,
+              recorder.beats()[1].time_s);
+}
+
+TEST(Observers, OwnedObserverLifetimeTiedToSession)
+{
+    auto p = makePipeline();
+    sim::Machine machine;
+    std::size_t beats = 0;
+    {
+        Session session(p.app, p.table, p.model);
+        auto &recorder = session.attach<BeatTraceRecorder>();
+        session.run(0, machine);
+        beats = recorder.beats().size();
+    } // Owned recorder destroyed with the session; no leak, no dangle.
+    EXPECT_EQ(beats, 60u);
+}
+
+TEST(Observers, NullOwnedObserverRejected)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    EXPECT_THROW(session.observe(std::unique_ptr<RunObserver>()),
+                 std::invalid_argument);
+}
+
+TEST(Observers, QuantumEventCarriesPlanAndCommand)
+{
+    auto p = makePipeline();
+
+    class QuantumChecker final : public RunObserver
+    {
+      public:
+        void
+        onQuantum(const QuantumEvent &event) override
+        {
+            ++quanta;
+            EXPECT_GT(event.window_rate, 0.0);
+            EXPECT_GE(event.commanded_speedup, 1.0);
+            EXPECT_FALSE(event.plan.slices.empty());
+            EXPECT_EQ(event.beat % 20, 0u);
+        }
+        std::size_t quanta = 0;
+    };
+
+    Session session(p.app, p.table, p.model);
+    auto &checker = session.attach<QuantumChecker>();
+    sim::Machine machine;
+    session.run(0, machine);
+    EXPECT_EQ(checker.quanta, 2u); // 60 units, quanta at beats 20, 40.
+}
+
+} // namespace
+} // namespace powerdial::core

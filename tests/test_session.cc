@@ -1,0 +1,304 @@
+/** @file Tests for the PowerDial Session control runtime. */
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/session.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+struct Pipeline
+{
+    ToyApp app;
+    KnobTable table;
+    ResponseModel model;
+};
+
+Pipeline
+makePipeline(const ToyApp::Config &config = {})
+{
+    Pipeline p{ToyApp(config), {}, {}};
+    auto ident = identifyKnobs(p.app);
+    EXPECT_TRUE(ident.analysis.accepted);
+    p.table = std::move(ident.table);
+    p.model = calibrate(p.app, p.app.trainingInputs()).model;
+    return p;
+}
+
+/** Run with a trace recorder attached, returning run + beats. */
+struct TracedRun
+{
+    ControlledRun run;
+    std::vector<BeatTrace> beats;
+};
+
+TracedRun
+runTraced(Session &session, std::size_t input, sim::Machine &machine)
+{
+    // Owned (attach) rather than borrowed: the recorder must outlive
+    // the session in case the caller runs it again later.
+    auto &recorder = session.attach<BeatTraceRecorder>();
+    TracedRun out;
+    out.run = session.run(input, machine);
+    out.beats = recorder.beats();
+    return out;
+}
+
+TEST(Session, HoldsTargetOnUnloadedMachine)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    sim::Machine machine;
+    const auto traced = runTraced(session, 2, machine);
+    // No disturbance: the app should stay at the baseline setting and
+    // the observed rate should sit at the target.
+    const auto &last = traced.beats.back();
+    EXPECT_NEAR(last.normalized_perf, 1.0, 0.05);
+    EXPECT_NEAR(traced.run.mean_qos_loss_estimate, 0.0, 0.005);
+}
+
+TEST(Session, RecoversPerformanceUnderPowerCap)
+{
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    sim::Machine machine;
+    // Cap at one quarter of the expected run, lift at three quarters
+    // (the paper's section 5.4 scenario). The calibrated baseline time
+    // already reflects the 600-unit inputs. The governor is an owned
+    // component of the options now.
+    const double expected = p.model.baselineSeconds();
+    Session session(p.app, p.table, p.model,
+                    SessionOptions().withGovernor(
+                        sim::DvfsGovernor::powerCap(
+                            machine, 0.25 * expected, 0.75 * expected)));
+    const auto traced = runTraced(session, 2, machine);
+    const auto &beats = traced.beats;
+
+    // While capped (middle of the run), performance must return to
+    // within 10% of target after the controller reacts.
+    const std::size_t mid = beats.size() / 2;
+    EXPECT_NEAR(beats[mid].normalized_perf, 1.0, 0.1);
+    // The knob gain must exceed 1 while the cap is in force.
+    EXPECT_GT(beats[mid].knob_gain, 1.0);
+    // And the machine must really have been capped at that point.
+    EXPECT_EQ(beats[mid].pstate, machine.scale().lowestState());
+    // After the cap lifts, the app must return to the baseline knobs.
+    EXPECT_EQ(beats.back().combination, p.model.baselineCombination());
+}
+
+TEST(Session, GovernorResetsBetweenRuns)
+{
+    // The owned governor replays its schedule on every run: both runs
+    // must see the capped region, not just the first.
+    ToyApp::Config config;
+    config.units = 400;
+    auto p = makePipeline(config);
+    const double expected = p.model.baselineSeconds();
+
+    sim::Machine probe;
+    Session session(p.app, p.table, p.model,
+                    SessionOptions().withGovernor(
+                        sim::DvfsGovernor::powerCap(
+                            probe, 0.25 * expected, 0.75 * expected)));
+
+    BeatTraceRecorder recorder; // Resets itself at each run start.
+    session.observe(recorder);
+    auto cappedBeats = [&session, &recorder](sim::Machine &machine) {
+        session.run(2, machine);
+        std::size_t capped = 0;
+        for (const auto &b : recorder.beats())
+            capped += b.pstate != 0 ? 1u : 0u;
+        return capped;
+    };
+
+    sim::Machine m1, m2;
+    const std::size_t first = cappedBeats(m1);
+    const std::size_t second = cappedBeats(m2);
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(first, second);
+
+    // The schedule is re-anchored at each run's start time, so even a
+    // machine that carries virtual time over from the previous run
+    // sees the same capped region (not an instantly-expired schedule).
+    const std::size_t reused = cappedBeats(m1);
+    EXPECT_EQ(reused, first);
+}
+
+TEST(Session, WithoutKnobsPerformanceDegradesUnderCap)
+{
+    ToyApp::Config config;
+    config.units = 400;
+    auto p = makePipeline(config);
+    sim::Machine machine;
+    Session session(p.app, p.table, p.model,
+                    SessionOptions()
+                        .withKnobsEnabled(false)
+                        .withGovernor(sim::DvfsGovernor::powerCap(
+                            machine, 0.05, 1e9)));
+    const auto traced = runTraced(session, 2, machine);
+    // The ~x markers of Figure 7: performance settles at f_low/f_high.
+    const auto &last = traced.beats.back();
+    EXPECT_NEAR(last.normalized_perf, 1.6 / 2.4, 0.05);
+}
+
+TEST(Session, RaceToIdleInsertsIdleTime)
+{
+    ToyApp::Config config;
+    config.units = 400;
+    auto p = makePipeline(config);
+    sim::Machine machine;
+    Session session(p.app, p.table, p.model,
+                    SessionOptions()
+                        .withStrategy(makeRaceToIdleStrategy())
+                        .withGovernor(sim::DvfsGovernor::powerCap(
+                            machine, 0.05, 1e9)));
+    const auto traced = runTraced(session, 2, machine);
+    // Performance still near target under the cap...
+    EXPECT_NEAR(traced.beats.back().normalized_perf, 1.0, 0.1);
+    // ...but the trace must contain idle (low-power) segments.
+    bool saw_idle = false;
+    for (const auto &seg : machine.powerTrace())
+        saw_idle |= seg.watts == machine.powerModel().idleWatts();
+    EXPECT_TRUE(saw_idle);
+}
+
+TEST(Session, HigherTargetForcesQosSacrifice)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model,
+                    SessionOptions().withTargetRate(
+                        p.model.baselineRate() * 3.0));
+    sim::Machine machine;
+    const auto traced = runTraced(session, 2, machine);
+    EXPECT_GT(traced.run.mean_qos_loss_estimate, 0.0);
+    EXPECT_NEAR(traced.beats.back().normalized_perf, 1.0, 0.15);
+}
+
+TEST(Session, BeatTraceIsComplete)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    sim::Machine machine;
+    const auto traced = runTraced(session, 0, machine);
+    EXPECT_EQ(traced.beats.size(), 200u);
+    EXPECT_EQ(traced.run.beat_count, 200u);
+    EXPECT_GT(traced.run.seconds, 0.0);
+    ASSERT_EQ(traced.run.output.components.size(), 1u);
+    // Timestamps must be monotone.
+    for (std::size_t i = 1; i < traced.beats.size(); ++i)
+        EXPECT_GE(traced.beats[i].time_s, traced.beats[i - 1].time_s);
+}
+
+TEST(Session, RunWithoutObserversStillReportsCounts)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    sim::Machine machine;
+    const auto run = session.run(0, machine);
+    EXPECT_EQ(run.beat_count, 200u);
+    EXPECT_GT(run.seconds, 0.0);
+}
+
+TEST(Session, OptionValidation)
+{
+    auto p = makePipeline();
+    EXPECT_THROW(Session(p.app, p.table, p.model,
+                         SessionOptions().withQuantum(0)),
+                 std::invalid_argument);
+    EXPECT_THROW(Session(p.app, p.table, p.model,
+                         SessionOptions().withWindow(0)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        Session(p.app, p.table, p.model,
+                SessionOptions().withPolicy(
+                    [] { return std::unique_ptr<ControlPolicy>(); })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Session(p.app, p.table, p.model,
+                SessionOptions().withStrategy(
+                    [] { return std::unique_ptr<ActuationStrategy>(); })),
+        std::invalid_argument);
+}
+
+TEST(Session, CustomPoliciesHoldTargetUnderCap)
+{
+    // The new control laws must also ride through the section 5.4
+    // power cap on the toy plant.
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    const double expected = p.model.baselineSeconds();
+
+    for (const auto &factory :
+         {makePidPolicy(), makeGainScheduledPolicy()}) {
+        sim::Machine machine;
+        Session session(p.app, p.table, p.model,
+                        SessionOptions()
+                            .withPolicy(factory)
+                            .withGovernor(sim::DvfsGovernor::powerCap(
+                                machine, 0.25 * expected,
+                                0.75 * expected)));
+        const auto traced = runTraced(session, 2, machine);
+        const auto &beats = traced.beats;
+        const std::size_t lo = beats.size() * 2 / 5;
+        const std::size_t hi = beats.size() * 3 / 5;
+        double perf = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            perf += beats[i].normalized_perf;
+        perf /= static_cast<double>(hi - lo);
+        EXPECT_NEAR(perf, 1.0, 0.12)
+            << session.policy().name() << " failed under the cap";
+    }
+}
+
+TEST(Session, RebindKnobTableDrivesClone)
+{
+    auto p = makePipeline();
+    auto clone = p.app.clone();
+    KnobTable rebound = rebindKnobTable(p.table, *clone);
+    ASSERT_EQ(rebound.variableCount(), p.table.variableCount());
+    // Applying a combination through the rebound table must move the
+    // *clone's* control variable, not the original's.
+    const double original_k = p.app.k();
+    rebound.apply(3);
+    auto *toy = dynamic_cast<ToyApp *>(clone.get());
+    ASSERT_NE(toy, nullptr);
+    EXPECT_EQ(toy->k(), p.app.knobSpace().valuesOf(3)[0]);
+    EXPECT_EQ(p.app.k(), original_k);
+}
+
+/** Property: the controller holds target across all seven P-states. */
+class SessionAtFrequency : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SessionAtFrequency, HoldsBaselineRate)
+{
+    // The Figure 6 protocol: pin the machine at a P-state and ask
+    // PowerDial to hold the 2.4 GHz baseline rate. The paper verifies
+    // delivered performance within 5% of target at every state.
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    Session session(p.app, p.table, p.model);
+    sim::Machine machine;
+    machine.setPState(GetParam());
+    const auto traced = runTraced(session, 2, machine);
+    const std::size_t tail = traced.beats.size() * 3 / 4;
+    double perf = 0.0;
+    for (std::size_t i = tail; i < traced.beats.size(); ++i)
+        perf += traced.beats[i].normalized_perf;
+    perf /= static_cast<double>(traced.beats.size() - tail);
+    EXPECT_NEAR(perf, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PStates, SessionAtFrequency,
+                         ::testing::Range<std::size_t>(0, 7));
+
+} // namespace
+} // namespace powerdial::core
