@@ -12,12 +12,26 @@
  * bodytrack -17%, swaptions -18%, swish++ -16% at 1.6 GHz) while QoS
  * loss grows but stays small for the PARSEC apps.
  */
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "bench_common.h"
+#include "core/thread_pool.h"
 
 using namespace powerdial;
 using namespace powerdial::bench;
 
 namespace {
+
+/** One P-state's measured row of the figure. */
+struct StateRow
+{
+    double watts = 0.0;
+    double qos = 0.0;
+    double perf = 0.0;
+    double gain = 0.0;
+};
 
 void
 figurePanel(core::App &sweep, core::App &app,
@@ -34,50 +48,72 @@ figurePanel(core::App &sweep, core::App &app,
     const auto baseline = core::runFixed(app, input,
                                          app.defaultCombination());
     app.loadInput(input);
-    core::Session session(
-        app, cal.ident.table, cal.training.model,
-        core::SessionOptions().withTargetRate(
-            static_cast<double>(app.unitCount()) / baseline.seconds));
-    core::BeatTraceRecorder trace;
-    session.observe(trace); // Reset at each run start; reusable.
+    const double target =
+        static_cast<double>(app.unitCount()) / baseline.seconds;
 
-    std::printf("%10s %12s %12s %12s %12s\n", "freq_GHz", "power_W",
-                "qos_loss%", "perf/target", "knob_gain");
-    sim::Machine probe;
-    double power_at_max = 0.0;
-    for (std::size_t pstate = 0; pstate < probe.scale().states();
-         ++pstate) {
+    // The per-P-state runs are independent sessions since the Session
+    // redesign: fan them out over the pool, each on a private clone
+    // with a rebound knob table, and merge rows in P-state order so
+    // the table is byte-identical at any thread count.
+    const std::size_t states = sim::Machine().scale().states();
+    std::vector<std::unique_ptr<core::App>> clones(states);
+    std::vector<core::KnobTable> tables;
+    tables.reserve(states);
+    for (std::size_t s = 0; s < states; ++s) {
+        clones[s] = app.clone();
+        tables.push_back(
+            core::rebindKnobTable(cal.ident.table, *clones[s]));
+    }
+    std::vector<StateRow> rows(states);
+    const auto runState = [&](std::size_t pstate,
+                              std::size_t /*worker*/) {
+        core::Session session(
+            *clones[pstate], tables[pstate], cal.training.model,
+            core::SessionOptions().withTargetRate(target));
+        auto &trace = session.attach<core::BeatTraceRecorder>();
         sim::Machine machine;
         machine.setPState(pstate);
         machine.setUtilization(1.0); // App keeps the machine busy.
         const auto run = session.run(input, machine);
         const auto &beats = trace.beats();
 
-        const double qos =
-            qos::distortion(baseline.output, run.output);
-        const double watts = machine.meanWatts();
-        if (pstate == 0)
-            power_at_max = watts;
+        StateRow row;
+        row.qos = qos::distortion(baseline.output, run.output);
+        row.watts = machine.meanWatts();
 
         // Tail-mean performance (after convergence), like the paper's
         // "within 5% of the target" verification.
         const std::size_t tail = beats.size() / 2;
-        double perf = 0.0, gain = 0.0;
         for (std::size_t i = tail; i < beats.size(); ++i) {
-            perf += beats[i].normalized_perf;
-            gain += beats[i].knob_gain;
+            row.perf += beats[i].normalized_perf;
+            row.gain += beats[i].knob_gain;
         }
-        perf /= static_cast<double>(beats.size() - tail);
-        gain /= static_cast<double>(beats.size() - tail);
-
-        std::printf("%10.2f %12.1f %12.3f %12.3f %12.2f\n",
-                    machine.scale().frequencyHz(pstate) / 1e9, watts,
-                    100.0 * qos, perf, gain);
-        if (pstate + 1 == probe.scale().states()) {
-            std::printf("-- power reduction at 1.6 GHz: %.1f%%\n",
-                        100.0 * (power_at_max - watts) / power_at_max);
-        }
+        row.perf /= static_cast<double>(beats.size() - tail);
+        row.gain /= static_cast<double>(beats.size() - tail);
+        rows[pstate] = row;
+    };
+    if (bopts.threads == 1) {
+        for (std::size_t s = 0; s < states; ++s)
+            runState(s, 0);
+    } else {
+        core::ThreadPool pool(bopts.threads == 0
+                                  ? 0
+                                  : std::min(bopts.threads, states));
+        pool.parallelFor(states, runState);
     }
+
+    std::printf("%10s %12s %12s %12s %12s\n", "freq_GHz", "power_W",
+                "qos_loss%", "perf/target", "knob_gain");
+    sim::Machine probe;
+    for (std::size_t pstate = 0; pstate < states; ++pstate) {
+        const StateRow &row = rows[pstate];
+        std::printf("%10.2f %12.1f %12.3f %12.3f %12.2f\n",
+                    probe.scale().frequencyHz(pstate) / 1e9, row.watts,
+                    100.0 * row.qos, row.perf, row.gain);
+    }
+    std::printf("-- power reduction at 1.6 GHz: %.1f%%\n",
+                100.0 * (rows.front().watts - rows.back().watts) /
+                    rows.front().watts);
 }
 
 } // namespace

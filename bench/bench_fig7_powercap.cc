@@ -14,8 +14,11 @@
  * returns to baseline; the no-knobs run sits at ~0.67 while capped.
  */
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/thread_pool.h"
 
 using namespace powerdial;
 using namespace powerdial::bench;
@@ -38,24 +41,53 @@ figurePanel(core::App &sweep, core::App &app,
                           baseline_fixed.seconds;
     const double duration = baseline_fixed.seconds;
 
-    auto runWith = [&](bool knobs, bool capped) {
+    // The three runs (uncapped baseline, dynamic knobs under the cap,
+    // no knobs under the cap) are independent sessions: fan them out
+    // over the pool on private clones, merged in fixed order so the
+    // series is byte-identical at any thread count.
+    struct RunSpec
+    {
+        bool knobs;
+        bool capped;
+    };
+    const std::vector<RunSpec> specs{
+        {true, false}, {true, true}, {false, true}};
+    std::vector<std::unique_ptr<core::App>> clones(specs.size());
+    std::vector<core::KnobTable> tables;
+    tables.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        clones[i] = app.clone();
+        tables.push_back(
+            core::rebindKnobTable(cal.ident.table, *clones[i]));
+    }
+    std::vector<std::vector<core::BeatTrace>> series(specs.size());
+    const auto runSpec = [&](std::size_t i, std::size_t /*worker*/) {
         core::SessionOptions opt =
             core::SessionOptions().withTargetRate(target)
-                .withKnobsEnabled(knobs);
+                .withKnobsEnabled(specs[i].knobs);
         sim::Machine machine;
-        if (capped)
+        if (specs[i].capped)
             opt.withGovernor(sim::DvfsGovernor::powerCap(
                 machine, 0.25 * duration, 0.75 * duration));
-        core::Session session(app, cal.ident.table,
+        core::Session session(*clones[i], tables[i],
                               cal.training.model, opt);
         auto &trace = session.attach<core::BeatTraceRecorder>();
         session.run(input, machine);
-        return trace.beats();
+        series[i] = trace.beats();
     };
-
-    const auto baseline = runWith(true, false);
-    const auto knobs = runWith(true, true);
-    const auto noknobs = runWith(false, true);
+    if (bopts.threads == 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runSpec(i, 0);
+    } else {
+        core::ThreadPool pool(
+            bopts.threads == 0
+                ? 0
+                : std::min(bopts.threads, specs.size()));
+        pool.parallelFor(specs.size(), runSpec);
+    }
+    const auto &baseline = series[0];
+    const auto &knobs = series[1];
+    const auto &noknobs = series[2];
 
     // Print a decimated time series (normalized time in [0, 1]).
     std::printf("%8s %12s %12s %12s %10s %8s\n", "beat", "baseline",

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Fleet bench: a consolidated swaptions fleet rides a load spike
+ * under a cluster-wide power cap.
+ *
+ * The datacenter scenario behind sections 3 and 5.5, closed into one
+ * loop by the fleet subsystem: an open-loop Poisson request stream
+ * (workload::makePoissonArrivals over a spiky load trace) is served
+ * by a consolidated two-machine fleet whose shared power cap a
+ * fleet::PowerArbiter re-splits every epoch, against an
+ * over-provisioned four-machine uncapped reference. The consolidated
+ * serves use power-aware placement (which packs machines, making the
+ * budget split genuinely asymmetric) and compare all three arbiter
+ * policies; the expected shape is the QoS-feedback split dominating
+ * the load-blind uniform split on tail latency and QoS loss. With
+ * one machine hosting every tenant, the two informed policies
+ * allocate identically (all headroom to the hot machine) and their
+ * rows coincide — the feedback term's distinct budget-shifting
+ * behaviour is pinned by the arbiter unit tests instead.
+ *
+ * Output is byte-identical for --threads=1 and --threads=N (the CI
+ * fleet-smoke job asserts this, and diffs the summary section against
+ * bench/golden/fleet_spike_steps50.txt).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/server.h"
+#include "workload/arrivals.h"
+#include "workload/load_trace.h"
+
+using namespace powerdial;
+using namespace powerdial::bench;
+
+namespace {
+
+struct FleetBenchOptions
+{
+    std::size_t steps = 96;  //!< Load-trace length, epochs.
+    std::size_t threads = 0; //!< Tenant-session workers (0 = all).
+};
+
+FleetBenchOptions
+parseFleetOptions(int argc, char **argv)
+{
+    FleetBenchOptions options;
+    const auto usage = [argv]() {
+        std::fprintf(stderr,
+                     "usage: %s [--steps=N] [--threads=N | -t N]\n"
+                     "  steps   load-trace epochs (default 96)\n"
+                     "  threads tenant-session workers "
+                     "(0 = all hardware contexts, 1 = serial)\n",
+                     argv[0]);
+        std::exit(2);
+    };
+    const auto parseCount = [&usage](const char *text) {
+        if (*text == '\0')
+            usage();
+        for (const char *p = text; *p != '\0'; ++p)
+            if (*p < '0' || *p > '9')
+                usage();
+        return static_cast<std::size_t>(
+            std::strtoul(text, nullptr, 10));
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--steps=", 8) == 0) {
+            options.steps = parseCount(arg + 8);
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = parseCount(arg + 10);
+        } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
+            options.threads = parseCount(argv[++i]);
+        } else {
+            usage();
+        }
+    }
+    if (options.steps == 0)
+        usage();
+    return options;
+}
+
+/** One serve configuration of the comparison table. */
+struct FleetCase
+{
+    const char *label;
+    std::size_t machines;
+    double cap_watts;
+    fleet::ArbiterPolicy policy;
+    bool power_aware;
+};
+
+void
+printEpochs(const fleet::FleetReport &report)
+{
+    std::printf("%6s %9s %7s %10s %12s %10s %8s\n", "epoch",
+                "arrivals", "active", "watts", "fleet_rate",
+                "qos_loss%", "pause");
+    const std::size_t stride =
+        std::max<std::size_t>(1, report.epochs.size() / 12);
+    for (std::size_t e = 0; e < report.epochs.size(); e += stride) {
+        const auto &epoch = report.epochs[e];
+        std::printf("%6zu %9zu %7zu %10.1f %12.1f %10.3f %8.2f\n",
+                    epoch.epoch, epoch.arrivals, epoch.active,
+                    epoch.watts, epoch.fleet_rate,
+                    100.0 * epoch.mean_qos_loss,
+                    epoch.max_pause_ratio);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = parseFleetOptions(argc, argv);
+    banner("Fleet spike: consolidated swaptions fleet under a "
+           "cluster power cap");
+
+    // Serving-sized jobs: long enough for several control quanta,
+    // short enough that a few hundred of them replay in seconds.
+    apps::swaptions::SwaptionsConfig serving_config;
+    serving_config.inputs = 8;
+    serving_config.swaptions_per_input = 120;
+    apps::swaptions::SwaptionsApp app(serving_config);
+    auto sweep = makeSwaptions();
+    auto cal = calibrateTransfer(*sweep, app, 0.05, options.threads);
+    const auto &model = cal.training.model;
+
+    // The offered load: intermittent spikes atop ~25% utilisation,
+    // turned into an open-loop Poisson request stream.
+    workload::LoadTraceParams trace_params;
+    trace_params.steps = options.steps;
+    trace_params.base_utilization = 0.25;
+    trace_params.spike_probability = 0.05;
+    workload::PoissonArrivalParams arrival_params;
+    arrival_params.peak_rate = 12.0;
+    const auto arrivals = workload::makePoissonArrivals(
+        workload::makeLoadTrace(trace_params), arrival_params);
+
+    const std::vector<FleetCase> cases{
+        {"4m uncapped", 4, 0.0, fleet::ArbiterPolicy::Uniform, false},
+        {"2m cap340 uniform", 2, 340.0, fleet::ArbiterPolicy::Uniform,
+         true},
+        {"2m cap340 util-prop", 2, 340.0,
+         fleet::ArbiterPolicy::UtilizationProportional, true},
+        {"2m cap340 qos-fb", 2, 340.0,
+         fleet::ArbiterPolicy::QosFeedback, true},
+    };
+
+    std::vector<fleet::FleetReport> reports;
+    reports.reserve(cases.size());
+    for (const FleetCase &fleet_case : cases) {
+        banner(fleet_case.label);
+        fleet::ServerOptions server_options;
+        server_options.machines = fleet_case.machines;
+        server_options.threads = options.threads;
+        // One epoch = one serving job's baseline duration. The model
+        // was calibrated on sweep-sized inputs, so derive it from the
+        // transferable per-beat rate, not baselineSeconds().
+        server_options.epoch_seconds =
+            static_cast<double>(serving_config.swaptions_per_input) /
+            model.baselineRate();
+        server_options.arbiter.cluster_cap_watts =
+            fleet_case.cap_watts;
+        server_options.arbiter.policy = fleet_case.policy;
+        if (fleet_case.power_aware)
+            server_options.placement =
+                fleet::makePowerAwarePlacement();
+        fleet::Server server(app, cal.ident.table, model,
+                             server_options);
+        reports.push_back(server.serve(arrivals));
+        printEpochs(reports.back());
+    }
+
+    banner("summary");
+    std::printf("%-22s %6s %10s %12s %10s %10s %10s\n", "fleet",
+                "jobs", "watts", "fleet_rate", "p50_lat", "p95_lat",
+                "qos_loss%");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &report = reports[i];
+        std::printf("%-22s %6zu %10.1f %12.1f %10.3f %10.3f %10.3f\n",
+                    cases[i].label, report.total_jobs,
+                    report.mean_watts, report.mean_fleet_rate,
+                    report.p50_latency_s, report.p95_latency_s,
+                    100.0 * report.mean_qos_loss);
+    }
+
+    const auto &uniform = reports[1];
+    const auto &feedback = reports[3];
+    std::printf("\nqos-feedback vs uniform split: p95 latency %.3f s "
+                "vs %.3f s (%+.1f%%), mean QoS loss %.3f%% vs %.3f%% "
+                "(%+.1f%%)\n",
+                feedback.p95_latency_s, uniform.p95_latency_s,
+                uniform.p95_latency_s > 0.0
+                    ? 100.0 * (feedback.p95_latency_s -
+                               uniform.p95_latency_s) /
+                        uniform.p95_latency_s
+                    : 0.0,
+                100.0 * feedback.mean_qos_loss,
+                100.0 * uniform.mean_qos_loss,
+                uniform.mean_qos_loss > 0.0
+                    ? 100.0 * (feedback.mean_qos_loss -
+                               uniform.mean_qos_loss) /
+                        uniform.mean_qos_loss
+                    : 0.0);
+    const bool dominates =
+        feedback.p95_latency_s < uniform.p95_latency_s ||
+        feedback.mean_qos_loss < uniform.mean_qos_loss;
+    std::printf("qos-feedback dominates uniform on at least one "
+                "metric: %s\n", dominates ? "yes" : "NO");
+    std::printf("consolidation: %zu -> %zu machines at %.0f%% of the "
+                "reference power\n", cases.front().machines,
+                cases.back().machines,
+                100.0 * reports.back().mean_watts /
+                    reports.front().mean_watts);
+    return 0;
+}

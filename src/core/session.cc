@@ -55,6 +55,13 @@ SessionOptions::withGovernor(sim::DvfsGovernor gov)
     return *this;
 }
 
+SessionOptions &
+SessionOptions::withGate(BeatGate g)
+{
+    gate = std::move(g);
+    return *this;
+}
+
 Session::Session(App &app, const KnobTable &table,
                  const ResponseModel &model, SessionOptions options)
     : app_(&app), table_(&table), model_(&model),
@@ -150,11 +157,41 @@ Session::run(std::size_t input, sim::Machine &machine)
     double qos_weighted = 0.0;
     double qos_work = 0.0;
 
+    // Calibrated point of the installed combination, refreshed only
+    // when the combination changes (it is constant within a quantum).
+    double combo_qos = 0.0;
+    double combo_speedup = 1.0;
+    const auto lookupCombo = [this, &combo_qos,
+                              &combo_speedup](std::size_t combo) {
+        combo_qos = 0.0;
+        combo_speedup = 1.0;
+        for (const auto &p : model_->allPoints()) {
+            if (p.combination == combo) {
+                combo_qos = p.qos_loss;
+                combo_speedup = p.speedup;
+                break;
+            }
+        }
+    };
+    lookupCombo(applied);
+
     for (std::size_t u = 0; u < units; ++u) {
         // Main control loop: heartbeat at the top of the loop.
         monitor.beat(machine.now());
         if (governor != nullptr)
             governor->poll(machine);
+
+        // External arbitration gate: an outside agent (e.g. the fleet
+        // power arbiter) may pause this tenant or re-actuate the
+        // machine before the unit's work runs.
+        double gate_pause_per_busy = 0.0;
+        if (options_.gate) {
+            BeatGateContext gate_ctx{u, machine};
+            options_.gate(gate_ctx);
+            if (gate_ctx.pause_seconds > 0.0)
+                machine.idleFor(gate_ctx.pause_seconds);
+            gate_pause_per_busy = gate_ctx.pause_per_busy;
+        }
 
         // Quantum boundary: run the policy and re-plan.
         if (options_.knobs_enabled && u > 0 &&
@@ -178,30 +215,25 @@ Session::run(std::size_t input, sim::Machine &machine)
         if (combo != applied) {
             table_->apply(combo);
             applied = combo;
+            lookupCombo(applied);
         }
 
         const double before = machine.now();
         app_->processUnit(u, machine);
         const double busy = machine.now() - before;
 
-        // Race-to-idle: insert the plan's idle slack after the work.
+        // Race-to-idle: insert the plan's idle slack after the work,
+        // then any externally imposed duty-cycle slack from the gate.
         const double idle_ratio = options_.knobs_enabled
             ? plan.idlePerBusySecond()
             : 0.0;
         if (idle_ratio > 0.0)
             machine.idleFor(idle_ratio * busy);
+        if (gate_pause_per_busy > 0.0)
+            machine.idleFor(gate_pause_per_busy * busy);
 
         // Account the calibrated QoS loss of the installed setting,
         // weighted by the work (one unit) it produced.
-        double combo_qos = 0.0;
-        double combo_speedup = 1.0;
-        for (const auto &p : model_->allPoints()) {
-            if (p.combination == applied) {
-                combo_qos = p.qos_loss;
-                combo_speedup = p.speedup;
-                break;
-            }
-        }
         qos_weighted += combo_qos;
         qos_work += 1.0;
         ++result.beat_count;

@@ -30,6 +30,7 @@
 #ifndef POWERDIAL_CORE_SESSION_H
 #define POWERDIAL_CORE_SESSION_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -43,6 +44,44 @@
 #include "sim/dvfs_governor.h"
 
 namespace powerdial::core {
+
+/**
+ * Context handed to the external beat gate (SessionOptions::gate) at
+ * the top of every beat, before the unit's work executes.
+ */
+struct BeatGateContext
+{
+    std::size_t beat;      //!< 0-based index of the beat about to run.
+    sim::Machine &machine; //!< The machine the run executes on.
+    /**
+     * Set by the gate: virtual seconds the session idles before
+     * processing this beat's unit — an externally imposed pause. The
+     * pause delays subsequent heartbeats, so the control loop sees the
+     * resulting rate drop and compensates with knobs like it does for
+     * any other capacity disturbance.
+     */
+    double pause_seconds = 0.0;
+    /**
+     * Set by the gate: idle seconds inserted per busy second of this
+     * beat's work, applied after the unit executes (like race-to-
+     * idle's planned slack). Because it scales with the measured busy
+     * time — whatever the current frequency, core share, and knob
+     * setting — a gate duty-cycling the machine to an average power
+     * budget meets the budget exactly: mean watts over the beat are
+     * (W_busy + ratio * W_idle) / (1 + ratio).
+     */
+    double pause_per_busy = 0.0;
+};
+
+/**
+ * External arbitration hook: called once per beat with a mutable
+ * context. A gate may pause the session (pause_seconds) and may
+ * actuate the machine directly (e.g. install a new P-state cap) —
+ * this is how an agent outside the session, such as the fleet power
+ * arbiter, suspends and resumes tenants mid-run without owning the
+ * control loop.
+ */
+using BeatGate = std::function<void(BeatGateContext &)>;
 
 /**
  * Session configuration: plain fields plus builder-style setters so
@@ -79,6 +118,8 @@ struct SessionOptions
      * machine reused across runs.
      */
     std::optional<sim::DvfsGovernor> governor;
+    /** Per-beat external arbitration hook; null means no gate. */
+    BeatGate gate;
 
     SessionOptions &withQuantum(std::size_t beats);
     SessionOptions &withWindow(std::size_t beats);
@@ -87,6 +128,7 @@ struct SessionOptions
     SessionOptions &withPolicy(PolicyFactory factory);
     SessionOptions &withStrategy(StrategyFactory factory);
     SessionOptions &withGovernor(sim::DvfsGovernor governor);
+    SessionOptions &withGate(BeatGate gate);
 };
 
 /**

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Aggregated metrics pipeline for the fleet serving subsystem.
+ *
+ * Every tenant session already streams per-beat events through the
+ * core::RunObserver seam; the MetricsHub implements that observer
+ * interface once, for the whole fleet, instead of each driver rolling
+ * its own recorder. Tenants run concurrently on core::ThreadPool
+ * workers, so the hub keeps one shard per worker: a probe (the
+ * per-tenant observer adapter) accumulates its tenant's beats locally
+ * and commits one finished JobRecord into its worker's shard — each
+ * shard is written by exactly one worker, so the fan-in is lock-free.
+ * drain() merges the shards sorted by job id, which makes every
+ * aggregate (fleet heart rate, total watts, per-tenant QoS loss,
+ * latency percentiles) bit-identical at any thread count.
+ */
+#ifndef POWERDIAL_FLEET_METRICS_HUB_H
+#define POWERDIAL_FLEET_METRICS_HUB_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/run_observer.h"
+#include "sim/machine.h"
+
+namespace powerdial::fleet {
+
+/** Everything one tenant job reported by the time it completed. */
+struct JobRecord
+{
+    std::size_t job = 0;     //!< Fleet-wide arrival order id.
+    std::size_t tenant = 0;  //!< Tenant (input stream) the job served.
+    std::size_t epoch = 0;   //!< Epoch the job arrived in.
+    std::size_t machine = 0; //!< Hosting machine index.
+    double latency_s = 0.0;  //!< Virtual seconds to completion.
+    double mean_rate = 0.0;  //!< Mean sliding-window heart rate.
+    double qos_loss = 0.0;   //!< Work-weighted calibrated QoS loss.
+    double energy_j = 0.0;   //!< Energy of the job's machine share.
+    std::size_t beats = 0;   //!< Heartbeats the job emitted.
+};
+
+/**
+ * Lock-free fan-in of tenant-session events into per-worker shards.
+ */
+class MetricsHub : public core::RunObserver
+{
+  public:
+    /**
+     * The per-tenant observer adapter: attach one probe to one tenant
+     * session, then finish() it after the run to commit the job's
+     * record into the probe's worker shard.
+     */
+    class Probe final : public core::RunObserver
+    {
+      public:
+        void onRunStart(const core::RunStartEvent &event) override;
+        void onBeat(const core::BeatEvent &event) override;
+        void onRunEnd(const core::ControlledRun &run) override;
+
+        /**
+         * Commit the finished job to the hub, folding in what only
+         * the caller can see: the machine the job ran on (for energy)
+         * and the run's QoS estimate. Call exactly once, after
+         * Session::run returned.
+         */
+        void finish(const sim::Machine &machine);
+
+        /** The record as accumulated so far (complete after finish). */
+        const JobRecord &record() const { return record_; }
+
+      private:
+        friend class MetricsHub;
+        Probe(MetricsHub &hub, std::size_t worker, JobRecord seed)
+            : hub_(&hub), worker_(worker), record_(seed)
+        {
+        }
+
+        MetricsHub *hub_;
+        std::size_t worker_;
+        JobRecord record_;
+        double rate_sum_ = 0.0;
+        bool done_ = false;
+    };
+
+    /** @param workers Shard count; one per pool worker (>= 1). */
+    explicit MetricsHub(std::size_t workers);
+
+    /**
+     * Mint the probe for one tenant job about to run on @p worker.
+     * Identity fields (job, tenant, epoch, machine) are carried in
+     * @p seed.
+     */
+    Probe probe(std::size_t worker, const JobRecord &seed);
+
+    /** Records committed so far (across all shards). */
+    std::size_t committed() const;
+
+    /**
+     * Merge and clear all shards, returning the records sorted by job
+     * id — a deterministic order regardless of which workers ran
+     * which tenants. Call from the coordinating thread only, with no
+     * tenant in flight.
+     */
+    std::vector<JobRecord> drain();
+
+    // One hub can also observe a single session directly (it is a
+    // RunObserver); events land in shard 0 as job 0. The fleet path
+    // uses probes instead.
+    void onRunStart(const core::RunStartEvent &event) override;
+    void onBeat(const core::BeatEvent &event) override;
+    void onRunEnd(const core::ControlledRun &run) override;
+
+  private:
+    void commit(std::size_t worker, const JobRecord &record);
+
+    std::vector<std::vector<JobRecord>> shards_;
+    Probe self_probe_;
+};
+
+/**
+ * Nearest-rank percentile of @p sorted (ascending) values; p in
+ * [0, 100]. Returns 0 for an empty vector.
+ */
+double percentileOf(const std::vector<double> &sorted, double p);
+
+} // namespace powerdial::fleet
+
+#endif // POWERDIAL_FLEET_METRICS_HUB_H

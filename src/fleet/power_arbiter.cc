@@ -1,0 +1,161 @@
+#include "fleet/power_arbiter.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace powerdial::fleet {
+
+namespace {
+
+/** Largest duty-cycle pause ratio the arbiter will impose. */
+constexpr double kMaxPauseRatio = 10.0;
+
+} // namespace
+
+const char *
+arbiterPolicyName(ArbiterPolicy policy)
+{
+    switch (policy) {
+    case ArbiterPolicy::Uniform:
+        return "uniform";
+    case ArbiterPolicy::UtilizationProportional:
+        return "util-proportional";
+    case ArbiterPolicy::QosFeedback:
+        return "qos-feedback";
+    }
+    return "unknown";
+}
+
+PowerArbiter::PowerArbiter(const ArbiterOptions &options)
+    : options_(options)
+{
+    if (options_.feedback_gain < 0.0 || options_.feedback_gain > 1.0)
+        throw std::invalid_argument(
+            "PowerArbiter: feedback gain must be in [0, 1]");
+}
+
+std::size_t
+PowerArbiter::pstateCapFor(const sim::Machine &machine,
+                           double budget_watts, double utilization)
+{
+    const auto &model = machine.powerModel();
+    const std::size_t states = machine.scale().states();
+    for (std::size_t s = 0; s < states; ++s) {
+        const double watts =
+            model.watts(machine.scale().frequencyHz(s), utilization);
+        if (watts <= budget_watts)
+            return s;
+    }
+    return states - 1;
+}
+
+std::vector<double>
+PowerArbiter::splitBudget(const sim::Cluster &cluster,
+                          const std::vector<double> &qos_loss) const
+{
+    const std::size_t n = cluster.size();
+    const double cap = options_.cluster_cap_watts;
+    std::vector<double> budgets(n, cap / static_cast<double>(n));
+    if (options_.policy == ArbiterPolicy::Uniform)
+        return budgets;
+
+    // Both informed policies start from an idle floor for every
+    // machine (idle machines are powered on, not off) and split the
+    // remaining headroom by weight. If the cap cannot even cover the
+    // idle floors there is no headroom to steer; fall back to uniform.
+    const double idle =
+        cluster.machine(0).powerModel().idleWatts();
+    const double headroom = cap - idle * static_cast<double>(n);
+    if (headroom <= 0.0)
+        return budgets;
+
+    std::vector<double> weights(n, 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        weights[i] = static_cast<double>(cluster.activeOn(i));
+        weight_sum += weights[i];
+    }
+    if (weight_sum == 0.0) {
+        std::fill(weights.begin(), weights.end(), 1.0);
+        weight_sum = static_cast<double>(n);
+    }
+
+    if (options_.policy == ArbiterPolicy::QosFeedback &&
+        qos_loss.size() == n) {
+        double mean = 0.0;
+        for (const double q : qos_loss)
+            mean += q;
+        mean /= static_cast<double>(n);
+        if (mean > 0.0) {
+            // Shift weight toward machines whose tenants lost more
+            // QoS than the fleet average last epoch. The clamp keeps
+            // one epoch's error from starving anyone outright, and —
+            // because it keeps every scale positive — preserves
+            // weight_sum > 0.
+            weight_sum = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double error = (qos_loss[i] - mean) / mean;
+                const double scale = std::clamp(
+                    1.0 + options_.feedback_gain * error, 0.1, 10.0);
+                weights[i] *= scale;
+                weight_sum += weights[i];
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        budgets[i] = idle + headroom * weights[i] / weight_sum;
+    return budgets;
+}
+
+ArbitrationDecision
+PowerArbiter::arbitrate(sim::Cluster &cluster,
+                        const std::vector<double> &qos_loss)
+{
+    const std::size_t n = cluster.size();
+    ArbitrationDecision decision;
+    decision.pstate_cap.assign(n, 0);
+    decision.pause_ratio.assign(n, 0.0);
+
+    if (options_.cluster_cap_watts <= 0.0) {
+        // Uncapped: every machine runs at full frequency.
+        decision.budget_watts.assign(
+            n, std::numeric_limits<double>::infinity());
+        for (std::size_t i = 0; i < n; ++i) {
+            cluster.machine(i).setPStateCap(0);
+            cluster.machine(i).setPState(0);
+        }
+        return decision;
+    }
+
+    decision.budget_watts = splitBudget(cluster, qos_loss);
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::Machine &machine = cluster.machine(i);
+        const double budget = decision.budget_watts[i];
+        const double util =
+            cluster.loadOf(cluster.activeOn(i)).utilization;
+        const std::size_t cap = pstateCapFor(machine, budget, util);
+        machine.setPStateCap(cap);
+        machine.setPState(cap); // Run as fast as the cap allows.
+        decision.pstate_cap[i] = cap;
+
+        // Even the slowest state may overshoot a tight budget; meet
+        // it on average by duty-cycling the machine's tenants between
+        // busy and idle (the session gate inserts the pauses).
+        const double busy_watts =
+            machine.powerModel().watts(machine.frequencyHz(), util);
+        if (busy_watts > budget) {
+            const double idle_watts =
+                machine.powerModel().idleWatts();
+            const double ratio = budget > idle_watts
+                ? (busy_watts - budget) / (budget - idle_watts)
+                : kMaxPauseRatio;
+            decision.pause_ratio[i] =
+                std::clamp(ratio, 0.0, kMaxPauseRatio);
+        }
+    }
+    return decision;
+}
+
+} // namespace powerdial::fleet

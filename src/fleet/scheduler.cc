@@ -1,0 +1,101 @@
+#include "fleet/scheduler.h"
+
+#include <stdexcept>
+
+namespace powerdial::fleet {
+
+namespace {
+
+class LeastLoadedPolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "least-loaded"; }
+
+    std::size_t
+    pick(const sim::Cluster &cluster) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < cluster.size(); ++i)
+            if (cluster.activeOn(i) < cluster.activeOn(best))
+                best = i;
+        return best;
+    }
+};
+
+class PowerAwarePolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "power-aware"; }
+
+    std::size_t
+    pick(const sim::Cluster &cluster) const override
+    {
+        std::size_t best = 0;
+        double best_cost = marginalWatts(cluster, 0);
+        for (std::size_t i = 1; i < cluster.size(); ++i) {
+            const double cost = marginalWatts(cluster, i);
+            if (cost < best_cost) {
+                best = i;
+                best_cost = cost;
+            }
+        }
+        return best;
+    }
+
+  private:
+    /** Power increase from hosting one more instance on machine @p i. */
+    static double
+    marginalWatts(const sim::Cluster &cluster, std::size_t i)
+    {
+        const sim::Machine &m = cluster.machine(i);
+        const double freq = m.frequencyHz();
+        const auto &model = m.powerModel();
+        const std::size_t active = cluster.activeOn(i);
+        const double before =
+            model.watts(freq, cluster.loadOf(active).utilization);
+        const double after =
+            model.watts(freq, cluster.loadOf(active + 1).utilization);
+        return after - before;
+    }
+};
+
+} // namespace
+
+PlacementFactory
+makeLeastLoadedPlacement()
+{
+    return []() { return std::make_unique<LeastLoadedPolicy>(); };
+}
+
+PlacementFactory
+makePowerAwarePlacement()
+{
+    return []() { return std::make_unique<PowerAwarePolicy>(); };
+}
+
+Scheduler::Scheduler(sim::Cluster &cluster, PlacementFactory policy)
+    : cluster_(&cluster)
+{
+    policy_ = policy ? policy() : makeLeastLoadedPlacement()();
+    if (policy_ == nullptr)
+        throw std::invalid_argument(
+            "Scheduler: placement factory returned null");
+}
+
+std::size_t
+Scheduler::admit()
+{
+    const std::size_t machine = policy_->pick(*cluster_);
+    if (machine >= cluster_->size())
+        throw std::logic_error("Scheduler: policy picked a bad machine");
+    cluster_->place(machine);
+    return machine;
+}
+
+void
+Scheduler::release(std::size_t machine)
+{
+    cluster_->release(machine);
+}
+
+} // namespace powerdial::fleet

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Job placement for the fleet serving subsystem.
+ *
+ * The analytic sim::Cluster::balance() answers "how would a
+ * proportional balancer spread a steady load"; a serving fleet instead
+ * places jobs one at a time as they arrive and releases them as they
+ * complete. The Scheduler does that incremental placement against the
+ * cluster's dynamic occupancy state, with the policy choice behind a
+ * seam so least-loaded and power-aware placement are interchangeable
+ * (and new policies pluggable, like the control-loop seams of
+ * core::Session).
+ */
+#ifndef POWERDIAL_FLEET_SCHEDULER_H
+#define POWERDIAL_FLEET_SCHEDULER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace powerdial::fleet {
+
+/**
+ * Chooses the machine for the next arriving job. Implementations must
+ * be deterministic pure functions of the cluster's observable state;
+ * ties break toward the lowest machine index so placements replay
+ * identically run to run.
+ */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Policy name for reports, e.g. "least-loaded". */
+    virtual std::string name() const = 0;
+
+    /** The machine index the next job should be placed on. */
+    virtual std::size_t pick(const sim::Cluster &cluster) const = 0;
+};
+
+/** Mint a fresh placement policy per scheduler. */
+using PlacementFactory =
+    std::function<std::unique_ptr<PlacementPolicy>()>;
+
+/**
+ * Fewest active instances wins (lowest index on ties) — the
+ * incremental form of the proportional balancer the paper's section
+ * 5.5 provisioning model assumes.
+ */
+PlacementFactory makeLeastLoadedPlacement();
+
+/**
+ * Smallest increase in cluster power wins: the candidate machine is
+ * the one whose steady-state draw (at its own, possibly arbiter-
+ * capped, frequency) grows least when it hosts one more instance.
+ * Prefers filling slow (capped) and already-busy machines whose
+ * marginal watt cost is low, trading per-job speed for fleet power.
+ */
+PlacementFactory makePowerAwarePlacement();
+
+/**
+ * Incremental job placement against one cluster's dynamic state.
+ * The cluster must outlive the scheduler.
+ */
+class Scheduler
+{
+  public:
+    /** @param policy Null means least-loaded placement. */
+    explicit Scheduler(sim::Cluster &cluster,
+                       PlacementFactory policy = nullptr);
+
+    /** Place one arriving job; returns the hosting machine index. */
+    std::size_t admit();
+
+    /** Record completion of a job hosted on machine @p machine. */
+    void release(std::size_t machine);
+
+    /** The placement policy in use. */
+    const PlacementPolicy &policy() const { return *policy_; }
+
+    const sim::Cluster &cluster() const { return *cluster_; }
+
+  private:
+    sim::Cluster *cluster_;
+    std::unique_ptr<PlacementPolicy> policy_;
+};
+
+} // namespace powerdial::fleet
+
+#endif // POWERDIAL_FLEET_SCHEDULER_H

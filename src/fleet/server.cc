@@ -1,0 +1,249 @@
+#include "fleet/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "core/thread_pool.h"
+
+namespace powerdial::fleet {
+
+namespace {
+
+/** One admitted job with its run parameters frozen at placement. */
+struct Launch
+{
+    std::size_t job = 0;
+    std::size_t tenant = 0;
+    std::size_t machine = 0;
+    double share = 1.0;
+    double utilization = 1.0;
+    std::size_t pstate_cap = 0;
+    double pause_ratio = 0.0;
+};
+
+} // namespace
+
+Server::Server(const core::App &app, const core::KnobTable &table,
+               const core::ResponseModel &model, ServerOptions options)
+    : app_(&app), table_(&table), model_(&model),
+      options_(std::move(options))
+{
+    if (options_.machines == 0)
+        throw std::invalid_argument("Server: need at least one machine");
+    if (options_.tenants.empty())
+        options_.tenants = app.productionInputs();
+    if (options_.tenants.empty())
+        throw std::invalid_argument("Server: no tenant inputs");
+}
+
+FleetReport
+Server::serve(const std::vector<std::size_t> &arrivals)
+{
+    sim::Cluster cluster(options_.machines, options_.machine);
+    Scheduler scheduler(cluster, options_.placement);
+    PowerArbiter arbiter(options_.arbiter);
+
+    const double epoch_s = options_.epoch_seconds > 0.0
+        ? options_.epoch_seconds
+        : model_->baselineSeconds();
+    if (epoch_s <= 0.0)
+        throw std::invalid_argument("Server: epoch duration must be > 0");
+
+    // One pool for the whole serve; tenant sessions are the only
+    // parallel section, so the hub shards one-to-one with workers.
+    std::optional<core::ThreadPool> pool;
+    std::size_t workers = 1;
+    if (options_.threads != 1) {
+        pool.emplace(options_.threads);
+        workers = pool->size();
+    }
+    MetricsHub hub(workers);
+
+    // Jobs completing at epoch t release their machine slot at the
+    // top of epoch t; completions past the horizon simply never
+    // release (the serve ends first).
+    std::vector<std::vector<std::size_t>> completions(arrivals.size() +
+                                                      1);
+    std::vector<double> qos_feedback(options_.machines, 0.0);
+
+    FleetReport report;
+    report.epochs.reserve(arrivals.size());
+    std::size_t next_job = 0;
+
+    for (std::size_t e = 0; e < arrivals.size(); ++e) {
+        EpochStats stats;
+        stats.epoch = e;
+
+        for (const std::size_t machine : completions[e])
+            scheduler.release(machine);
+        stats.completed = completions[e].size();
+
+        // Placement: serial and deterministic, one arrival at a time.
+        std::vector<Launch> launches;
+        launches.reserve(arrivals[e]);
+        for (std::size_t k = 0; k < arrivals[e]; ++k) {
+            Launch launch;
+            launch.job = next_job;
+            launch.tenant =
+                options_.tenants[next_job % options_.tenants.size()];
+            launch.machine = scheduler.admit();
+            ++next_job;
+            launches.push_back(launch);
+        }
+
+        // Arbitration reads the post-placement occupancy and installs
+        // this epoch's per-machine caps (and duty-cycle pauses).
+        const ArbitrationDecision decision =
+            arbiter.arbitrate(cluster, qos_feedback);
+        for (auto &launch : launches) {
+            const auto load =
+                cluster.loadOf(cluster.activeOn(launch.machine));
+            launch.share = load.per_instance_share;
+            launch.utilization = load.utilization;
+            launch.pstate_cap = decision.pstate_cap[launch.machine];
+            launch.pause_ratio = decision.pause_ratio[launch.machine];
+        }
+
+        // Private clones, made serially: App::clone() of a shared
+        // instance is not required to be thread-safe.
+        std::vector<std::unique_ptr<core::App>> clones(launches.size());
+        std::vector<core::KnobTable> tables;
+        tables.reserve(launches.size());
+        for (std::size_t i = 0; i < launches.size(); ++i) {
+            clones[i] = app_->clone();
+            tables.push_back(core::rebindKnobTable(*table_, *clones[i]));
+        }
+
+        // Tenant sessions: the only parallel section. Each job runs
+        // the full closed loop on a machine modelling its host's core
+        // share, frequency cap, and arbitration pauses.
+        std::vector<JobRecord> outcomes(launches.size());
+        const auto runOne = [&](std::size_t i, std::size_t worker) {
+            const Launch &launch = launches[i];
+            sim::Machine machine(options_.machine);
+            machine.setPStateCap(launch.pstate_cap);
+            machine.setShare(launch.share);
+            machine.setUtilization(launch.utilization);
+
+            core::SessionOptions session_options = options_.session;
+            if (launch.pause_ratio > 0.0) {
+                // Compose with any caller-supplied gate rather than
+                // replacing it. The per-busy ratio makes the host
+                // meet its power budget exactly on average, whatever
+                // the tenant's share, frequency, and knob setting.
+                const double ratio = launch.pause_ratio;
+                core::BeatGate user_gate = session_options.gate;
+                session_options.withGate(
+                    [ratio, user_gate](core::BeatGateContext &ctx) {
+                        if (user_gate)
+                            user_gate(ctx);
+                        ctx.pause_per_busy += ratio;
+                    });
+            }
+
+            core::Session session(*clones[i], tables[i], *model_,
+                                  session_options);
+            JobRecord seed;
+            seed.job = launch.job;
+            seed.tenant = launch.tenant;
+            seed.epoch = e;
+            seed.machine = launch.machine;
+            MetricsHub::Probe probe = hub.probe(worker, seed);
+            session.observe(probe);
+            session.run(launch.tenant, machine);
+            probe.finish(machine);
+            outcomes[i] = probe.record();
+        };
+        if (pool.has_value() && launches.size() > 1) {
+            pool->parallelFor(launches.size(), runOne);
+        } else {
+            for (std::size_t i = 0; i < launches.size(); ++i)
+                runOne(i, 0);
+        }
+
+        // Service accounting and per-machine QoS feedback, merged in
+        // launch order so the serve stays deterministic.
+        std::vector<double> machine_qos(options_.machines, 0.0);
+        std::vector<std::size_t> machine_jobs(options_.machines, 0);
+        double qos_sum = 0.0;
+        for (std::size_t i = 0; i < launches.size(); ++i) {
+            const Launch &launch = launches[i];
+            const JobRecord &out = outcomes[i];
+            const std::size_t held = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::ceil(out.latency_s / epoch_s)));
+            const std::size_t done = e + held;
+            if (done < completions.size())
+                completions[done].push_back(launch.machine);
+            machine_qos[launch.machine] += out.qos_loss;
+            ++machine_jobs[launch.machine];
+            qos_sum += out.qos_loss;
+            stats.fleet_rate += out.mean_rate;
+        }
+        // Machines that hosted no new tenants keep their last-known
+        // loss: the feedback signal persists across idle gaps rather
+        // than flickering to zero at every quiet epoch.
+        for (std::size_t m = 0; m < options_.machines; ++m)
+            if (machine_jobs[m] > 0)
+                qos_feedback[m] = machine_qos[m] /
+                    static_cast<double>(machine_jobs[m]);
+
+        stats.arrivals = launches.size();
+        stats.active = cluster.totalActive();
+        stats.watts = cluster.dynamicWatts();
+        stats.mean_qos_loss = launches.empty()
+            ? 0.0
+            : qos_sum / static_cast<double>(launches.size());
+        stats.max_pause_ratio = *std::max_element(
+            decision.pause_ratio.begin(), decision.pause_ratio.end());
+        report.epochs.push_back(stats);
+    }
+
+    report.jobs = hub.drain();
+    report.total_jobs = next_job;
+
+    double watts_sum = 0.0, rate_sum = 0.0;
+    for (const EpochStats &stats : report.epochs) {
+        watts_sum += stats.watts;
+        rate_sum += stats.fleet_rate;
+    }
+    if (!report.epochs.empty()) {
+        const double n = static_cast<double>(report.epochs.size());
+        report.mean_watts = watts_sum / n;
+        report.mean_fleet_rate = rate_sum / n;
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(report.jobs.size());
+    double qos_sum = 0.0;
+    std::map<std::size_t, TenantStats> tenants;
+    for (const JobRecord &job : report.jobs) {
+        latencies.push_back(job.latency_s);
+        qos_sum += job.qos_loss;
+        TenantStats &tenant = tenants[job.tenant];
+        tenant.tenant = job.tenant;
+        ++tenant.jobs;
+        tenant.mean_qos_loss += job.qos_loss;
+        tenant.mean_latency_s += job.latency_s;
+    }
+    if (!report.jobs.empty())
+        report.mean_qos_loss =
+            qos_sum / static_cast<double>(report.jobs.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_latency_s = percentileOf(latencies, 50.0);
+    report.p95_latency_s = percentileOf(latencies, 95.0);
+    report.p99_latency_s = percentileOf(latencies, 99.0);
+    for (auto &[id, tenant] : tenants) {
+        const double jobs = static_cast<double>(tenant.jobs);
+        tenant.mean_qos_loss /= jobs;
+        tenant.mean_latency_s /= jobs;
+        report.tenants.push_back(tenant);
+    }
+    return report;
+}
+
+} // namespace powerdial::fleet

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The fleet server: many PowerDial-controlled sessions as tenants of
+ * a simulated cluster.
+ *
+ * This is the datacenter story of the paper (sections 3 and 5.5)
+ * closed into one loop. An open-loop arrival process offers jobs each
+ * epoch; the Scheduler places them on machines (dynamic occupancy, not
+ * the analytic balance); the PowerArbiter splits the cluster-wide
+ * power cap into per-machine DVFS caps (and, under very tight budgets,
+ * duty-cycle pauses delivered through the session beat gate); every
+ * admitted job runs a full closed-loop core::Session on a private
+ * App::clone whose machine models its host's core share and frequency
+ * cap; and the MetricsHub fans all tenants' observer events into
+ * per-worker shards, feeding per-machine QoS loss back to the arbiter
+ * for the next epoch.
+ *
+ *   arrivals ─▶ Scheduler ─▶ tenant Sessions ─▶ MetricsHub
+ *                  ▲                                │ per-machine
+ *                  │ caps / pauses                  │ QoS loss
+ *                  └──────── PowerArbiter ◀─────────┘
+ *
+ * Determinism follows the repo's replay discipline: all placement and
+ * arbitration decisions are serial; only the mutually independent
+ * tenant sessions fan out over core::ThreadPool, and their records
+ * merge in job order — the full report is bit-identical at any
+ * thread count (tests/test_fleet.cc pins this).
+ */
+#ifndef POWERDIAL_FLEET_SERVER_H
+#define POWERDIAL_FLEET_SERVER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/session.h"
+#include "fleet/metrics_hub.h"
+#include "fleet/power_arbiter.h"
+#include "fleet/scheduler.h"
+#include "sim/cluster.h"
+
+namespace powerdial::fleet {
+
+/** Fleet composition options. */
+struct ServerOptions
+{
+    /** Machines in the (possibly consolidated) cluster. */
+    std::size_t machines = 1;
+    /** Per-machine configuration (all identical). */
+    sim::Machine::Config machine{};
+    /**
+     * Worker threads for tenant sessions: 1 (default) serial, 0 all
+     * hardware contexts, N > 1 exactly N. The report is bit-identical
+     * regardless.
+     */
+    std::size_t threads = 1;
+    /**
+     * Virtual seconds per scheduling epoch; <= 0 means the calibrated
+     * baseline job duration (so an unloaded job spans ~one epoch).
+     */
+    double epoch_seconds = 0.0;
+    /** Cluster power-cap arbitration. */
+    ArbiterOptions arbiter{};
+    /** Placement policy; null means least-loaded. */
+    PlacementFactory placement;
+    /** Control-loop composition shared by every tenant session. */
+    core::SessionOptions session{};
+    /**
+     * Tenant input streams: each arriving job serves the next input
+     * index in this list (round-robin by job id). Empty means the
+     * application's production inputs.
+     */
+    std::vector<std::size_t> tenants;
+};
+
+/** Aggregate fleet state over one epoch. */
+struct EpochStats
+{
+    std::size_t epoch = 0;
+    std::size_t arrivals = 0;  //!< Jobs offered (and admitted).
+    std::size_t completed = 0; //!< Jobs released this epoch.
+    std::size_t active = 0;    //!< Active jobs after placement.
+    double watts = 0.0;        //!< Cluster power at the epoch's state.
+    double fleet_rate = 0.0;   //!< Sum of admitted tenants' heart rates.
+    double mean_qos_loss = 0.0;//!< Mean QoS loss of admitted tenants.
+    double max_pause_ratio = 0.0; //!< Worst arbitration duty-cycle.
+};
+
+/** Per-tenant (input stream) aggregate over a whole serve. */
+struct TenantStats
+{
+    std::size_t tenant = 0; //!< Input index identifying the tenant.
+    std::size_t jobs = 0;
+    double mean_qos_loss = 0.0;
+    double mean_latency_s = 0.0;
+};
+
+/** Everything one serve() call measured. */
+struct FleetReport
+{
+    std::vector<EpochStats> epochs;
+    std::vector<JobRecord> jobs;     //!< Sorted by job id.
+    std::vector<TenantStats> tenants;//!< Sorted by tenant id.
+    std::size_t total_jobs = 0;
+    double mean_watts = 0.0;       //!< Mean of per-epoch cluster power.
+    double mean_fleet_rate = 0.0;  //!< Mean of per-epoch heart rate.
+    double mean_qos_loss = 0.0;    //!< Mean over all jobs.
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+};
+
+/**
+ * Serves an arrival trace with many concurrent controlled sessions.
+ * The application, knob table, and response model must outlive the
+ * server; the caller's app instance is never run (each tenant job
+ * executes on a private clone).
+ */
+class Server
+{
+  public:
+    Server(const core::App &app, const core::KnobTable &table,
+           const core::ResponseModel &model, ServerOptions options);
+
+    const ServerOptions &options() const { return options_; }
+
+    /**
+     * Run the fleet through @p arrivals (jobs offered per epoch, e.g.
+     * from workload::makePoissonArrivals) and report the aggregate
+     * series plus every job's record.
+     */
+    FleetReport serve(const std::vector<std::size_t> &arrivals);
+
+  private:
+    const core::App *app_;
+    const core::KnobTable *table_;
+    const core::ResponseModel *model_;
+    ServerOptions options_;
+};
+
+} // namespace powerdial::fleet
+
+#endif // POWERDIAL_FLEET_SERVER_H

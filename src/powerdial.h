@@ -38,6 +38,12 @@
 #include "core/thread_pool.h"
 #include "core/trace_export.h"
 
+// Fleet serving: many controlled sessions as tenants of a cluster.
+#include "fleet/metrics_hub.h"
+#include "fleet/power_arbiter.h"
+#include "fleet/scheduler.h"
+#include "fleet/server.h"
+
 // Substrates.
 #include "heartbeats/heartbeat.h"
 #include "heartbeats/reader.h"
@@ -54,5 +60,6 @@
 #include "sim/machine.h"
 #include "sim/power_model.h"
 #include "sim/virtual_clock.h"
+#include "workload/arrivals.h"
 
 #endif // POWERDIAL_POWERDIAL_H

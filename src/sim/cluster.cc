@@ -6,13 +6,54 @@
 namespace powerdial::sim {
 
 Cluster::Cluster(std::size_t machines, const Machine::Config &config)
-    : config_(config)
+    : config_(config), active_(machines, 0)
 {
     if (machines == 0)
         throw std::invalid_argument("Cluster: need at least one machine");
     machines_.reserve(machines);
     for (std::size_t i = 0; i < machines; ++i)
         machines_.emplace_back(config);
+}
+
+void
+Cluster::place(std::size_t i)
+{
+    ++active_.at(i);
+}
+
+void
+Cluster::release(std::size_t i)
+{
+    if (active_.at(i) == 0)
+        throw std::logic_error("Cluster: release on an idle machine");
+    --active_[i];
+}
+
+std::size_t
+Cluster::totalActive() const
+{
+    std::size_t total = 0;
+    for (const std::size_t count : active_)
+        total += count;
+    return total;
+}
+
+void
+Cluster::clearPlacement()
+{
+    std::fill(active_.begin(), active_.end(), 0);
+}
+
+double
+Cluster::dynamicWatts() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+        const Machine &m = machines_[i];
+        total += m.powerModel().watts(m.frequencyHz(),
+                                      loadOf(active_[i]).utilization);
+    }
+    return total;
 }
 
 std::size_t

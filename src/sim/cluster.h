@@ -54,10 +54,50 @@ class Cluster
 
     /**
      * Proportionally balance @p instances across the machines
-     * (least-loaded placement; equivalent to an even split).
+     * (least-loaded placement; equivalent to an even split — placing
+     * the instances one at a time on the currently least-loaded
+     * machine, lowest index first on ties, yields exactly this
+     * distribution; tests/test_cluster.cc pins the equivalence).
      * @return per-machine instance counts, size() entries.
      */
     std::vector<std::size_t> balance(std::size_t instances) const;
+
+    // ----- Dynamic placement state (fleet serving) -------------------
+    //
+    // balance() computes an analytic steady-state split; the fleet
+    // scheduler instead places and releases jobs incrementally as they
+    // arrive and complete. The cluster tracks that occupancy here so
+    // placement policies and the power arbiter can read a live view.
+
+    /** Record one more active instance on machine @p i. */
+    void place(std::size_t i);
+
+    /** Record the completion of an instance on machine @p i. */
+    void release(std::size_t i);
+
+    /** Active instances currently placed on machine @p i. */
+    std::size_t activeOn(std::size_t i) const { return active_.at(i); }
+
+    /** Active instances across the cluster. */
+    std::size_t totalActive() const;
+
+    /** Per-machine active instance counts (size() entries). */
+    const std::vector<std::size_t> &activeCounts() const
+    {
+        return active_;
+    }
+
+    /** Reset the dynamic placement state to an empty cluster. */
+    void clearPlacement();
+
+    /**
+     * Total cluster power at the *current* dynamic state: every
+     * machine accounted at its own frequency (which reflects any
+     * per-machine P-state cap the arbiter installed) and at the
+     * utilisation implied by its active instance count. Idle machines
+     * draw idle power (not powered off), like steadyStateWatts().
+     */
+    double dynamicWatts() const;
 
     /** The steady-state operating point of a machine with @p instances. */
     MachineLoad loadOf(std::size_t instances) const;
@@ -102,6 +142,7 @@ class Cluster
   private:
     std::vector<Machine> machines_;
     Machine::Config config_;
+    std::vector<std::size_t> active_;
 };
 
 } // namespace powerdial::sim

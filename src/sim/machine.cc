@@ -18,7 +18,17 @@ Machine::setPState(std::size_t state)
 {
     if (state >= scale_.states())
         throw std::out_of_range("Machine: bad P-state");
-    pstate_ = state;
+    pstate_ = std::max(state, pstate_cap_);
+}
+
+void
+Machine::setPStateCap(std::size_t state)
+{
+    if (state >= scale_.states())
+        throw std::out_of_range("Machine: bad P-state cap");
+    pstate_cap_ = state;
+    if (pstate_ < pstate_cap_)
+        pstate_ = pstate_cap_;
 }
 
 void

@@ -72,9 +72,24 @@ class Machine
 
     /**
      * Set the P-state (DVFS actuation, like cpufrequtils).
-     * Takes effect for all subsequent work.
+     * Takes effect for all subsequent work. Requests faster than the
+     * current frequency cap (see setPStateCap) are clamped to the cap.
      */
     void setPState(std::size_t state);
+
+    /**
+     * Cap the machine's frequency at that of P-state @p state: the
+     * effective P-state index is always >= @p state from now on. The
+     * current P-state is lowered (slowed) immediately if it violates
+     * the new cap, and later setPState() requests clamp against it.
+     * Pass 0 to remove the cap. This is the per-machine actuation
+     * surface of a cluster-wide power arbiter (fleet::PowerArbiter),
+     * settable mid-run between control epochs.
+     */
+    void setPStateCap(std::size_t state);
+
+    /** Current frequency cap as a P-state index (0 = uncapped). */
+    std::size_t pstateCap() const { return pstate_cap_; }
 
     /**
      * Execute @p cycles of work on one context and advance virtual time.
@@ -136,6 +151,7 @@ class Machine
     PowerModel power_;
     std::size_t cores_;
     std::size_t pstate_ = 0;
+    std::size_t pstate_cap_ = 0;
     double share_ = 1.0;
     double utilization_ = -1.0;
     VirtualClock clock_;

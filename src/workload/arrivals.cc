@@ -1,0 +1,50 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerdial::workload {
+
+std::size_t
+poissonDeviate(Rng &rng, double lambda)
+{
+    if (lambda < 0.0)
+        throw std::invalid_argument("poissonDeviate: negative mean");
+    // Knuth's method needs exp(-lambda) > 0; past ~708, exp
+    // underflows to 0 and every draw would silently saturate near
+    // 708 instead of following Poisson(lambda). No serving trace
+    // gets anywhere close, so reject rather than approximate.
+    if (lambda > 700.0)
+        throw std::invalid_argument(
+            "poissonDeviate: mean too large for Knuth's method");
+    if (lambda == 0.0)
+        return 0;
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    // Exact and deterministic; fine for the per-step means (tens at
+    // most) a serving trace produces.
+    const double threshold = std::exp(-lambda);
+    std::size_t k = 0;
+    double product = rng.uniform();
+    while (product > threshold) {
+        ++k;
+        product *= rng.uniform();
+    }
+    return k;
+}
+
+std::vector<std::size_t>
+makePoissonArrivals(const std::vector<double> &trace,
+                    const PoissonArrivalParams &params)
+{
+    if (params.peak_rate < 0.0)
+        throw std::invalid_argument(
+            "makePoissonArrivals: negative peak rate");
+    Rng rng(params.seed);
+    std::vector<std::size_t> arrivals;
+    arrivals.reserve(trace.size());
+    for (const double level : trace)
+        arrivals.push_back(poissonDeviate(rng, level * params.peak_rate));
+    return arrivals;
+}
+
+} // namespace powerdial::workload

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Open-loop job arrival processes for fleet serving.
+ *
+ * The load traces in load_trace.h describe *utilisation* — a closed
+ * quantity relative to provisioned capacity. A serving fleet instead
+ * sees an open-loop request stream: jobs arrive whether or not the
+ * cluster has capacity for them. This generator turns a utilisation
+ * trace into such a stream by drawing the number of job arrivals in
+ * each time step from a Poisson distribution whose mean follows the
+ * trace, the standard open-loop model of datacenter request traffic.
+ */
+#ifndef POWERDIAL_WORKLOAD_ARRIVALS_H
+#define POWERDIAL_WORKLOAD_ARRIVALS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.h"
+
+namespace powerdial::workload {
+
+/** Poisson arrival-process parameters. */
+struct PoissonArrivalParams
+{
+    /**
+     * Mean arrivals per step when the driving trace is at full
+     * utilisation (1.0); a trace level u yields mean u * peak_rate.
+     */
+    double peak_rate = 8.0;
+    std::uint64_t seed = 0xa2214a10ULL;
+};
+
+/**
+ * Draw per-step arrival counts N_t ~ Poisson(trace[t] * peak_rate).
+ * Fully deterministic in (trace, params); one RNG stream drives the
+ * whole trace, so a prefix of the same trace yields a prefix of the
+ * same arrivals.
+ */
+std::vector<std::size_t>
+makePoissonArrivals(const std::vector<double> &trace,
+                    const PoissonArrivalParams &params);
+
+/** One Poisson deviate with mean @p lambda >= 0 (Knuth's method). */
+std::size_t poissonDeviate(Rng &rng, double lambda);
+
+} // namespace powerdial::workload
+
+#endif // POWERDIAL_WORKLOAD_ARRIVALS_H

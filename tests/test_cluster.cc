@@ -138,5 +138,76 @@ TEST(Cluster, Validation)
                  std::invalid_argument);
 }
 
+TEST(Cluster, BalanceEqualsSequentialLeastLoadedPlacement)
+{
+    // cluster.h claims least-loaded placement is "equivalent to an
+    // even split". Pin that: placing instances one at a time on the
+    // currently least-loaded machine (lowest index on ties) must land
+    // on exactly balance()'s distribution — including non-divisible
+    // counts — for every load up to 2x peak.
+    for (const std::size_t machines : {1u, 3u, 4u, 5u}) {
+        Cluster cluster(machines, config8());
+        for (std::size_t n = 0; n <= 2 * cluster.peakInstances();
+             ++n) {
+            std::vector<std::size_t> sequential(machines, 0);
+            for (std::size_t k = 0; k < n; ++k) {
+                std::size_t least = 0;
+                for (std::size_t i = 1; i < machines; ++i)
+                    if (sequential[i] < sequential[least])
+                        least = i;
+                ++sequential[least];
+            }
+            EXPECT_EQ(cluster.balance(n), sequential)
+                << machines << " machines, " << n << " instances";
+        }
+    }
+}
+
+TEST(Cluster, DynamicPlacementTracksOccupancy)
+{
+    Cluster cluster(3, config8());
+    EXPECT_EQ(cluster.totalActive(), 0u);
+    cluster.place(1);
+    cluster.place(1);
+    cluster.place(2);
+    EXPECT_EQ(cluster.activeOn(0), 0u);
+    EXPECT_EQ(cluster.activeOn(1), 2u);
+    EXPECT_EQ(cluster.activeOn(2), 1u);
+    EXPECT_EQ(cluster.totalActive(), 3u);
+    cluster.release(1);
+    EXPECT_EQ(cluster.activeOn(1), 1u);
+    cluster.clearPlacement();
+    EXPECT_EQ(cluster.totalActive(), 0u);
+    EXPECT_THROW(cluster.release(0), std::logic_error);
+    EXPECT_THROW(cluster.place(9), std::out_of_range);
+}
+
+TEST(Cluster, DynamicWattsMatchesAnalyticAtUniformState)
+{
+    // With every machine at the same P-state, the dynamic view must
+    // agree with the analytic steady-state model for the same
+    // placement.
+    Cluster cluster(4, config8());
+    const auto placement = cluster.balance(10);
+    for (std::size_t i = 0; i < cluster.size(); ++i)
+        for (std::size_t k = 0; k < placement[i]; ++k)
+            cluster.place(i);
+    EXPECT_NEAR(cluster.dynamicWatts(),
+                cluster.steadyStateWatts(placement), 1e-9);
+}
+
+TEST(Cluster, DynamicWattsSeesPerMachineCaps)
+{
+    // Unlike steadyStateWatts (one common P-state), the dynamic view
+    // accounts each machine at its own, possibly capped, frequency.
+    Cluster cluster(2, config8());
+    cluster.place(0);
+    cluster.place(1);
+    const double uncapped = cluster.dynamicWatts();
+    cluster.machine(1).setPStateCap(
+        cluster.machine(1).scale().lowestState());
+    EXPECT_LT(cluster.dynamicWatts(), uncapped);
+}
+
 } // namespace
 } // namespace powerdial::sim

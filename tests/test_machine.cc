@@ -155,5 +155,48 @@ TEST(Machine, NegativeIdleThrows)
     EXPECT_THROW(m.idleFor(-1.0), std::invalid_argument);
 }
 
+TEST(Machine, PStateCapClampsRequests)
+{
+    Machine m;
+    m.setPStateCap(3);
+    // Installing the cap slows the machine immediately...
+    EXPECT_EQ(m.pstate(), 3u);
+    // ...and later requests for faster states clamp against it.
+    m.setPState(0);
+    EXPECT_EQ(m.pstate(), 3u);
+    m.setPState(5); // Slower than the cap stays allowed.
+    EXPECT_EQ(m.pstate(), 5u);
+}
+
+TEST(Machine, PStateCapIsRemovable)
+{
+    Machine m;
+    m.setPStateCap(3);
+    m.setPStateCap(0);
+    EXPECT_EQ(m.pstateCap(), 0u);
+    // Removing the cap does not speed the machine up by itself.
+    EXPECT_EQ(m.pstate(), 3u);
+    m.setPState(0);
+    EXPECT_EQ(m.pstate(), 0u);
+}
+
+TEST(Machine, PStateCapSettableMidRun)
+{
+    // The fleet arbiter re-caps machines between control epochs while
+    // work is in flight; the new cap governs subsequent work only.
+    Machine m;
+    const double t_fast = m.execute(2.4e9);
+    m.setPStateCap(m.scale().lowestState());
+    const double t_slow = m.execute(1.6e9);
+    EXPECT_NEAR(t_fast, 1.0, 1e-12);
+    EXPECT_NEAR(t_slow, 1.0, 1e-12);
+}
+
+TEST(Machine, BadPStateCapThrows)
+{
+    Machine m;
+    EXPECT_THROW(m.setPStateCap(99), std::out_of_range);
+}
+
 } // namespace
 } // namespace powerdial::sim

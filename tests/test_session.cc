@@ -300,5 +300,103 @@ TEST_P(SessionAtFrequency, HoldsBaselineRate)
 INSTANTIATE_TEST_SUITE_P(PStates, SessionAtFrequency,
                          ::testing::Range<std::size_t>(0, 7));
 
+TEST(SessionGate, CalledOncePerBeat)
+{
+    auto p = makePipeline();
+    std::size_t calls = 0;
+    std::size_t last_beat = 0;
+    Session session(p.app, p.table, p.model,
+                    SessionOptions().withGate(
+                        [&](BeatGateContext &ctx) {
+                            ++calls;
+                            last_beat = ctx.beat;
+                        }));
+    sim::Machine machine;
+    const auto run = session.run(2, machine);
+    EXPECT_EQ(calls, run.beat_count);
+    EXPECT_EQ(last_beat, run.beat_count - 1);
+}
+
+TEST(SessionGate, PauseSlowsTheRunAndKnobsCompensate)
+{
+    // An arbitration pause every beat is a capacity disturbance like
+    // any other: the run takes idle time, and the control loop dials
+    // knobs up to recover the target rate.
+    ToyApp::Config config;
+    config.units = 600;
+    auto p = makePipeline(config);
+    sim::Machine plain_machine;
+    Session plain(p.app, p.table, p.model);
+    const auto base = runTraced(plain, 2, plain_machine);
+
+    const double beat_s = 1.0 / p.model.baselineRate();
+    sim::Machine paused_machine;
+    Session paused(p.app, p.table, p.model,
+                   SessionOptions().withGate(
+                       [beat_s](BeatGateContext &ctx) {
+                           ctx.pause_seconds = 0.5 * beat_s;
+                       }));
+    const auto throttled = runTraced(paused, 2, paused_machine);
+
+    // The paused run pays idle time but claws rate back with knobs:
+    // QoS loss appears, and tail performance recovers near target.
+    EXPECT_GT(throttled.run.seconds, base.run.seconds);
+    EXPECT_GT(throttled.run.mean_qos_loss_estimate,
+              base.run.mean_qos_loss_estimate);
+    const auto &beats = throttled.beats;
+    const std::size_t tail = beats.size() * 3 / 4;
+    double perf = 0.0;
+    for (std::size_t i = tail; i < beats.size(); ++i)
+        perf += beats[i].normalized_perf;
+    perf /= static_cast<double>(beats.size() - tail);
+    EXPECT_NEAR(perf, 1.0, 0.10);
+}
+
+TEST(SessionGate, PausePerBusyMeetsAnAveragePowerBudget)
+{
+    // Duty-cycling through the gate's per-busy ratio holds the
+    // machine at (W_busy + r * W_idle) / (1 + r) watts on average —
+    // the contract the fleet power arbiter relies on to meet a
+    // budget below the slowest P-state's draw. Knobs off so busy
+    // power is constant.
+    auto p = makePipeline();
+    const double r = 2.0;
+    Session session(p.app, p.table, p.model,
+                    SessionOptions()
+                        .withKnobsEnabled(false)
+                        .withGate([r](BeatGateContext &ctx) {
+                            ctx.pause_per_busy = r;
+                        }));
+    sim::Machine machine;
+    machine.setUtilization(1.0);
+    session.run(2, machine);
+    const auto &power = machine.powerModel();
+    const double busy_watts =
+        power.watts(machine.frequencyHz(), 1.0);
+    const double expected =
+        (busy_watts + r * power.idleWatts()) / (1.0 + r);
+    EXPECT_NEAR(machine.meanWatts(), expected, 1e-9);
+}
+
+TEST(SessionGate, GateCanActuateTheMachine)
+{
+    // External arbitration mid-run: the gate installs a frequency cap
+    // halfway through, and the remaining beats run slower.
+    auto p = makePipeline();
+    const std::size_t half = p.app.unitCount() / 2;
+    Session session(
+        p.app, p.table, p.model,
+        SessionOptions().withGate([half](BeatGateContext &ctx) {
+            if (ctx.beat == half)
+                ctx.machine.setPStateCap(
+                    ctx.machine.scale().lowestState());
+        }));
+    sim::Machine machine;
+    const auto traced = runTraced(session, 2, machine);
+    EXPECT_EQ(traced.beats.front().pstate, 0u);
+    EXPECT_EQ(traced.beats.back().pstate,
+              machine.scale().lowestState());
+}
+
 } // namespace
 } // namespace powerdial::core

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/arrivals.h"
 #include "workload/body_motion.h"
 #include "workload/corpus.h"
 #include "workload/load_trace.h"
@@ -296,6 +297,64 @@ TEST(LoadTrace, InstancesAtScalesByPeak)
     EXPECT_EQ(instancesAt(0.0, 32), 0u);
     EXPECT_EQ(instancesAt(0.5, 32), 16u);
     EXPECT_EQ(instancesAt(1.0, 32), 32u);
+}
+
+TEST(PoissonArrivals, Deterministic)
+{
+    const auto trace = makeLoadTrace({});
+    PoissonArrivalParams params;
+    const auto a = makePoissonArrivals(trace, params);
+    const auto b = makePoissonArrivals(trace, params);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), trace.size());
+}
+
+TEST(PoissonArrivals, PrefixTraceYieldsPrefixArrivals)
+{
+    // One RNG stream drives the whole trace, so truncating the trace
+    // truncates the arrivals without disturbing the kept prefix.
+    const auto trace = makeLoadTrace({});
+    const auto full = makePoissonArrivals(trace, {});
+    const std::vector<double> half(trace.begin(),
+                                   trace.begin() + trace.size() / 2);
+    const auto prefix = makePoissonArrivals(half, {});
+    ASSERT_EQ(prefix.size(), half.size());
+    for (std::size_t t = 0; t < prefix.size(); ++t)
+        EXPECT_EQ(prefix[t], full[t]);
+}
+
+TEST(PoissonArrivals, ZeroLoadOffersNoJobs)
+{
+    const std::vector<double> idle(50, 0.0);
+    for (const std::size_t count : makePoissonArrivals(idle, {}))
+        EXPECT_EQ(count, 0u);
+}
+
+TEST(PoissonArrivals, MeanTracksOfferedLoad)
+{
+    // Sample mean over a long flat trace lands near lambda (law of
+    // large numbers; the tolerance is ~4 sigma).
+    const std::vector<double> flat(4000, 0.5);
+    PoissonArrivalParams params;
+    params.peak_rate = 8.0; // lambda = 4 per step.
+    const auto arrivals = makePoissonArrivals(flat, params);
+    double sum = 0.0;
+    for (const std::size_t count : arrivals)
+        sum += static_cast<double>(count);
+    const double mean = sum / static_cast<double>(arrivals.size());
+    EXPECT_NEAR(mean, 4.0, 4.0 * std::sqrt(4.0 / 4000.0));
+}
+
+TEST(PoissonArrivals, DeviateEdgeCases)
+{
+    Rng rng(7);
+    EXPECT_EQ(poissonDeviate(rng, 0.0), 0u);
+    EXPECT_THROW(poissonDeviate(rng, -1.0), std::invalid_argument);
+    // Past ~708 exp(-lambda) underflows and Knuth's method would
+    // silently saturate; the generator rejects instead.
+    EXPECT_THROW(poissonDeviate(rng, 1e3), std::invalid_argument);
+    EXPECT_THROW(makePoissonArrivals({0.5}, {-1.0, 1}),
+                 std::invalid_argument);
 }
 
 } // namespace
