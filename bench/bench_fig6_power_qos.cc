@@ -12,12 +12,10 @@
  * bodytrack -17%, swaptions -18%, swish++ -16% at 1.6 GHz) while QoS
  * loss grows but stays small for the PARSEC apps.
  */
-#include <algorithm>
-#include <memory>
 #include <vector>
 
 #include "bench_common.h"
-#include "core/thread_pool.h"
+#include "core/fanout.h"
 
 using namespace powerdial;
 using namespace powerdial::bench;
@@ -52,55 +50,41 @@ figurePanel(core::App &sweep, core::App &app,
         static_cast<double>(app.unitCount()) / baseline.seconds;
 
     // The per-P-state runs are independent sessions since the Session
-    // redesign: fan them out over the pool, each on a private clone
-    // with a rebound knob table, and merge rows in P-state order so
-    // the table is byte-identical at any thread count.
+    // redesign: the fan-out engine runs each on a private clone with
+    // a rebound knob table and merges rows in P-state order, so the
+    // table is byte-identical at any thread count.
     const std::size_t states = sim::Machine().scale().states();
-    std::vector<std::unique_ptr<core::App>> clones(states);
-    std::vector<core::KnobTable> tables;
-    tables.reserve(states);
-    for (std::size_t s = 0; s < states; ++s) {
-        clones[s] = app.clone();
-        tables.push_back(
-            core::rebindKnobTable(cal.ident.table, *clones[s]));
-    }
-    std::vector<StateRow> rows(states);
-    const auto runState = [&](std::size_t pstate,
-                              std::size_t /*worker*/) {
-        core::Session session(
-            *clones[pstate], tables[pstate], cal.training.model,
-            core::SessionOptions().withTargetRate(target));
-        auto &trace = session.attach<core::BeatTraceRecorder>();
-        sim::Machine machine;
-        machine.setPState(pstate);
-        machine.setUtilization(1.0); // App keeps the machine busy.
-        const auto run = session.run(input, machine);
-        const auto &beats = trace.beats();
+    core::FanoutEngine engine(bopts.threads, states);
+    auto bound =
+        core::FanoutEngine::cloneBound(app, cal.ident.table, states);
+    const std::vector<StateRow> rows = engine.map(
+        states, [&](std::size_t pstate, std::size_t /*worker*/) {
+            core::Session session(
+                *bound.apps[pstate], bound.tables[pstate],
+                cal.training.model,
+                core::SessionOptions().withTargetRate(target));
+            auto &trace = session.attach<core::BeatTraceRecorder>();
+            sim::Machine machine;
+            machine.setPState(pstate);
+            machine.setUtilization(1.0); // App keeps the machine busy.
+            const auto run = session.run(input, machine);
+            const auto &beats = trace.beats();
 
-        StateRow row;
-        row.qos = qos::distortion(baseline.output, run.output);
-        row.watts = machine.meanWatts();
+            StateRow row;
+            row.qos = qos::distortion(baseline.output, run.output);
+            row.watts = machine.meanWatts();
 
-        // Tail-mean performance (after convergence), like the paper's
-        // "within 5% of the target" verification.
-        const std::size_t tail = beats.size() / 2;
-        for (std::size_t i = tail; i < beats.size(); ++i) {
-            row.perf += beats[i].normalized_perf;
-            row.gain += beats[i].knob_gain;
-        }
-        row.perf /= static_cast<double>(beats.size() - tail);
-        row.gain /= static_cast<double>(beats.size() - tail);
-        rows[pstate] = row;
-    };
-    if (bopts.threads == 1) {
-        for (std::size_t s = 0; s < states; ++s)
-            runState(s, 0);
-    } else {
-        core::ThreadPool pool(bopts.threads == 0
-                                  ? 0
-                                  : std::min(bopts.threads, states));
-        pool.parallelFor(states, runState);
-    }
+            // Tail-mean performance (after convergence), like the
+            // paper's "within 5% of the target" verification.
+            const std::size_t tail = beats.size() / 2;
+            for (std::size_t i = tail; i < beats.size(); ++i) {
+                row.perf += beats[i].normalized_perf;
+                row.gain += beats[i].knob_gain;
+            }
+            row.perf /= static_cast<double>(beats.size() - tail);
+            row.gain /= static_cast<double>(beats.size() - tail);
+            return row;
+        });
 
     std::printf("%10s %12s %12s %12s %12s\n", "freq_GHz", "power_W",
                 "qos_loss%", "perf/target", "knob_gain");

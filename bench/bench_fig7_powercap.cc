@@ -13,12 +13,10 @@
  * gain ~1.5 (the 2.4/1.6 capacity ratio), spikes up at the lift, and
  * returns to baseline; the no-knobs run sits at ~0.67 while capped.
  */
-#include <algorithm>
-#include <memory>
 #include <vector>
 
 #include "bench_common.h"
-#include "core/thread_pool.h"
+#include "core/fanout.h"
 
 using namespace powerdial;
 using namespace powerdial::bench;
@@ -52,39 +50,24 @@ figurePanel(core::App &sweep, core::App &app,
     };
     const std::vector<RunSpec> specs{
         {true, false}, {true, true}, {false, true}};
-    std::vector<std::unique_ptr<core::App>> clones(specs.size());
-    std::vector<core::KnobTable> tables;
-    tables.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        clones[i] = app.clone();
-        tables.push_back(
-            core::rebindKnobTable(cal.ident.table, *clones[i]));
-    }
-    std::vector<std::vector<core::BeatTrace>> series(specs.size());
-    const auto runSpec = [&](std::size_t i, std::size_t /*worker*/) {
-        core::SessionOptions opt =
-            core::SessionOptions().withTargetRate(target)
-                .withKnobsEnabled(specs[i].knobs);
-        sim::Machine machine;
-        if (specs[i].capped)
-            opt.withGovernor(sim::DvfsGovernor::powerCap(
-                machine, 0.25 * duration, 0.75 * duration));
-        core::Session session(*clones[i], tables[i],
-                              cal.training.model, opt);
-        auto &trace = session.attach<core::BeatTraceRecorder>();
-        session.run(input, machine);
-        series[i] = trace.beats();
-    };
-    if (bopts.threads == 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            runSpec(i, 0);
-    } else {
-        core::ThreadPool pool(
-            bopts.threads == 0
-                ? 0
-                : std::min(bopts.threads, specs.size()));
-        pool.parallelFor(specs.size(), runSpec);
-    }
+    core::FanoutEngine engine(bopts.threads, specs.size());
+    auto bound = core::FanoutEngine::cloneBound(app, cal.ident.table,
+                                                specs.size());
+    const std::vector<std::vector<core::BeatTrace>> series = engine.map(
+        specs.size(), [&](std::size_t i, std::size_t /*worker*/) {
+            core::SessionOptions opt =
+                core::SessionOptions().withTargetRate(target)
+                    .withKnobsEnabled(specs[i].knobs);
+            sim::Machine machine;
+            if (specs[i].capped)
+                opt.withGovernor(sim::DvfsGovernor::powerCap(
+                    machine, 0.25 * duration, 0.75 * duration));
+            core::Session session(*bound.apps[i], bound.tables[i],
+                                  cal.training.model, opt);
+            auto &trace = session.attach<core::BeatTraceRecorder>();
+            session.run(input, machine);
+            return trace.beats();
+        });
     const auto &baseline = series[0];
     const auto &knobs = series[1];
     const auto &noknobs = series[2];

@@ -18,6 +18,12 @@
  * rows coincide — the feedback term's distinct budget-shifting
  * behaviour is pinned by the arbiter unit tests instead.
  *
+ * Tenants are persistent: with --epoch-frac below 100 every job spans
+ * several arbitration epochs and adopts each re-split budget mid-run
+ * through its lease (the cross-epoch scenario CI replays against
+ * bench/golden/fleet_spike_crossepoch.txt). --queue-depth bounds each
+ * machine's run queue; overload arrivals are shed and counted.
+ *
  * Output is byte-identical for --threads=1 and --threads=N (the CI
  * fleet-smoke job asserts this, and diffs the summary section against
  * bench/golden/fleet_spike_steps50.txt).
@@ -42,6 +48,14 @@ struct FleetBenchOptions
 {
     std::size_t steps = 96;  //!< Load-trace length, epochs.
     std::size_t threads = 0; //!< Tenant-session workers (0 = all).
+    /**
+     * Epoch length as a percentage of one job's baseline duration.
+     * 100 (default) keeps roughly one job per epoch; lower values
+     * make jobs span multiple epochs, exercising the cross-epoch
+     * lease path (e.g. 30 means every job crosses >= 3 boundaries).
+     */
+    std::size_t epoch_frac_pct = 100;
+    std::size_t queue_depth = 0; //!< Per-machine bound (0 = unbounded).
 };
 
 FleetBenchOptions
@@ -51,9 +65,16 @@ parseFleetOptions(int argc, char **argv)
     const auto usage = [argv]() {
         std::fprintf(stderr,
                      "usage: %s [--steps=N] [--threads=N | -t N]\n"
-                     "  steps   load-trace epochs (default 96)\n"
-                     "  threads tenant-session workers "
-                     "(0 = all hardware contexts, 1 = serial)\n",
+                     "          [--epoch-frac=P] [--queue-depth=N]\n"
+                     "  steps       load-trace epochs (default 96)\n"
+                     "  threads     tenant-session workers "
+                     "(0 = all hardware contexts, 1 = serial)\n"
+                     "  epoch-frac  epoch length as %% of one job's "
+                     "baseline duration (default 100;\n"
+                     "              lower => jobs span multiple epochs "
+                     "and feel lease updates mid-run)\n"
+                     "  queue-depth max in-flight jobs per machine "
+                     "(default 0 = unbounded; overload sheds)\n",
                      argv[0]);
         std::exit(2);
     };
@@ -72,13 +93,17 @@ parseFleetOptions(int argc, char **argv)
             options.steps = parseCount(arg + 8);
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             options.threads = parseCount(arg + 10);
+        } else if (std::strncmp(arg, "--epoch-frac=", 13) == 0) {
+            options.epoch_frac_pct = parseCount(arg + 13);
+        } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+            options.queue_depth = parseCount(arg + 14);
         } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
             options.threads = parseCount(argv[++i]);
         } else {
             usage();
         }
     }
-    if (options.steps == 0)
+    if (options.steps == 0 || options.epoch_frac_pct == 0)
         usage();
     return options;
 }
@@ -158,12 +183,16 @@ main(int argc, char **argv)
         fleet::ServerOptions server_options;
         server_options.machines = fleet_case.machines;
         server_options.threads = options.threads;
-        // One epoch = one serving job's baseline duration. The model
-        // was calibrated on sweep-sized inputs, so derive it from the
-        // transferable per-beat rate, not baselineSeconds().
+        // One epoch = epoch-frac percent of one serving job's
+        // baseline duration (the model was calibrated on sweep-sized
+        // inputs, so derive it from the transferable per-beat rate,
+        // not baselineSeconds()). Below 100%, jobs span several
+        // epochs and feel each re-arbitrated lease mid-run.
         server_options.epoch_seconds =
             static_cast<double>(serving_config.swaptions_per_input) /
-            model.baselineRate();
+            model.baselineRate() *
+            (static_cast<double>(options.epoch_frac_pct) / 100.0);
+        server_options.queue_depth = options.queue_depth;
         server_options.arbiter.cluster_cap_watts =
             fleet_case.cap_watts;
         server_options.arbiter.policy = fleet_case.policy;
@@ -177,15 +206,17 @@ main(int argc, char **argv)
     }
 
     banner("summary");
-    std::printf("%-22s %6s %10s %12s %10s %10s %10s\n", "fleet",
-                "jobs", "watts", "fleet_rate", "p50_lat", "p95_lat",
-                "qos_loss%");
+    std::printf("%-22s %6s %6s %10s %12s %10s %10s %10s\n", "fleet",
+                "jobs", "shed", "watts", "fleet_rate", "p50_lat",
+                "p95_lat", "qos_loss%");
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const auto &report = reports[i];
-        std::printf("%-22s %6zu %10.1f %12.1f %10.3f %10.3f %10.3f\n",
+        std::printf("%-22s %6zu %6zu %10.1f %12.1f %10.3f %10.3f "
+                    "%10.3f\n",
                     cases[i].label, report.total_jobs,
-                    report.mean_watts, report.mean_fleet_rate,
-                    report.p50_latency_s, report.p95_latency_s,
+                    report.total_shed, report.mean_watts,
+                    report.mean_fleet_rate, report.p50_latency_s,
+                    report.p95_latency_s,
                     100.0 * report.mean_qos_loss);
     }
 

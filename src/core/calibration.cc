@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 
-#include "core/thread_pool.h"
+#include "core/fanout.h"
 
 namespace powerdial::core {
 
@@ -26,20 +25,6 @@ runFixed(App &app, std::size_t input, std::size_t combination,
     return m;
 }
 
-namespace {
-
-/** Resolve CalibrationOptions::threads (0 = hardware concurrency). */
-std::size_t
-resolveThreads(std::size_t threads)
-{
-    if (threads != 0)
-        return threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
-}
-
-} // namespace
-
 CalibrationResult
 calibrate(App &app, const std::vector<std::size_t> &inputs,
           const CalibrationOptions &options)
@@ -50,10 +35,9 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
     const KnobSpace &space = app.knobSpace();
     const std::size_t baseline = app.defaultCombination();
     const std::size_t total_runs = space.combinations() * inputs.size();
-    // No point in more workers (each owning a full app clone) than
-    // there are runs to claim.
-    const std::size_t threads =
-        std::min(resolveThreads(options.threads), total_runs);
+    // The engine caps the workers (each owning a full app clone) at
+    // the number of runs to claim.
+    FanoutEngine engine(options.threads, total_runs);
 
     CalibrationData data;
     data.speedups.resize(space.combinations());
@@ -87,7 +71,7 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
     // Baseline pass: per-input reference time and output abstraction.
     std::vector<RunMeasurement> base(inputs.size());
 
-    if (threads <= 1) {
+    if (engine.serial()) {
         // Serial: measure and merge in one streaming pass on the
         // caller's app (only the baseline measurements stay live).
         for (std::size_t i = 0; i < inputs.size(); ++i) {
@@ -118,11 +102,8 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
         // not touched until the runs are in), writing into disjoint
         // slots of a (combination x input) grid, then merge the grid
         // serially in the exact order of the serial path above.
-        ThreadPool pool(threads);
-        std::vector<std::unique_ptr<App>> clones(pool.size());
-        for (auto &clone : clones)
-            clone = app.clone();
-        pool.parallelFor(
+        const auto clones = engine.workerClones(app);
+        engine.run(
             inputs.size(), [&](std::size_t i, std::size_t w) {
                 base[i] = runFixed(*clones[w], inputs[i], baseline,
                                    options.machine);
@@ -130,7 +111,7 @@ calibrate(App &app, const std::vector<std::size_t> &inputs,
         for (const RunMeasurement &m : base)
             checkBase(m);
         std::vector<RunMeasurement> grid(total_runs);
-        pool.parallelFor(
+        engine.run(
             total_runs, [&](std::size_t task, std::size_t w) {
                 const std::size_t c = task / inputs.size();
                 const std::size_t i = task % inputs.size();

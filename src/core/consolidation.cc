@@ -1,9 +1,6 @@
 #include "core/consolidation.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "core/thread_pool.h"
+#include "core/fanout.h"
 #include "qos/distortion.h"
 
 namespace powerdial::core {
@@ -51,40 +48,20 @@ replayConsolidation(const App &app, const KnobTable &table,
                     const std::vector<ReplayCase> &cases,
                     const ConsolidationReplayOptions &options)
 {
-    std::vector<ReplayOutcome> outcomes(cases.size());
     if (cases.empty())
-        return outcomes;
+        return {};
 
     // Every case runs on a private clone with a rebound knob table —
     // identical work on the serial and pooled paths, so outcomes are
-    // bit-identical at any thread count. Clones are created serially:
-    // App::clone() of a shared instance is not required to be
-    // thread-safe.
-    std::vector<std::unique_ptr<App>> clones(cases.size());
-    std::vector<KnobTable> tables;
-    tables.reserve(cases.size());
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-        clones[i] = app.clone();
-        tables.push_back(rebindKnobTable(table, *clones[i]));
-    }
-
-    if (options.threads == 1 || cases.size() == 1) {
-        for (std::size_t i = 0; i < cases.size(); ++i)
-            outcomes[i] = replayOne(*clones[i], tables[i], model,
-                                    baseline, cases[i], options);
-        return outcomes;
-    }
-
-    ThreadPool pool(options.threads == 0
-                        ? 0
-                        : std::min(options.threads, cases.size()));
-    pool.parallelFor(cases.size(),
-                     [&](std::size_t task, std::size_t /*worker*/) {
-                         outcomes[task] = replayOne(
-                             *clones[task], tables[task], model,
-                             baseline, cases[task], options);
-                     });
-    return outcomes;
+    // bit-identical at any thread count. The engine creates the
+    // clones serially and merges outcomes in case order.
+    FanoutEngine engine(options.threads, cases.size());
+    auto bound = FanoutEngine::cloneBound(app, table, cases.size());
+    return engine.map(
+        cases.size(), [&](std::size_t task, std::size_t /*worker*/) {
+            return replayOne(*bound.apps[task], bound.tables[task],
+                             model, baseline, cases[task], options);
+        });
 }
 
 } // namespace powerdial::core

@@ -6,8 +6,8 @@
  * actually delivers on an oversubscribed machine: each replay pins a
  * per-instance core share, runs the full closed-loop session, and
  * reports delivered performance and QoS. Replays are mutually
- * independent, so after the Session redesign they fan out over the
- * shared core::ThreadPool exactly like the calibration sweep: each
+ * independent, so after the Session redesign they fan out through
+ * core::FanoutEngine exactly like the calibration sweep: each
  * worker task gets a private App::clone() with a rebound knob table
  * and its own simulated machine, and results merge in fixed case
  * order — the output is bit-identical to the serial path at any

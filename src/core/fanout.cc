@@ -1,0 +1,79 @@
+#include "core/fanout.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace powerdial::core {
+
+KnobTable
+rebindKnobTable(const KnobTable &source, App &app)
+{
+    KnobTable table;
+    app.bindControlVariables(table);
+    if (table.variableCount() != source.variableCount())
+        throw std::invalid_argument(
+            "rebindKnobTable: binding count mismatch");
+    const std::size_t combinations = app.knobSpace().combinations();
+    for (std::size_t c = 0; c < combinations; ++c)
+        for (std::size_t v = 0; v < source.variableCount(); ++v)
+            table.record(c, v, source.value(c, v));
+    return table;
+}
+
+namespace {
+
+/** Resolve a threads option: 0 = hardware concurrency (at least 1). */
+std::size_t
+resolveThreads(std::size_t threads)
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+FanoutEngine::FanoutEngine(std::size_t threads, std::size_t max_tasks)
+{
+    std::size_t resolved = resolveThreads(threads);
+    if (max_tasks != 0)
+        resolved = std::min(resolved, max_tasks);
+    if (resolved > 1)
+        pool_.emplace(resolved);
+}
+
+void
+FanoutEngine::run(std::size_t tasks, const ThreadPool::Task &fn)
+{
+    if (serial() || tasks <= 1) {
+        for (std::size_t task = 0; task < tasks; ++task)
+            fn(task, 0);
+        return;
+    }
+    pool_->parallelFor(tasks, fn);
+}
+
+std::vector<std::unique_ptr<App>>
+FanoutEngine::cloneApps(const App &app, std::size_t count)
+{
+    std::vector<std::unique_ptr<App>> clones(count);
+    for (auto &clone : clones)
+        clone = app.clone();
+    return clones;
+}
+
+FanoutEngine::BoundClones
+FanoutEngine::cloneBound(const App &app, const KnobTable &table,
+                         std::size_t count)
+{
+    BoundClones bound;
+    bound.apps = cloneApps(app, count);
+    bound.tables.reserve(count);
+    for (auto &clone : bound.apps)
+        bound.tables.push_back(rebindKnobTable(table, *clone));
+    return bound;
+}
+
+} // namespace powerdial::core

@@ -1,10 +1,62 @@
 #include "core/session.h"
 
+#include <limits>
 #include <stdexcept>
-
-#include "heartbeats/heartbeat.h"
+#include <utility>
 
 namespace powerdial::core {
+
+BeatGate
+composeGates(std::vector<BeatGate> gates)
+{
+    std::vector<BeatGate> live;
+    for (BeatGate &gate : gates)
+        if (gate)
+            live.push_back(std::move(gate));
+    if (live.empty())
+        return nullptr;
+    if (live.size() == 1)
+        return std::move(live.front());
+    return [live = std::move(live)](BeatGateContext &ctx) {
+        for (const BeatGate &gate : live)
+            gate(ctx);
+    };
+}
+
+BeatGate
+composeGates(BeatGate first, BeatGate second)
+{
+    std::vector<BeatGate> gates;
+    gates.push_back(std::move(first));
+    gates.push_back(std::move(second));
+    return composeGates(std::move(gates));
+}
+
+BeatGate
+makeDutyCycleGate(double ratio)
+{
+    if (ratio < 0.0)
+        throw std::invalid_argument(
+            "makeDutyCycleGate: ratio must be >= 0");
+    if (ratio == 0.0)
+        return nullptr;
+    return [ratio](BeatGateContext &ctx) {
+        ctx.pause_per_busy += ratio;
+    };
+}
+
+BeatGate
+makeDutyCycleGate(std::function<double()> ratio)
+{
+    if (!ratio)
+        throw std::invalid_argument(
+            "makeDutyCycleGate: null ratio provider");
+    return [ratio = std::move(ratio)](BeatGateContext &ctx) {
+        const double r = ratio();
+        if (r > 0.0)
+            ctx.pause_per_busy += r;
+    };
+}
 
 SessionOptions &
 SessionOptions::withQuantum(std::size_t beats)
@@ -103,16 +155,32 @@ Session::observe(std::unique_ptr<RunObserver> observer)
 ControlledRun
 Session::run(std::size_t input, sim::Machine &machine)
 {
-    const double target = options_.target_rate > 0.0
-        ? options_.target_rate
-        : model_->baselineRate();
+    start(input, machine);
+    auto result =
+        advanceUntil(std::numeric_limits<double>::infinity());
+    // An unbounded advance always completes the run.
+    return *result;
+}
+
+void
+Session::start(std::size_t input, sim::Machine &machine)
+{
+    if (state_.has_value())
+        throw std::logic_error("Session: start() with a run in flight");
+
+    RunState state;
+    state.input = input;
+    state.machine = &machine;
+    state.target = options_.target_rate > 0.0 ? options_.target_rate
+                                              : model_->baselineRate();
 
     // Paper setup: min and max target are both the baseline rate.
-    hb::Monitor monitor(options_.window, {target, target});
+    state.monitor.emplace(options_.window,
+                          hb::HeartRateTarget{state.target, state.target});
 
     ControlSetup setup;
     setup.baseline_rate = model_->baselineRate();
-    setup.target_rate = target;
+    setup.target_rate = state.target;
     setup.min_speedup = model_->baselinePoint().speedup;
     setup.max_speedup = model_->maxSpeedup();
     policy_->begin(setup);
@@ -122,62 +190,67 @@ Session::run(std::size_t input, sim::Machine &machine)
     // run's start time, so a powerCap built against t = 0 replays
     // correctly even when the machine carries time over from a
     // previous run.
-    sim::DvfsGovernor *governor = nullptr;
-    if (options_.governor.has_value()) {
-        governor = &*options_.governor;
-        governor->reset(machine.now());
-    }
+    if (options_.governor.has_value())
+        options_.governor->reset(machine.now());
 
     // Start at the baseline (highest QoS) setting, like the paper.
-    const std::size_t baseline = model_->baselineCombination();
-    app_->configure(app_->knobSpace().valuesOf(baseline));
+    state.baseline = model_->baselineCombination();
+    app_->configure(app_->knobSpace().valuesOf(state.baseline));
     app_->loadInput(input);
 
-    ActuationPlan plan;
-    plan.slices.push_back({baseline, 1.0, model_->baselinePoint().speedup,
-                           model_->baselinePoint().qos_loss});
+    state.plan.slices.push_back({state.baseline, 1.0,
+                                 model_->baselinePoint().speedup,
+                                 model_->baselinePoint().qos_loss});
 
-    ControlledRun result;
-    const double start = machine.now();
-    const std::size_t units = app_->unitCount();
+    state.start_time_s = machine.now();
+    state.units = app_->unitCount();
+    state.applied = state.baseline;
+    state.commanded = setup.min_speedup;
+    state_ = std::move(state);
+    lookupCombo(state_->applied);
 
     if (!observers_.empty()) {
         RunStartEvent event;
         event.app_name = app_->name();
         event.input = input;
-        event.units = units;
-        event.target_rate = target;
-        event.start_time_s = start;
+        event.units = state_->units;
+        event.target_rate = state_->target;
+        event.start_time_s = state_->start_time_s;
         for (RunObserver *observer : observers_)
             observer->onRunStart(event);
     }
+}
 
-    std::size_t applied = baseline;
-    double commanded = setup.min_speedup;
-    double qos_weighted = 0.0;
-    double qos_work = 0.0;
-
-    // Calibrated point of the installed combination, refreshed only
-    // when the combination changes (it is constant within a quantum).
-    double combo_qos = 0.0;
-    double combo_speedup = 1.0;
-    const auto lookupCombo = [this, &combo_qos,
-                              &combo_speedup](std::size_t combo) {
-        combo_qos = 0.0;
-        combo_speedup = 1.0;
-        for (const auto &p : model_->allPoints()) {
-            if (p.combination == combo) {
-                combo_qos = p.qos_loss;
-                combo_speedup = p.speedup;
-                break;
-            }
+void
+Session::lookupCombo(std::size_t combo)
+{
+    state_->combo_qos = 0.0;
+    state_->combo_speedup = 1.0;
+    for (const auto &p : model_->allPoints()) {
+        if (p.combination == combo) {
+            state_->combo_qos = p.qos_loss;
+            state_->combo_speedup = p.speedup;
+            break;
         }
-    };
-    lookupCombo(applied);
+    }
+}
 
-    for (std::size_t u = 0; u < units; ++u) {
+std::optional<ControlledRun>
+Session::advanceUntil(double deadline_s)
+{
+    if (!state_.has_value())
+        throw std::logic_error(
+            "Session: advanceUntil() without a run in flight");
+    RunState &state = *state_;
+    sim::Machine &machine = *state.machine;
+    sim::DvfsGovernor *governor = options_.governor.has_value()
+        ? &*options_.governor
+        : nullptr;
+
+    while (state.unit < state.units && machine.now() < deadline_s) {
+        const std::size_t u = state.unit;
         // Main control loop: heartbeat at the top of the loop.
-        monitor.beat(machine.now());
+        state.monitor->beat(machine.now());
         if (governor != nullptr)
             governor->poll(machine);
 
@@ -196,12 +269,13 @@ Session::run(std::size_t input, sim::Machine &machine)
         // Quantum boundary: run the policy and re-plan.
         if (options_.knobs_enabled && u > 0 &&
             u % options_.quantum_beats == 0) {
-            const double rate = monitor.windowRate();
+            const double rate = state.monitor->windowRate();
             if (rate > 0.0) {
-                commanded = policy_->update(rate);
-                plan = strategy_->plan(commanded);
+                state.commanded = policy_->update(rate);
+                state.plan = strategy_->plan(state.commanded);
                 if (!observers_.empty()) {
-                    const QuantumEvent event{u, rate, commanded, plan};
+                    const QuantumEvent event{u, rate, state.commanded,
+                                             state.plan};
                     for (RunObserver *observer : observers_)
                         observer->onQuantum(event);
                 }
@@ -209,13 +283,13 @@ Session::run(std::size_t input, sim::Machine &machine)
         }
 
         const std::size_t combo = options_.knobs_enabled
-            ? plan.combinationAtBeat(u % options_.quantum_beats,
-                                     options_.quantum_beats)
-            : baseline;
-        if (combo != applied) {
+            ? state.plan.combinationAtBeat(u % options_.quantum_beats,
+                                           options_.quantum_beats)
+            : state.baseline;
+        if (combo != state.applied) {
             table_->apply(combo);
-            applied = combo;
-            lookupCombo(applied);
+            state.applied = combo;
+            lookupCombo(state.applied);
         }
 
         const double before = machine.now();
@@ -225,7 +299,7 @@ Session::run(std::size_t input, sim::Machine &machine)
         // Race-to-idle: insert the plan's idle slack after the work,
         // then any externally imposed duty-cycle slack from the gate.
         const double idle_ratio = options_.knobs_enabled
-            ? plan.idlePerBusySecond()
+            ? state.plan.idlePerBusySecond()
             : 0.0;
         if (idle_ratio > 0.0)
             machine.idleFor(idle_ratio * busy);
@@ -234,19 +308,21 @@ Session::run(std::size_t input, sim::Machine &machine)
 
         // Account the calibrated QoS loss of the installed setting,
         // weighted by the work (one unit) it produced.
-        qos_weighted += combo_qos;
-        qos_work += 1.0;
-        ++result.beat_count;
+        state.qos_weighted += state.combo_qos;
+        state.qos_work += 1.0;
+        ++state.result.beat_count;
+        ++state.unit;
 
         if (!observers_.empty()) {
             BeatTrace bt;
             bt.time_s = machine.now();
-            bt.window_rate = monitor.windowRate();
-            bt.normalized_perf =
-                target > 0.0 ? bt.window_rate / target : 0.0;
-            bt.commanded_speedup = commanded;
-            bt.knob_gain = combo_speedup;
-            bt.combination = applied;
+            bt.window_rate = state.monitor->windowRate();
+            bt.normalized_perf = state.target > 0.0
+                ? bt.window_rate / state.target
+                : 0.0;
+            bt.commanded_speedup = state.commanded;
+            bt.knob_gain = state.combo_speedup;
+            bt.combination = state.applied;
             bt.pstate = machine.pstate();
             const BeatEvent event{u, bt};
             for (RunObserver *observer : observers_)
@@ -254,29 +330,20 @@ Session::run(std::size_t input, sim::Machine &machine)
         }
     }
 
-    result.seconds = machine.now() - start;
+    if (state.unit < state.units)
+        return std::nullopt; // Paused at the deadline.
+
+    ControlledRun result = state.result;
+    result.seconds = machine.now() - state.start_time_s;
     result.output = app_->output();
-    result.mean_qos_loss_estimate =
-        qos_work > 0.0 ? qos_weighted / qos_work : 0.0;
+    result.mean_qos_loss_estimate = state.qos_work > 0.0
+        ? state.qos_weighted / state.qos_work
+        : 0.0;
+    state_.reset();
 
     for (RunObserver *observer : observers_)
         observer->onRunEnd(result);
     return result;
-}
-
-KnobTable
-rebindKnobTable(const KnobTable &source, App &app)
-{
-    KnobTable table;
-    app.bindControlVariables(table);
-    if (table.variableCount() != source.variableCount())
-        throw std::invalid_argument(
-            "rebindKnobTable: binding count mismatch");
-    const std::size_t combinations = app.knobSpace().combinations();
-    for (std::size_t c = 0; c < combinations; ++c)
-        for (std::size_t v = 0; v < source.variableCount(); ++v)
-            table.record(c, v, source.value(c, v));
-    return table;
 }
 
 } // namespace powerdial::core

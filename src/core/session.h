@@ -41,6 +41,7 @@
 #include "core/control_policy.h"
 #include "core/response_model.h"
 #include "core/run_observer.h"
+#include "heartbeats/heartbeat.h"
 #include "sim/dvfs_governor.h"
 
 namespace powerdial::core {
@@ -82,6 +83,34 @@ struct BeatGateContext
  * control loop.
  */
 using BeatGate = std::function<void(BeatGateContext &)>;
+
+/**
+ * Compose gates into one: each beat runs every non-null gate in order
+ * on the same context, so their pause contributions accumulate (the
+ * fleet server composes the caller's gate with the lease gate this
+ * way). Null entries are skipped; if no gate remains the result is a
+ * null BeatGate, which SessionOptions treats as "no gate".
+ */
+BeatGate composeGates(std::vector<BeatGate> gates);
+
+/** Two-gate convenience overload (the common caller + arbiter pair). */
+BeatGate composeGates(BeatGate first, BeatGate second);
+
+/**
+ * A duty-cycle pause gate: every beat adds @p ratio idle seconds per
+ * busy second of the beat's work (BeatGateContext::pause_per_busy).
+ * Because the pause scales with measured busy time, a machine
+ * duty-cycled this way meets an average power budget exactly whatever
+ * the tenant's share, frequency, and knob setting.
+ */
+BeatGate makeDutyCycleGate(double ratio);
+
+/**
+ * Dynamic duty-cycle gate: @p ratio() is sampled every beat, so an
+ * external agent (e.g. a fleet arbitration lease) can retune the
+ * pause mid-run and the next beat already honours it.
+ */
+BeatGate makeDutyCycleGate(std::function<double()> ratio);
 
 /**
  * Session configuration: plain fields plus builder-style setters so
@@ -169,9 +198,43 @@ class Session
 
     /**
      * Execute input @p input to completion on @p machine under closed-
-     * loop control.
+     * loop control. Equivalent to start() followed by one
+     * advanceUntil() with no deadline.
      */
     ControlledRun run(std::size_t input, sim::Machine &machine);
+
+    /**
+     * Begin a controlled run without executing any units: installs the
+     * baseline knob setting, loads the input, rewinds the governor,
+     * and emits onRunStart. The machine must outlive the run. This is
+     * the persistent-tenant entry point: a fleet epoch loop starts a
+     * tenant once, then advances it one epoch slice at a time.
+     */
+    void start(std::size_t input, sim::Machine &machine);
+
+    /** True between start() and the run's completion. */
+    bool active() const { return state_.has_value(); }
+
+    /**
+     * Advance the active run until it completes or the machine's
+     * virtual time reaches @p deadline_s (checked at the top of each
+     * beat; a beat whose work straddles the deadline finishes its
+     * unit). Virtual time is continuous across calls — slicing a run
+     * changes nothing about the run itself, only when in host time
+     * its beats execute — so an external agent may mutate what the
+     * session's beat gate reads between slices and the next beat
+     * already observes it.
+     *
+     * @return The completed run (after emitting onRunEnd), or
+     *         std::nullopt when the deadline arrived first.
+     */
+    std::optional<ControlledRun> advanceUntil(double deadline_s);
+
+    /** Units processed so far in the active run (0 when inactive). */
+    std::size_t unitsProcessed() const
+    {
+        return state_.has_value() ? state_->unit : 0;
+    }
 
     const SessionOptions &options() const { return options_; }
     const ResponseModel &model() const { return *model_; }
@@ -181,6 +244,31 @@ class Session
     const ActuationStrategy &strategy() const { return *strategy_; }
 
   private:
+    /** Everything one in-flight run carries across epoch slices. */
+    struct RunState
+    {
+        std::size_t input = 0;
+        sim::Machine *machine = nullptr;
+        double target = 0.0;
+        double start_time_s = 0.0;
+        std::size_t units = 0;
+        std::size_t unit = 0; //!< Next unit (beat) to process.
+        std::optional<hb::Monitor> monitor;
+        ActuationPlan plan;
+        std::size_t baseline = 0;
+        std::size_t applied = 0;
+        double commanded = 1.0;
+        double qos_weighted = 0.0;
+        double qos_work = 0.0;
+        // Calibrated point of the installed combination, refreshed
+        // only when the combination changes.
+        double combo_qos = 0.0;
+        double combo_speedup = 1.0;
+        ControlledRun result;
+    };
+
+    void lookupCombo(std::size_t combo);
+
     App *app_;
     const KnobTable *table_;
     const ResponseModel *model_;
@@ -189,15 +277,8 @@ class Session
     std::unique_ptr<ActuationStrategy> strategy_;
     std::vector<RunObserver *> observers_;
     std::vector<std::unique_ptr<RunObserver>> owned_observers_;
+    std::optional<RunState> state_;
 };
-
-/**
- * Rebind a knob table onto another instance of the same application
- * (typically an App::clone()): copies every recorded control-variable
- * value and lets @p app install its own write bindings. The building
- * block for running sessions on cloned applications in parallel.
- */
-KnobTable rebindKnobTable(const KnobTable &source, App &app);
 
 } // namespace powerdial::core
 

@@ -35,11 +35,18 @@ MetricsHub::Probe::onRunEnd(const core::ControlledRun &run)
 void
 MetricsHub::Probe::finish(const sim::Machine &machine)
 {
+    finishOn(worker_, machine);
+}
+
+void
+MetricsHub::Probe::finishOn(std::size_t worker,
+                            const sim::Machine &machine)
+{
     if (!done_)
         throw std::logic_error(
             "MetricsHub::Probe: finish before the run ended");
     record_.energy_j = machine.energyJoules();
-    hub_->commit(worker_, record_);
+    hub_->commit(worker, record_);
     done_ = false;
 }
 
@@ -60,6 +67,8 @@ MetricsHub::probe(std::size_t worker, const JobRecord &seed)
 void
 MetricsHub::commit(std::size_t worker, const JobRecord &record)
 {
+    if (worker >= shards_.size())
+        throw std::out_of_range("MetricsHub: bad commit worker index");
     shards_[worker].push_back(record);
 }
 

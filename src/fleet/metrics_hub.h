@@ -5,7 +5,7 @@
  * Every tenant session already streams per-beat events through the
  * core::RunObserver seam; the MetricsHub implements that observer
  * interface once, for the whole fleet, instead of each driver rolling
- * its own recorder. Tenants run concurrently on core::ThreadPool
+ * its own recorder. Tenants run concurrently on core::FanoutEngine
  * workers, so the hub keeps one shard per worker: a probe (the
  * per-tenant observer adapter) accumulates its tenant's beats locally
  * and commits one finished JobRecord into its worker's shard — each
@@ -37,6 +37,14 @@ struct JobRecord
     double qos_loss = 0.0;   //!< Work-weighted calibrated QoS loss.
     double energy_j = 0.0;   //!< Energy of the job's machine share.
     std::size_t beats = 0;   //!< Heartbeats the job emitted.
+    /**
+     * Arbitration-lease generation the job last observed (0 = it
+     * never saw a lease) and how many distinct lease terms its beat
+     * gate applied over its lifetime — a cross-epoch tenant that felt
+     * three arbitration decisions reports lease_updates == 3.
+     */
+    std::size_t lease_generation = 0;
+    std::size_t lease_updates = 0;
 };
 
 /**
@@ -60,10 +68,29 @@ class MetricsHub : public core::RunObserver
         /**
          * Commit the finished job to the hub, folding in what only
          * the caller can see: the machine the job ran on (for energy)
-         * and the run's QoS estimate. Call exactly once, after
-         * Session::run returned.
+         * and the run's QoS estimate. Call exactly once, after the
+         * session's run completed.
          */
         void finish(const sim::Machine &machine);
+
+        /**
+         * Like finish(), but commit into @p worker's shard instead of
+         * the probe's minting worker. A persistent tenant's epoch
+         * slices may run on a different pool worker each epoch; the
+         * slice that completes the run commits into the shard of the
+         * worker actually running it, keeping the fan-in lock-free.
+         */
+        void finishOn(std::size_t worker, const sim::Machine &machine);
+
+        /**
+         * Tag the record with the arbitration-lease terms the tenant's
+         * gate just applied (called once per lease re-read).
+         */
+        void noteLease(std::size_t generation)
+        {
+            record_.lease_generation = generation;
+            ++record_.lease_updates;
+        }
 
         /** The record as accumulated so far (complete after finish). */
         const JobRecord &record() const { return record_; }

@@ -1,6 +1,7 @@
 #include "fleet/scheduler.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace powerdial::fleet {
 
@@ -74,22 +75,70 @@ makePowerAwarePlacement()
 }
 
 Scheduler::Scheduler(sim::Cluster &cluster, PlacementFactory policy)
-    : cluster_(&cluster)
+    : Scheduler(cluster, SchedulerOptions{std::move(policy), 0})
 {
-    policy_ = policy ? policy() : makeLeastLoadedPlacement()();
+}
+
+Scheduler::Scheduler(sim::Cluster &cluster, SchedulerOptions options)
+    : cluster_(&cluster), options_(std::move(options))
+{
+    policy_ = options_.placement ? options_.placement()
+                                 : makeLeastLoadedPlacement()();
     if (policy_ == nullptr)
         throw std::invalid_argument(
             "Scheduler: placement factory returned null");
 }
 
+std::optional<std::size_t>
+Scheduler::pickWithRoom() const
+{
+    std::size_t machine = policy_->pick(*cluster_);
+    if (machine >= cluster_->size())
+        throw std::logic_error("Scheduler: policy picked a bad machine");
+    const std::size_t depth = options_.queue_depth;
+    if (depth != 0 && cluster_->activeOn(machine) >= depth) {
+        // The policy's pick is full: overflow to the least-loaded
+        // machine with room (lowest index on ties), none = shed.
+        bool found = false;
+        for (std::size_t i = 0; i < cluster_->size(); ++i) {
+            if (cluster_->activeOn(i) >= depth)
+                continue;
+            if (!found || cluster_->activeOn(i) <
+                              cluster_->activeOn(machine)) {
+                machine = i;
+                found = true;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+    }
+    return machine;
+}
+
+std::optional<std::size_t>
+Scheduler::tryAdmit()
+{
+    const auto machine = pickWithRoom();
+    if (!machine.has_value()) {
+        ++shed_;
+        return std::nullopt;
+    }
+    cluster_->place(*machine);
+    return machine;
+}
+
 std::size_t
 Scheduler::admit()
 {
-    const std::size_t machine = policy_->pick(*cluster_);
-    if (machine >= cluster_->size())
-        throw std::logic_error("Scheduler: policy picked a bad machine");
-    cluster_->place(machine);
-    return machine;
+    // A full cluster is a caller bug here, not a shed event: the
+    // counter only tracks tryAdmit()-path admission control.
+    const auto machine = pickWithRoom();
+    if (!machine.has_value())
+        throw std::logic_error(
+            "Scheduler: admit() shed a job; use tryAdmit() with a "
+            "queue-depth bound");
+    cluster_->place(*machine);
+    return *machine;
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sim/cluster.h"
@@ -60,6 +61,21 @@ PlacementFactory makeLeastLoadedPlacement();
  */
 PlacementFactory makePowerAwarePlacement();
 
+/** Admission-control parameters. */
+struct SchedulerOptions
+{
+    /** Placement policy; null means least-loaded. */
+    PlacementFactory placement;
+    /**
+     * Bounded per-machine run-queue depth: the most active instances
+     * one machine may host (running plus queued behind its cores).
+     * Arrivals that find every machine at the bound are shed, not
+     * queued without limit. 0 (the default) keeps the historical
+     * unbounded behaviour.
+     */
+    std::size_t queue_depth = 0;
+};
+
 /**
  * Incremental job placement against one cluster's dynamic state.
  * The cluster must outlive the scheduler.
@@ -71,20 +87,49 @@ class Scheduler
     explicit Scheduler(sim::Cluster &cluster,
                        PlacementFactory policy = nullptr);
 
-    /** Place one arriving job; returns the hosting machine index. */
+    Scheduler(sim::Cluster &cluster, SchedulerOptions options);
+
+    /**
+     * Place one arriving job; returns the hosting machine index, or
+     * std::nullopt when admission control shed the job (every machine
+     * already at the queue-depth bound; the shed counter increments).
+     * If the policy's pick is full but another machine has room, the
+     * job overflows to the least-loaded machine with space (lowest
+     * index on ties) so a full machine never sheds work an emptier
+     * neighbour could hold.
+     */
+    std::optional<std::size_t> tryAdmit();
+
+    /**
+     * Unbounded admit (pre-admission-control API): always places.
+     * With a queue-depth bound configured, throws std::logic_error
+     * when the job would have been shed — callers that can shed must
+     * use tryAdmit().
+     */
     std::size_t admit();
 
     /** Record completion of a job hosted on machine @p machine. */
     void release(std::size_t machine);
 
+    /** Jobs shed by admission control so far. */
+    std::size_t shedCount() const { return shed_; }
+
     /** The placement policy in use. */
     const PlacementPolicy &policy() const { return *policy_; }
+
+    /** The queue-depth bound (0 = unbounded). */
+    std::size_t queueDepth() const { return options_.queue_depth; }
 
     const sim::Cluster &cluster() const { return *cluster_; }
 
   private:
+    /** Policy pick with bound-overflow; nullopt = cluster full. */
+    std::optional<std::size_t> pickWithRoom() const;
+
     sim::Cluster *cluster_;
+    SchedulerOptions options_;
     std::unique_ptr<PlacementPolicy> policy_;
+    std::size_t shed_ = 0;
 };
 
 } // namespace powerdial::fleet

@@ -1,28 +1,52 @@
 #include "fleet/server.h"
 
 #include <algorithm>
-#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "core/thread_pool.h"
+#include "core/fanout.h"
 
 namespace powerdial::fleet {
 
 namespace {
 
-/** One admitted job with its run parameters frozen at placement. */
-struct Launch
+/**
+ * One admitted job, persistent across epochs: its session, private
+ * clone, simulated machine, and metrics probe live as long as the job
+ * is in flight, and its lease is rewritten by the arbiter at every
+ * epoch boundary. Tenants are heap-allocated and never move, so the
+ * session's pointers into the clone and table (and the gate's pointer
+ * back into the tenant) stay valid for the whole run.
+ */
+struct Tenant
 {
     std::size_t job = 0;
-    std::size_t tenant = 0;
-    std::size_t machine = 0;
-    double share = 1.0;
-    double utilization = 1.0;
-    std::size_t pstate_cap = 0;
-    double pause_ratio = 0.0;
+    std::size_t input = 0;
+    std::size_t machine_index = 0;
+    std::size_t arrival_epoch = 0;
+
+    std::unique_ptr<core::App> app;
+    core::KnobTable table;
+    sim::Machine machine;
+    ArbitrationLease lease;
+    std::size_t applied_generation = 0; //!< Gate-side: last applied.
+    double slice_deadline_s = 0.0;      //!< Tenant-local epoch end.
+    std::size_t beats_reported = 0;     //!< Beats already attributed
+                                        //!< to earlier epochs' rates.
+
+    explicit Tenant(const sim::Machine::Config &config)
+        : machine(config)
+    {
+    }
+
+    std::optional<MetricsHub::Probe> probe;
+    std::optional<core::Session> session;
+    bool started = false;
+    bool done = false;
 };
 
 } // namespace
@@ -44,7 +68,9 @@ FleetReport
 Server::serve(const std::vector<std::size_t> &arrivals)
 {
     sim::Cluster cluster(options_.machines, options_.machine);
-    Scheduler scheduler(cluster, options_.placement);
+    Scheduler scheduler(
+        cluster, SchedulerOptions{options_.placement,
+                                  options_.queue_depth});
     PowerArbiter arbiter(options_.arbiter);
 
     const double epoch_s = options_.epoch_seconds > 0.0
@@ -53,155 +79,193 @@ Server::serve(const std::vector<std::size_t> &arrivals)
     if (epoch_s <= 0.0)
         throw std::invalid_argument("Server: epoch duration must be > 0");
 
-    // One pool for the whole serve; tenant sessions are the only
-    // parallel section, so the hub shards one-to-one with workers.
-    std::optional<core::ThreadPool> pool;
-    std::size_t workers = 1;
-    if (options_.threads != 1) {
-        pool.emplace(options_.threads);
-        workers = pool->size();
-    }
-    MetricsHub hub(workers);
+    // One fan-out engine for the whole serve; tenant epoch slices are
+    // the only parallel section, so the hub shards one-to-one with
+    // its workers.
+    core::FanoutEngine engine(options_.threads);
+    MetricsHub hub(engine.workers());
 
-    // Jobs completing at epoch t release their machine slot at the
-    // top of epoch t; completions past the horizon simply never
-    // release (the serve ends first).
-    std::vector<std::vector<std::size_t>> completions(arrivals.size() +
-                                                      1);
     std::vector<double> qos_feedback(options_.machines, 0.0);
+    std::vector<std::unique_ptr<Tenant>> active; // In job order.
 
     FleetReport report;
     report.epochs.reserve(arrivals.size());
     std::size_t next_job = 0;
 
+    // Advance every active tenant to its current slice deadline
+    // (+inf for the final drain); the slice that completes a run
+    // commits its record on the worker actually running it.
+    const auto runSlices = [&]() {
+        engine.run(active.size(),
+                   [&](std::size_t i, std::size_t worker) {
+                       Tenant &t = *active[i];
+                       if (t.done)
+                           return; // Awaiting release at the epoch top.
+                       if (!t.started) {
+                           t.session->observe(*t.probe);
+                           t.session->start(t.input, t.machine);
+                           t.started = true;
+                       }
+                       const auto result =
+                           t.session->advanceUntil(t.slice_deadline_s);
+                       if (result.has_value()) {
+                           t.done = true;
+                           t.probe->finishOn(worker, t.machine);
+                       }
+                   });
+    };
+
     for (std::size_t e = 0; e < arrivals.size(); ++e) {
         EpochStats stats;
         stats.epoch = e;
 
-        for (const std::size_t machine : completions[e])
-            scheduler.release(machine);
-        stats.completed = completions[e].size();
+        // Top of epoch: tenants that completed during the previous
+        // epoch's slice release their machine slot now.
+        std::size_t kept = 0;
+        for (auto &tenant : active) {
+            if (tenant->done) {
+                scheduler.release(tenant->machine_index);
+                ++stats.completed;
+            } else {
+                active[kept++] = std::move(tenant);
+            }
+        }
+        active.resize(kept);
 
-        // Placement: serial and deterministic, one arrival at a time.
-        std::vector<Launch> launches;
-        launches.reserve(arrivals[e]);
+        // Admission: serial and deterministic, one arrival at a time.
+        // Jobs past the queue-depth bound are shed, not queued.
+        const std::size_t shed_before = scheduler.shedCount();
+        std::vector<std::size_t> placements;
+        placements.reserve(arrivals[e]);
         for (std::size_t k = 0; k < arrivals[e]; ++k) {
-            Launch launch;
-            launch.job = next_job;
-            launch.tenant =
+            const auto machine = scheduler.tryAdmit();
+            if (machine.has_value())
+                placements.push_back(*machine);
+        }
+        stats.arrivals = placements.size();
+        stats.shed = scheduler.shedCount() - shed_before;
+        report.total_shed += stats.shed;
+
+        // Private clones with rebound knob tables, created serially
+        // by the fan-out engine's preamble helper.
+        auto bound = core::FanoutEngine::cloneBound(
+            *app_, *table_, placements.size());
+        for (std::size_t i = 0; i < placements.size(); ++i) {
+            auto tenant = std::make_unique<Tenant>(options_.machine);
+            Tenant *t = tenant.get();
+            t->job = next_job;
+            t->input =
                 options_.tenants[next_job % options_.tenants.size()];
-            launch.machine = scheduler.admit();
+            t->machine_index = placements[i];
+            t->arrival_epoch = e;
+            t->app = std::move(bound.apps[i]);
+            t->table = std::move(bound.tables[i]);
             ++next_job;
-            launches.push_back(launch);
+
+            JobRecord seed;
+            seed.job = t->job;
+            seed.tenant = t->input;
+            seed.epoch = e;
+            seed.machine = t->machine_index;
+            t->probe.emplace(hub.probe(0, seed));
+
+            // The tenant's gate: the caller's gate first, then the
+            // lease re-read (terms applied within one beat of the
+            // rewrite), then the lease-driven duty-cycle pause.
+            core::SessionOptions session_options = options_.session;
+            session_options.withGate(core::composeGates(
+                {options_.session.gate,
+                 [t](core::BeatGateContext &ctx) {
+                     const ArbitrationLease &lease = t->lease;
+                     if (t->applied_generation != lease.generation) {
+                         ctx.machine.setPStateCap(lease.pstate_cap);
+                         ctx.machine.setShare(lease.share);
+                         ctx.machine.setUtilization(lease.utilization);
+                         t->applied_generation = lease.generation;
+                         t->probe->noteLease(lease.generation);
+                     }
+                 },
+                 core::makeDutyCycleGate(
+                     [t]() { return t->lease.pause_ratio; })}));
+            t->session.emplace(*t->app, t->table, *model_,
+                               std::move(session_options));
+            active.push_back(std::move(tenant));
         }
 
-        // Arbitration reads the post-placement occupancy and installs
-        // this epoch's per-machine caps (and duty-cycle pauses).
+        // Arbitration reads the post-placement occupancy; the new
+        // terms land in every in-flight tenant's lease — including
+        // tenants admitted epochs ago — and their gates apply them at
+        // the next beat.
         const ArbitrationDecision decision =
             arbiter.arbitrate(cluster, qos_feedback);
-        for (auto &launch : launches) {
-            const auto load =
-                cluster.loadOf(cluster.activeOn(launch.machine));
-            launch.share = load.per_instance_share;
-            launch.utilization = load.utilization;
-            launch.pstate_cap = decision.pstate_cap[launch.machine];
-            launch.pause_ratio = decision.pause_ratio[launch.machine];
+        const std::size_t generation = e + 1;
+        stats.lease_generation = generation;
+        for (auto &tenant : active) {
+            const auto load = cluster.loadOf(
+                cluster.activeOn(tenant->machine_index));
+            tenant->lease.generation = generation;
+            tenant->lease.epoch = e;
+            tenant->lease.share = load.per_instance_share;
+            tenant->lease.utilization = load.utilization;
+            tenant->lease.pstate_cap =
+                decision.pstate_cap[tenant->machine_index];
+            tenant->lease.pause_ratio =
+                decision.pause_ratio[tenant->machine_index];
+            tenant->slice_deadline_s =
+                static_cast<double>(e - tenant->arrival_epoch + 1) *
+                epoch_s;
         }
 
-        // Private clones, made serially: App::clone() of a shared
-        // instance is not required to be thread-safe.
-        std::vector<std::unique_ptr<core::App>> clones(launches.size());
-        std::vector<core::KnobTable> tables;
-        tables.reserve(launches.size());
-        for (std::size_t i = 0; i < launches.size(); ++i) {
-            clones[i] = app_->clone();
-            tables.push_back(core::rebindKnobTable(*table_, *clones[i]));
-        }
+        // Tenant epoch slices: the only parallel section.
+        runSlices();
 
-        // Tenant sessions: the only parallel section. Each job runs
-        // the full closed loop on a machine modelling its host's core
-        // share, frequency cap, and arbitration pauses.
-        std::vector<JobRecord> outcomes(launches.size());
-        const auto runOne = [&](std::size_t i, std::size_t worker) {
-            const Launch &launch = launches[i];
-            sim::Machine machine(options_.machine);
-            machine.setPStateCap(launch.pstate_cap);
-            machine.setShare(launch.share);
-            machine.setUtilization(launch.utilization);
-
-            core::SessionOptions session_options = options_.session;
-            if (launch.pause_ratio > 0.0) {
-                // Compose with any caller-supplied gate rather than
-                // replacing it. The per-busy ratio makes the host
-                // meet its power budget exactly on average, whatever
-                // the tenant's share, frequency, and knob setting.
-                const double ratio = launch.pause_ratio;
-                core::BeatGate user_gate = session_options.gate;
-                session_options.withGate(
-                    [ratio, user_gate](core::BeatGateContext &ctx) {
-                        if (user_gate)
-                            user_gate(ctx);
-                        ctx.pause_per_busy += ratio;
-                    });
-            }
-
-            core::Session session(*clones[i], tables[i], *model_,
-                                  session_options);
-            JobRecord seed;
-            seed.job = launch.job;
-            seed.tenant = launch.tenant;
-            seed.epoch = e;
-            seed.machine = launch.machine;
-            MetricsHub::Probe probe = hub.probe(worker, seed);
-            session.observe(probe);
-            session.run(launch.tenant, machine);
-            probe.finish(machine);
-            outcomes[i] = probe.record();
-        };
-        if (pool.has_value() && launches.size() > 1) {
-            pool->parallelFor(launches.size(), runOne);
-        } else {
-            for (std::size_t i = 0; i < launches.size(); ++i)
-                runOne(i, 0);
-        }
-
-        // Service accounting and per-machine QoS feedback, merged in
-        // launch order so the serve stays deterministic.
+        // Serial accounting in job order. QoS feedback to the arbiter
+        // comes from jobs that finished this epoch; machines with no
+        // finisher keep their last-known loss, so the signal persists
+        // across idle gaps rather than flickering to zero.
         std::vector<double> machine_qos(options_.machines, 0.0);
         std::vector<std::size_t> machine_jobs(options_.machines, 0);
         double qos_sum = 0.0;
-        for (std::size_t i = 0; i < launches.size(); ++i) {
-            const Launch &launch = launches[i];
-            const JobRecord &out = outcomes[i];
-            const std::size_t held = std::max<std::size_t>(
-                1, static_cast<std::size_t>(
-                       std::ceil(out.latency_s / epoch_s)));
-            const std::size_t done = e + held;
-            if (done < completions.size())
-                completions[done].push_back(launch.machine);
-            machine_qos[launch.machine] += out.qos_loss;
-            ++machine_jobs[launch.machine];
-            qos_sum += out.qos_loss;
-            stats.fleet_rate += out.mean_rate;
+        std::size_t finished = 0;
+        for (const auto &tenant : active) {
+            // Fleet heart rate = beats actually delivered during this
+            // epoch's slices over the epoch length, so a cross-epoch
+            // tenant contributes each beat to exactly one epoch.
+            const std::size_t beats = tenant->probe->record().beats;
+            stats.fleet_rate +=
+                static_cast<double>(beats - tenant->beats_reported) /
+                epoch_s;
+            tenant->beats_reported = beats;
+            if (tenant->done) {
+                const JobRecord &record = tenant->probe->record();
+                machine_qos[tenant->machine_index] += record.qos_loss;
+                ++machine_jobs[tenant->machine_index];
+                qos_sum += record.qos_loss;
+                ++finished;
+            }
         }
-        // Machines that hosted no new tenants keep their last-known
-        // loss: the feedback signal persists across idle gaps rather
-        // than flickering to zero at every quiet epoch.
         for (std::size_t m = 0; m < options_.machines; ++m)
             if (machine_jobs[m] > 0)
                 qos_feedback[m] = machine_qos[m] /
                     static_cast<double>(machine_jobs[m]);
 
-        stats.arrivals = launches.size();
         stats.active = cluster.totalActive();
         stats.watts = cluster.dynamicWatts();
-        stats.mean_qos_loss = launches.empty()
+        stats.mean_qos_loss = finished == 0
             ? 0.0
-            : qos_sum / static_cast<double>(launches.size());
+            : qos_sum / static_cast<double>(finished);
         stats.max_pause_ratio = *std::max_element(
             decision.pause_ratio.begin(), decision.pause_ratio.end());
         report.epochs.push_back(stats);
     }
+
+    // Past the horizon: in-flight tenants run to completion under
+    // their final lease terms (no further arbitration rounds).
+    for (auto &tenant : active)
+        tenant->slice_deadline_s =
+            std::numeric_limits<double>::infinity();
+    runSlices();
+    active.clear();
 
     report.jobs = hub.drain();
     report.total_jobs = next_job;

@@ -15,16 +15,30 @@
  * per-worker shards, feeding per-machine QoS loss back to the arbiter
  * for the next epoch.
  *
- *   arrivals ─▶ Scheduler ─▶ tenant Sessions ─▶ MetricsHub
- *                  ▲                                │ per-machine
- *                  │ caps / pauses                  │ QoS loss
- *                  └──────── PowerArbiter ◀─────────┘
+ *   arrivals ─▶ Scheduler ─▶ persistent tenant Sessions ─▶ MetricsHub
+ *                  ▲               ▲ lease re-read            │
+ *                  │ shed /        │ (per-beat gate)          │ per-
+ *                  │ release   ArbitrationLease               │ machine
+ *                  │               ▲ new terms each epoch     │ QoS
+ *                  └────────── PowerArbiter ◀─────────────────┘
+ *
+ * Tenants are *persistent across epochs*: a job admitted at epoch e
+ * holds one core::Session that the server advances one epoch slice at
+ * a time (Session::advanceUntil), so a job spanning several epochs is
+ * in flight while later arbitration rounds run. Each tenant carries a
+ * mutable ArbitrationLease; the arbiter writes new terms (share,
+ * P-state cap, duty-cycle pause) into the lease at every epoch
+ * boundary and the tenant's beat gate re-reads it, applying changed
+ * terms within one beat — mid-run, without the session ever being
+ * restarted. Admission control bounds each machine's run queue
+ * (ServerOptions::queue_depth); arrivals past the bound are shed and
+ * counted.
  *
  * Determinism follows the repo's replay discipline: all placement and
  * arbitration decisions are serial; only the mutually independent
- * tenant sessions fan out over core::ThreadPool, and their records
- * merge in job order — the full report is bit-identical at any
- * thread count (tests/test_fleet.cc pins this).
+ * tenant epoch slices fan out through core::FanoutEngine, and their
+ * records merge in job order — the full report is bit-identical at
+ * any thread count (tests/test_fleet.cc pins this).
  */
 #ifndef POWERDIAL_FLEET_SERVER_H
 #define POWERDIAL_FLEET_SERVER_H
@@ -39,6 +53,25 @@
 #include "sim/cluster.h"
 
 namespace powerdial::fleet {
+
+/**
+ * The mutable, epoch-indexed contract between the arbiter and one
+ * in-flight tenant. The server rewrites the terms at every epoch
+ * boundary (serially, between slices); the tenant's per-beat session
+ * gate re-reads them and applies any change at its next beat. The
+ * generation tags every rewrite so both the gate (did I apply this
+ * yet?) and the metrics pipeline (which arbitration round produced
+ * this series?) can tell leases apart.
+ */
+struct ArbitrationLease
+{
+    std::size_t generation = 0; //!< 0 = no terms written yet.
+    std::size_t epoch = 0;      //!< Epoch the current terms took effect.
+    double share = 1.0;         //!< Core share of the hosting machine.
+    double utilization = 1.0;   //!< Host utilisation for power accounting.
+    std::size_t pstate_cap = 0; //!< Arbiter DVFS cap (0 = uncapped).
+    double pause_ratio = 0.0;   //!< Duty-cycle idle per busy second.
+};
 
 /** Fleet composition options. */
 struct ServerOptions
@@ -62,6 +95,12 @@ struct ServerOptions
     ArbiterOptions arbiter{};
     /** Placement policy; null means least-loaded. */
     PlacementFactory placement;
+    /**
+     * Bounded per-machine run-queue depth (max active instances one
+     * machine may host); arrivals that find every machine at the
+     * bound are shed and counted. 0 = unbounded (the default).
+     */
+    std::size_t queue_depth = 0;
     /** Control-loop composition shared by every tenant session. */
     core::SessionOptions session{};
     /**
@@ -76,12 +115,17 @@ struct ServerOptions
 struct EpochStats
 {
     std::size_t epoch = 0;
-    std::size_t arrivals = 0;  //!< Jobs offered (and admitted).
+    std::size_t arrivals = 0;  //!< Jobs admitted this epoch.
+    std::size_t shed = 0;      //!< Jobs shed by admission control.
     std::size_t completed = 0; //!< Jobs released this epoch.
-    std::size_t active = 0;    //!< Active jobs after placement.
+    std::size_t active = 0;    //!< In-flight jobs after placement.
+    /** Lease generation the arbiter installed for this epoch. */
+    std::size_t lease_generation = 0;
     double watts = 0.0;        //!< Cluster power at the epoch's state.
-    double fleet_rate = 0.0;   //!< Sum of admitted tenants' heart rates.
-    double mean_qos_loss = 0.0;//!< Mean QoS loss of admitted tenants.
+    /** Heartbeats delivered during this epoch's slices per epoch
+     *  second — each beat of a cross-epoch tenant counts once. */
+    double fleet_rate = 0.0;
+    double mean_qos_loss = 0.0;//!< Mean QoS loss of jobs finishing here.
     double max_pause_ratio = 0.0; //!< Worst arbitration duty-cycle.
 };
 
@@ -100,7 +144,8 @@ struct FleetReport
     std::vector<EpochStats> epochs;
     std::vector<JobRecord> jobs;     //!< Sorted by job id.
     std::vector<TenantStats> tenants;//!< Sorted by tenant id.
-    std::size_t total_jobs = 0;
+    std::size_t total_jobs = 0;      //!< Jobs admitted (and served).
+    std::size_t total_shed = 0;      //!< Jobs shed by admission control.
     double mean_watts = 0.0;       //!< Mean of per-epoch cluster power.
     double mean_fleet_rate = 0.0;  //!< Mean of per-epoch heart rate.
     double mean_qos_loss = 0.0;    //!< Mean over all jobs.

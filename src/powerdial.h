@@ -28,6 +28,7 @@
 #include "core/consolidation.h"
 #include "core/control_policy.h"
 #include "core/controller.h"
+#include "core/fanout.h"
 #include "core/identify.h"
 #include "core/knob.h"
 #include "core/pareto.h"

@@ -117,6 +117,66 @@ TEST(Scheduler, PowerAwarePrefersCappedMachines)
 }
 
 // ---------------------------------------------------------------------
+// Bounded run queues and admission control.
+// ---------------------------------------------------------------------
+
+TEST(Scheduler, ShedsWhenEveryMachineIsAtTheBound)
+{
+    sim::Cluster cluster(2, sim::Machine::Config{});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 3});
+    for (std::size_t k = 0; k < 6; ++k)
+        EXPECT_TRUE(scheduler.tryAdmit().has_value()) << "k=" << k;
+    EXPECT_FALSE(scheduler.tryAdmit().has_value());
+    EXPECT_FALSE(scheduler.tryAdmit().has_value());
+    EXPECT_EQ(scheduler.shedCount(), 2u);
+    // A release reopens exactly one slot.
+    scheduler.release(1);
+    const auto machine = scheduler.tryAdmit();
+    ASSERT_TRUE(machine.has_value());
+    EXPECT_EQ(*machine, 1u);
+    EXPECT_EQ(scheduler.shedCount(), 2u);
+}
+
+TEST(Scheduler, FullPolicyPickOverflowsToMachineWithRoom)
+{
+    // Power-aware placement packs machine 0 (saturated = zero
+    // marginal watts); with a depth bound the overflow must land on
+    // the emptier machine instead of being shed.
+    sim::Cluster cluster(2, sim::Machine::Config{});
+    const std::size_t cores = cluster.machine(0).cores();
+    Scheduler scheduler(cluster,
+                        SchedulerOptions{makePowerAwarePlacement(),
+                                         cores + 1});
+    for (std::size_t k = 0; k < cores + 1; ++k)
+        cluster.place(0); // Fill machine 0 to the bound by hand.
+    const auto machine = scheduler.tryAdmit();
+    ASSERT_TRUE(machine.has_value());
+    EXPECT_EQ(*machine, 1u);
+    EXPECT_EQ(scheduler.shedCount(), 0u);
+}
+
+TEST(Scheduler, UnboundedAdmitNeverSheds)
+{
+    sim::Cluster cluster(1, sim::Machine::Config{});
+    Scheduler scheduler(cluster);
+    EXPECT_EQ(scheduler.queueDepth(), 0u);
+    for (std::size_t k = 0; k < 4 * cluster.peakInstances(); ++k)
+        scheduler.admit();
+    EXPECT_EQ(scheduler.shedCount(), 0u);
+}
+
+TEST(Scheduler, AdmitThrowsInsteadOfSheddingSilently)
+{
+    sim::Cluster cluster(1, sim::Machine::Config{});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1});
+    scheduler.admit();
+    EXPECT_THROW(scheduler.admit(), std::logic_error);
+    // The rejection surfaced as an exception, not as a shed event:
+    // the counter tracks only tryAdmit()-path admission control.
+    EXPECT_EQ(scheduler.shedCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Power arbiter: budget conservation and cap translation.
 // ---------------------------------------------------------------------
 
@@ -273,6 +333,13 @@ TEST(MetricsHub, BadWorkerIndexThrows)
 {
     MetricsHub hub(2);
     EXPECT_THROW(hub.probe(2, JobRecord{}), std::out_of_range);
+    // The commit side checks too: finishOn with a worker the hub
+    // never sharded for must not write out of bounds.
+    auto probe = hub.probe(0, JobRecord{});
+    probe.onRunStart({});
+    probe.onRunEnd({});
+    sim::Machine machine;
+    EXPECT_THROW(probe.finishOn(2, machine), std::out_of_range);
 }
 
 TEST(MetricsHub, PercentileNearestRank)
@@ -318,8 +385,11 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
     ASSERT_EQ(a.epochs.size(), b.epochs.size());
     for (std::size_t e = 0; e < a.epochs.size(); ++e) {
         EXPECT_EQ(a.epochs[e].arrivals, b.epochs[e].arrivals);
+        EXPECT_EQ(a.epochs[e].shed, b.epochs[e].shed);
         EXPECT_EQ(a.epochs[e].completed, b.epochs[e].completed);
         EXPECT_EQ(a.epochs[e].active, b.epochs[e].active);
+        EXPECT_EQ(a.epochs[e].lease_generation,
+                  b.epochs[e].lease_generation);
         EXPECT_EQ(a.epochs[e].watts, b.epochs[e].watts);
         EXPECT_EQ(a.epochs[e].fleet_rate, b.epochs[e].fleet_rate);
         EXPECT_EQ(a.epochs[e].mean_qos_loss, b.epochs[e].mean_qos_loss);
@@ -334,7 +404,12 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.jobs[i].qos_loss, b.jobs[i].qos_loss);
         EXPECT_EQ(a.jobs[i].energy_j, b.jobs[i].energy_j);
         EXPECT_EQ(a.jobs[i].beats, b.jobs[i].beats);
+        EXPECT_EQ(a.jobs[i].lease_generation,
+                  b.jobs[i].lease_generation);
+        EXPECT_EQ(a.jobs[i].lease_updates, b.jobs[i].lease_updates);
     }
+    EXPECT_EQ(a.total_jobs, b.total_jobs);
+    EXPECT_EQ(a.total_shed, b.total_shed);
     EXPECT_EQ(a.mean_watts, b.mean_watts);
     EXPECT_EQ(a.mean_fleet_rate, b.mean_fleet_rate);
     EXPECT_EQ(a.mean_qos_loss, b.mean_qos_loss);
@@ -447,6 +522,229 @@ TEST(Server, CallerGateComposesWithArbitrationPauses)
     for (const auto &job : report.jobs)
         beats += job.beats;
     EXPECT_EQ(*calls, beats);
+}
+
+// ---------------------------------------------------------------------
+// Cross-epoch arbitration: leases reach in-flight tenants mid-run.
+// ---------------------------------------------------------------------
+
+/**
+ * Per-beat snapshot of one tenant's machine, recorded by a caller
+ * gate. The caller gate runs *before* the lease gate each beat, so a
+ * snapshot shows the terms in force when the beat began; a lease
+ * rewritten at an epoch boundary is therefore visible from the next
+ * beat on.
+ */
+struct GateSnapshot
+{
+    const sim::Machine *machine;
+    std::size_t beat;
+    double now;
+    double share;
+    std::size_t pstate_cap;
+};
+
+core::BeatGate
+snapshotGate(std::shared_ptr<std::vector<GateSnapshot>> log)
+{
+    return [log](core::BeatGateContext &ctx) {
+        log->push_back({&ctx.machine, ctx.beat, ctx.machine.now(),
+                        ctx.machine.share(), ctx.machine.pstateCap()});
+    };
+}
+
+/** The snapshots of the machine that logged first (job 0). */
+std::vector<GateSnapshot>
+firstMachineTrace(const std::vector<GateSnapshot> &log)
+{
+    std::vector<GateSnapshot> trace;
+    if (log.empty())
+        return trace;
+    const sim::Machine *machine = log.front().machine;
+    for (const GateSnapshot &snap : log)
+        if (snap.machine == machine)
+            trace.push_back(snap);
+    return trace;
+}
+
+TEST(Server, InFlightTenantAdoptsUpdatedShareWithinOneBeat)
+{
+    // One machine; a lone tenant arrives at epoch 0 with the machine
+    // to itself, then 8 more tenants land at epoch 1. Epochs are a
+    // quarter of the job duration, so the first tenant is mid-run
+    // when the epoch-1 arbitration recomputes its core share — under
+    // the frozen-lease model it would keep share 1.0 forever.
+    auto p = makePipeline();
+    ServerOptions options =
+        serveOptions(1, 0.0, ArbiterPolicy::Uniform, 1);
+    const double epoch_s = p.model.baselineSeconds() / 4.0;
+    options.epoch_seconds = epoch_s;
+    auto log = std::make_shared<std::vector<GateSnapshot>>();
+    options.session.withGate(snapshotGate(log));
+    Server server(p.app, p.table, p.model, options);
+
+    std::vector<std::size_t> arrivals(10, 0);
+    arrivals[0] = 1;
+    arrivals[1] = 8;
+    const auto report = server.serve(arrivals);
+    ASSERT_EQ(report.total_jobs, 9u);
+
+    const auto trace = firstMachineTrace(*log);
+    ASSERT_GT(trace.size(), 2u);
+    const std::size_t cores = sim::Machine().cores();
+    const double crowded_share =
+        static_cast<double>(cores) / static_cast<double>(cores + 1);
+
+    // Alone in epoch 0: full share at every beat before the boundary.
+    EXPECT_DOUBLE_EQ(trace.front().share, 1.0);
+    for (const GateSnapshot &snap : trace) {
+        if (snap.now < epoch_s) {
+            EXPECT_DOUBLE_EQ(snap.share, 1.0)
+                << "beat " << snap.beat;
+        }
+    }
+
+    // The new share lands within one beat of the boundary: the first
+    // beat at/after the boundary still began under the old lease, the
+    // next one runs under the new terms.
+    std::size_t boundary = trace.size();
+    std::size_t adopted = trace.size();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (boundary == trace.size() && trace[i].now >= epoch_s)
+            boundary = i;
+        if (adopted == trace.size() && trace[i].share != 1.0)
+            adopted = i;
+    }
+    ASSERT_LT(boundary, trace.size());
+    ASSERT_LT(adopted, trace.size()) << "share never re-read mid-run";
+    EXPECT_LE(adopted - boundary, 1u)
+        << "lease adopted " << (adopted - boundary)
+        << " beats after the epoch boundary";
+    EXPECT_NEAR(trace[adopted].share, crowded_share, 1e-12);
+
+    // The spanning tenant felt one lease rewrite per epoch it
+    // crossed (its record is tagged with the count and generation).
+    ASSERT_FALSE(report.jobs.empty());
+    const JobRecord &job0 = report.jobs.front();
+    EXPECT_EQ(job0.job, 0u);
+    EXPECT_GE(job0.lease_updates, 3u);
+    EXPECT_GE(job0.lease_generation, 3u);
+}
+
+TEST(Server, InFlightTenantAdoptsUpdatedArbiterCapMidRun)
+{
+    // Two machines under a tight cluster cap with the utilisation-
+    // proportional split. A lone tenant starts at epoch 0 (lightly
+    // loaded cluster: generous budget, no DVFS cap); at epoch 1 a
+    // crowd arrives and the re-split shrinks every machine's budget,
+    // capping the P-state. The in-flight tenant must adopt the new
+    // cap mid-run: with frozen launch-time leases its run (and its
+    // latency) would be identical with and without the crowd.
+    auto p = makePipeline();
+    const auto makeOptions = [&](std::shared_ptr<std::vector<
+                                     GateSnapshot>> log) {
+        ServerOptions options = serveOptions(
+            2, 280.0, ArbiterPolicy::UtilizationProportional, 1);
+        options.epoch_seconds = p.model.baselineSeconds() / 4.0;
+        if (log != nullptr)
+            options.session.withGate(snapshotGate(log));
+        return options;
+    };
+
+    std::vector<std::size_t> calm(12, 0);
+    calm[0] = 1;
+    std::vector<std::size_t> crowded = calm;
+    crowded[1] = 20;
+
+    Server calm_server(p.app, p.table, p.model, makeOptions(nullptr));
+    auto log = std::make_shared<std::vector<GateSnapshot>>();
+    Server crowded_server(p.app, p.table, p.model, makeOptions(log));
+    const auto calm_report = calm_server.serve(calm);
+    const auto crowded_report = crowded_server.serve(crowded);
+
+    const JobRecord &calm_job = calm_report.jobs.front();
+    const JobRecord &crowded_job = crowded_report.jobs.front();
+    ASSERT_EQ(calm_job.job, 0u);
+    ASSERT_EQ(crowded_job.job, 0u);
+
+    // Job 0 launched identically in both serves (same epoch-0 state),
+    // so any difference can only have reached it *mid-run* through
+    // the lease. The crowd's arrival slows it down.
+    EXPECT_GT(crowded_job.latency_s, calm_job.latency_s);
+    EXPECT_GE(crowded_job.lease_updates, 3u);
+
+    // And the mechanism is visible on its machine: uncapped while
+    // alone, a nonzero DVFS cap after the crowd arrives.
+    const auto trace = firstMachineTrace(*log);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.front().pstate_cap, 0u);
+    bool saw_cap = false;
+    for (const GateSnapshot &snap : trace) {
+        if (snap.pstate_cap > 0) {
+            saw_cap = true;
+            EXPECT_GE(snap.now, crowded_server.options().epoch_seconds)
+                << "capped before the epoch-1 arbitration";
+        }
+    }
+    EXPECT_TRUE(saw_cap) << "arbiter cap never reached the tenant";
+}
+
+TEST(Server, CrossEpochServeIsBitIdenticalAcrossThreadCounts)
+{
+    // The persistent-tenant loop must stay deterministic when jobs
+    // span many epochs and slices run on a pool: epochs are a third
+    // of the job duration, so most tenants cross >= 3 boundaries.
+    auto p = makePipeline();
+    const auto arrivals = spikeArrivals(5);
+    ServerOptions serial_options =
+        serveOptions(2, 300.0, ArbiterPolicy::QosFeedback, 1);
+    serial_options.epoch_seconds = p.model.baselineSeconds() / 3.0;
+    serial_options.queue_depth = 12;
+    ServerOptions pooled_options = serial_options;
+    pooled_options.threads = 4;
+    Server serial(p.app, p.table, p.model, serial_options);
+    Server pooled(p.app, p.table, p.model, pooled_options);
+    expectReportsIdentical(serial.serve(arrivals),
+                           pooled.serve(arrivals));
+}
+
+TEST(Server, QueueDepthShedsAndCountsOverload)
+{
+    // One machine bounded at 4 in-flight jobs: a 6-job burst admits
+    // 4 and sheds 2, and the shed count lands in the report.
+    auto p = makePipeline();
+    ServerOptions options =
+        serveOptions(1, 0.0, ArbiterPolicy::Uniform, 1);
+    options.queue_depth = 4;
+    Server server(p.app, p.table, p.model, options);
+    const auto report = server.serve({6, 0});
+    EXPECT_EQ(report.total_jobs, 4u);
+    EXPECT_EQ(report.total_shed, 2u);
+    ASSERT_EQ(report.epochs.size(), 2u);
+    EXPECT_EQ(report.epochs[0].arrivals, 4u);
+    EXPECT_EQ(report.epochs[0].shed, 2u);
+    EXPECT_EQ(report.jobs.size(), 4u);
+}
+
+TEST(Server, TenantMachinesUseTheConfiguredMachineModel)
+{
+    // ServerOptions::machine must reach the per-tenant simulated
+    // machines, not just the cluster's accounting: a single-core
+    // host runs a lone tenant at full utilisation (1/1), the default
+    // eight-core host at 1/8, so the recorded job energy differs.
+    auto p = makePipeline();
+    ServerOptions default_options =
+        serveOptions(1, 0.0, ArbiterPolicy::Uniform, 1);
+    ServerOptions small_options = default_options;
+    small_options.machine.cores = 1;
+    Server default_server(p.app, p.table, p.model, default_options);
+    Server small_server(p.app, p.table, p.model, small_options);
+    const auto default_report = default_server.serve({1});
+    const auto small_report = small_server.serve({1});
+    ASSERT_EQ(default_report.jobs.size(), 1u);
+    ASSERT_EQ(small_report.jobs.size(), 1u);
+    EXPECT_GT(small_report.jobs.front().energy_j,
+              default_report.jobs.front().energy_j);
 }
 
 TEST(Server, PowerCapReducesFleetPower)

@@ -1,7 +1,10 @@
 /** @file Tests for the PowerDial Session control runtime. */
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/calibration.h"
+#include "core/fanout.h"
 #include "core/identify.h"
 #include "core/session.h"
 #include "toy_app.h"
@@ -376,6 +379,178 @@ TEST(SessionGate, PausePerBusyMeetsAnAveragePowerBudget)
     const double expected =
         (busy_watts + r * power.idleWatts()) / (1.0 + r);
     EXPECT_NEAR(machine.meanWatts(), expected, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Gate composition helpers.
+// ---------------------------------------------------------------------
+
+TEST(GateHelpers, ComposeRunsEveryGateInOrderOnOneContext)
+{
+    std::vector<int> order;
+    BeatGate composed = composeGates(
+        {[&order](BeatGateContext &ctx) {
+             order.push_back(1);
+             ctx.pause_per_busy += 0.25;
+         },
+         [&order](BeatGateContext &ctx) {
+             order.push_back(2);
+             ctx.pause_per_busy += 0.5;
+         }});
+    ASSERT_TRUE(static_cast<bool>(composed));
+    sim::Machine machine;
+    BeatGateContext ctx{0, machine};
+    composed(ctx);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(ctx.pause_per_busy, 0.75);
+}
+
+TEST(GateHelpers, ComposeSkipsNullGates)
+{
+    std::size_t calls = 0;
+    BeatGate composed = composeGates(
+        nullptr, [&calls](BeatGateContext &) { ++calls; });
+    ASSERT_TRUE(static_cast<bool>(composed));
+    sim::Machine machine;
+    BeatGateContext ctx{0, machine};
+    composed(ctx);
+    EXPECT_EQ(calls, 1u);
+
+    // All-null composition collapses to "no gate".
+    EXPECT_FALSE(static_cast<bool>(composeGates(nullptr, nullptr)));
+    EXPECT_FALSE(static_cast<bool>(composeGates({})));
+}
+
+TEST(GateHelpers, DutyCycleGateAddsFixedRatio)
+{
+    BeatGate gate = makeDutyCycleGate(0.4);
+    ASSERT_TRUE(static_cast<bool>(gate));
+    sim::Machine machine;
+    BeatGateContext ctx{0, machine};
+    ctx.pause_per_busy = 0.1; // Composes additively with prior gates.
+    gate(ctx);
+    EXPECT_DOUBLE_EQ(ctx.pause_per_busy, 0.5);
+
+    // A zero ratio is "no gate"; a negative one is a caller bug.
+    EXPECT_FALSE(static_cast<bool>(makeDutyCycleGate(0.0)));
+    EXPECT_THROW(makeDutyCycleGate(-0.1), std::invalid_argument);
+    EXPECT_THROW(makeDutyCycleGate(std::function<double()>{}),
+                 std::invalid_argument);
+}
+
+TEST(GateHelpers, DynamicDutyCycleGateSamplesEveryBeat)
+{
+    // The lease-driven form: an external agent retunes the ratio
+    // between beats and the next beat already honours it.
+    double ratio = 0.0;
+    BeatGate gate = makeDutyCycleGate([&ratio]() { return ratio; });
+    sim::Machine machine;
+    BeatGateContext first{0, machine};
+    gate(first);
+    EXPECT_DOUBLE_EQ(first.pause_per_busy, 0.0);
+    ratio = 0.3;
+    BeatGateContext second{1, machine};
+    gate(second);
+    EXPECT_DOUBLE_EQ(second.pause_per_busy, 0.3);
+}
+
+TEST(GateHelpers, ComposedDutyCycleGatesSlowARunTogether)
+{
+    // End to end: two composed duty-cycle gates behave like one gate
+    // with the summed ratio (knobs off isolates the pause effect).
+    auto p = makePipeline();
+    const auto timedRun = [&p](BeatGate gate) {
+        auto clone = p.app.clone();
+        KnobTable table = rebindKnobTable(p.table, *clone);
+        Session session(*clone, table, p.model,
+                        SessionOptions()
+                            .withKnobsEnabled(false)
+                            .withGate(std::move(gate)));
+        sim::Machine machine;
+        return session.run(2, machine).seconds;
+    };
+    const double plain = timedRun(nullptr);
+    const double composed = timedRun(composeGates(
+        makeDutyCycleGate(0.25), makeDutyCycleGate(0.25)));
+    const double summed = timedRun(makeDutyCycleGate(0.5));
+    EXPECT_DOUBLE_EQ(composed, summed);
+    EXPECT_NEAR(composed / plain, 1.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Epoch-sliced stepping (the persistent-tenant entry points).
+// ---------------------------------------------------------------------
+
+TEST(SessionStepping, SlicedRunIsBitIdenticalToOneShotRun)
+{
+    // advanceUntil with deadlines must execute the identical beat
+    // sequence as run(): slicing only changes when (in host time) the
+    // beats execute, never what they compute.
+    auto p = makePipeline();
+    auto one_shot_app = p.app.clone();
+    KnobTable one_shot_table = rebindKnobTable(p.table, *one_shot_app);
+    Session one_shot(*one_shot_app, one_shot_table, p.model);
+    auto &one_shot_trace = one_shot.attach<BeatTraceRecorder>();
+    sim::Machine one_shot_machine;
+    const auto reference = one_shot.run(2, one_shot_machine);
+
+    auto sliced_app = p.app.clone();
+    KnobTable sliced_table = rebindKnobTable(p.table, *sliced_app);
+    Session sliced(*sliced_app, sliced_table, p.model);
+    auto &sliced_trace = sliced.attach<BeatTraceRecorder>();
+    sim::Machine sliced_machine;
+    sliced.start(2, sliced_machine);
+    EXPECT_TRUE(sliced.active());
+    const double quarter = reference.seconds / 4.0;
+    std::optional<ControlledRun> done;
+    std::size_t slices = 0;
+    for (std::size_t k = 1; !done.has_value(); ++k) {
+        done = sliced.advanceUntil(static_cast<double>(k) * quarter);
+        ++slices;
+    }
+    EXPECT_GE(slices, 4u);
+    EXPECT_FALSE(sliced.active());
+
+    EXPECT_EQ(done->beat_count, reference.beat_count);
+    EXPECT_EQ(done->seconds, reference.seconds);
+    EXPECT_EQ(done->mean_qos_loss_estimate,
+              reference.mean_qos_loss_estimate);
+    ASSERT_EQ(sliced_trace.beats().size(), one_shot_trace.beats().size());
+    for (std::size_t i = 0; i < sliced_trace.beats().size(); ++i) {
+        const BeatTrace &a = sliced_trace.beats()[i];
+        const BeatTrace &b = one_shot_trace.beats()[i];
+        EXPECT_EQ(a.time_s, b.time_s) << "beat " << i;
+        EXPECT_EQ(a.window_rate, b.window_rate) << "beat " << i;
+        EXPECT_EQ(a.combination, b.combination) << "beat " << i;
+        EXPECT_EQ(a.pstate, b.pstate) << "beat " << i;
+    }
+}
+
+TEST(SessionStepping, DeadlineInThePastRunsNoBeats)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    sim::Machine machine;
+    session.start(2, machine);
+    EXPECT_FALSE(session.advanceUntil(0.0).has_value());
+    EXPECT_EQ(session.unitsProcessed(), 0u);
+    EXPECT_TRUE(session.active());
+    const auto done = session.advanceUntil(
+        std::numeric_limits<double>::infinity());
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->beat_count, p.app.unitCount());
+}
+
+TEST(SessionStepping, MisuseThrows)
+{
+    auto p = makePipeline();
+    Session session(p.app, p.table, p.model);
+    EXPECT_THROW(session.advanceUntil(1.0), std::logic_error);
+    sim::Machine machine;
+    session.start(2, machine);
+    EXPECT_THROW(session.start(2, machine), std::logic_error);
+    // run() on a session with a run in flight is the same misuse.
+    EXPECT_THROW(session.run(2, machine), std::logic_error);
 }
 
 TEST(SessionGate, GateCanActuateTheMachine)
