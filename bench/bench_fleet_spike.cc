@@ -27,15 +27,32 @@
  * Output is byte-identical for --threads=1 and --threads=N (the CI
  * fleet-smoke job asserts this, and diffs the summary section against
  * bench/golden/fleet_spike_steps50.txt).
+ *
+ * --engine selects the serve loop: `epoch` (legacy synchronous round
+ * loop), `event` (discrete-event engine, its own golden
+ * fleet_spike_event.txt), or `compat` (event engine in epoch-compat
+ * mode — stdout is byte-identical to `epoch`, which CI diffs).
+ * Wall-clock timings go to stderr only, keeping stdout deterministic
+ * for the golden comparisons.
+ *
+ * --fleet=N switches to the scale scenario: N machines serving a
+ * Poisson stream of synthetic microsim tenants (defined below; real
+ * swaptions jobs would take hours at this scale). With
+ * `--fleet=1000 --steps=100 --peak-rate=4000` the event engine pushes
+ * ~10^5 jobs through a 1000-machine cluster; the wall-clock line on
+ * stderr is the headline number.
  */
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <vector>
 
 #include "bench_common.h"
 #include "fleet/server.h"
+#include "sim/machine.h"
 #include "workload/arrivals.h"
 #include "workload/load_trace.h"
 
@@ -56,7 +73,20 @@ struct FleetBenchOptions
      */
     std::size_t epoch_frac_pct = 100;
     std::size_t queue_depth = 0; //!< Per-machine bound (0 = unbounded).
+    fleet::EngineMode engine = fleet::EngineMode::Epoch;
+    bool epoch_compat = false;      //!< --engine=compat.
+    std::size_t sample_stride = 1;  //!< Event-engine report stride.
+    std::size_t fleet = 0;          //!< 0 = comparison bench; else scale.
+    std::size_t peak_rate = 0;      //!< Poisson peak (0 = mode default).
 };
+
+const char *
+engineLabel(const FleetBenchOptions &options)
+{
+    if (options.engine == fleet::EngineMode::Epoch)
+        return "epoch";
+    return options.epoch_compat ? "compat" : "event";
+}
 
 FleetBenchOptions
 parseFleetOptions(int argc, char **argv)
@@ -66,6 +96,9 @@ parseFleetOptions(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s [--steps=N] [--threads=N | -t N]\n"
                      "          [--epoch-frac=P] [--queue-depth=N]\n"
+                     "          [--engine=epoch|event|compat] "
+                     "[--sample-stride=N]\n"
+                     "          [--fleet=N] [--peak-rate=N]\n"
                      "  steps       load-trace epochs (default 96)\n"
                      "  threads     tenant-session workers "
                      "(0 = all hardware contexts, 1 = serial)\n"
@@ -74,7 +107,17 @@ parseFleetOptions(int argc, char **argv)
                      "              lower => jobs span multiple epochs "
                      "and feel lease updates mid-run)\n"
                      "  queue-depth max in-flight jobs per machine "
-                     "(default 0 = unbounded; overload sheds)\n",
+                     "(default 0 = unbounded; overload sheds)\n"
+                     "  engine      serve loop: epoch (legacy round "
+                     "loop), event (discrete-event),\n"
+                     "              compat (event engine replaying the "
+                     "epoch schedule bit-for-bit)\n"
+                     "  sample-stride  epochs per report row "
+                     "(event engine only; default 1)\n"
+                     "  fleet       scale mode: N machines serving "
+                     "synthetic microsim tenants\n"
+                     "  peak-rate   Poisson peak arrivals per epoch "
+                     "(default 12, or 1000 with --fleet)\n",
                      argv[0]);
         std::exit(2);
     };
@@ -97,15 +140,72 @@ parseFleetOptions(int argc, char **argv)
             options.epoch_frac_pct = parseCount(arg + 13);
         } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
             options.queue_depth = parseCount(arg + 14);
+        } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+            if (std::strcmp(arg + 9, "epoch") == 0) {
+                options.engine = fleet::EngineMode::Epoch;
+                options.epoch_compat = false;
+            } else if (std::strcmp(arg + 9, "event") == 0) {
+                options.engine = fleet::EngineMode::Event;
+                options.epoch_compat = false;
+            } else if (std::strcmp(arg + 9, "compat") == 0) {
+                options.engine = fleet::EngineMode::Event;
+                options.epoch_compat = true;
+            } else {
+                usage();
+            }
+        } else if (std::strncmp(arg, "--sample-stride=", 16) == 0) {
+            options.sample_stride = parseCount(arg + 16);
+        } else if (std::strncmp(arg, "--fleet=", 8) == 0) {
+            options.fleet = parseCount(arg + 8);
+        } else if (std::strncmp(arg, "--peak-rate=", 12) == 0) {
+            options.peak_rate = parseCount(arg + 12);
         } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
             options.threads = parseCount(argv[++i]);
         } else {
             usage();
         }
     }
-    if (options.steps == 0 || options.epoch_frac_pct == 0)
+    if (options.steps == 0 || options.epoch_frac_pct == 0 ||
+        options.sample_stride == 0)
+        usage();
+    // Compat mode replays the legacy schedule; a coarser stride would
+    // change it (the Server constructor rejects this combination too).
+    if (options.epoch_compat && options.sample_stride != 1)
         usage();
     return options;
+}
+
+/** Apply the engine selection to one serve's options. */
+void
+applyEngine(fleet::ServerOptions &server_options,
+            const FleetBenchOptions &options)
+{
+    server_options.engine = options.engine;
+    server_options.event.epoch_compat = options.epoch_compat;
+    if (options.engine == fleet::EngineMode::Event &&
+        !options.epoch_compat)
+        server_options.event.sample_stride = options.sample_stride;
+}
+
+/**
+ * Serve and report the wall-clock on stderr (never stdout: the CI
+ * fleet-smoke job diffs stdout byte-for-byte against goldens and
+ * across engines, and timings are the one nondeterministic output).
+ */
+fleet::FleetReport
+timedServe(fleet::Server &server,
+           const std::vector<std::size_t> &arrivals, const char *label,
+           const FleetBenchOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto report = server.serve(arrivals);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(stderr, "[bench] %-22s engine=%-6s wall-clock %.3f s\n",
+                 label, engineLabel(options), wall_s);
+    return report;
 }
 
 /** One serve configuration of the comparison table. */
@@ -136,12 +236,180 @@ printEpochs(const fleet::FleetReport &report)
     }
 }
 
+/**
+ * The scale-mode tenant: a synthetic application with an exactly
+ * known response (one knob k, speedup exactly k, QoS loss exactly
+ * 1% per unit of k - 1) and deliberately tiny jobs. A swaptions job
+ * costs ~2 ms of wall-clock per beat; at 10^5 jobs that is hours,
+ * while microsim jobs keep the scale scenario in seconds so the
+ * bench measures the *engine*, not the tenant payload.
+ */
+class MicrosimApp final : public core::App
+{
+  public:
+    MicrosimApp() : space_({{"k", {1.0, 2.0, 4.0}}}) {}
+
+    std::string name() const override { return "microsim"; }
+
+    std::unique_ptr<core::App>
+    clone() const override
+    {
+        return std::make_unique<MicrosimApp>(*this);
+    }
+
+    const core::KnobSpace &knobSpace() const override { return space_; }
+
+    std::size_t defaultCombination() const override { return 0; }
+
+    void
+    configure(const std::vector<double> &params) override
+    {
+        k_ = params.at(0);
+    }
+
+    void
+    traceRun(influence::TraceRun &trace,
+             const std::vector<double> &params) override
+    {
+        influence::Value<double> k(params.at(0),
+                                   influence::paramBit(0));
+        trace.store("k", k * influence::Value<double>(1.0),
+                    "microsim:init");
+        trace.firstHeartbeat();
+        trace.read("k", "microsim:loop");
+    }
+
+    void
+    bindControlVariables(core::KnobTable &table) override
+    {
+        table.bind({"k", [this](const std::vector<double> &v) {
+                        k_ = v.at(0);
+                    }});
+    }
+
+    std::size_t inputCount() const override { return 4; }
+
+    std::vector<std::size_t>
+    trainingInputs() const override
+    {
+        return {0, 1};
+    }
+
+    std::vector<std::size_t>
+    productionInputs() const override
+    {
+        return {2, 3};
+    }
+
+    void
+    loadInput(std::size_t index) override
+    {
+        (void)index;
+        produced_ = 0.0;
+        units_done_ = 0;
+    }
+
+    std::size_t unitCount() const override { return kUnits; }
+
+    void
+    processUnit(std::size_t unit, sim::Machine &machine) override
+    {
+        (void)unit;
+        machine.execute(kBaseCycles / k_);
+        produced_ += 100.0 * (1.0 - 0.01 * (k_ - 1.0));
+        ++units_done_;
+    }
+
+    qos::OutputAbstraction
+    output() const override
+    {
+        const double mean = units_done_ > 0
+            ? produced_ / static_cast<double>(units_done_)
+            : 0.0;
+        return {{mean}, {}};
+    }
+
+    static constexpr std::size_t kUnits = 40;
+    static constexpr double kBaseCycles = 6.0e5;
+
+  private:
+    core::KnobSpace space_;
+    double k_ = 1.0;
+    double produced_ = 0.0;
+    std::size_t units_done_ = 0;
+};
+
+/**
+ * Scale mode: --fleet=N machines serve a Poisson stream of microsim
+ * jobs under a cluster-wide cap at 60% of aggregate peak power. The
+ * target scenario is `--fleet=1000 --steps=100 --peak-rate=4000
+ * --engine=event`: ~10^5 jobs through 1000 machines, wall-clock on
+ * stderr.
+ */
+int
+runScaleFleet(const FleetBenchOptions &options)
+{
+    banner("Fleet scale: synthetic microsim tenants");
+    MicrosimApp app;
+    auto cal = calibrateOnTraining(app, -1.0, options.threads);
+    const auto &model = cal.training.model;
+
+    workload::LoadTraceParams trace_params;
+    trace_params.steps = options.steps;
+    trace_params.base_utilization = 0.25;
+    trace_params.spike_probability = 0.05;
+    workload::PoissonArrivalParams arrival_params;
+    arrival_params.peak_rate = static_cast<double>(
+        options.peak_rate > 0 ? options.peak_rate : 1000);
+    const auto arrivals = workload::makePoissonArrivals(
+        workload::makeLoadTrace(trace_params), arrival_params);
+    const std::size_t offered =
+        std::accumulate(arrivals.begin(), arrivals.end(),
+                        std::size_t{0});
+
+    fleet::ServerOptions server_options;
+    server_options.machines = options.fleet;
+    server_options.threads = options.threads;
+    server_options.epoch_seconds =
+        static_cast<double>(MicrosimApp::kUnits) /
+        model.baselineRate() *
+        (static_cast<double>(options.epoch_frac_pct) / 100.0);
+    server_options.queue_depth = options.queue_depth;
+    const sim::Machine probe(server_options.machine);
+    server_options.arbiter.cluster_cap_watts =
+        static_cast<double>(options.fleet) * 0.6 *
+        probe.powerModel().peakWatts();
+    server_options.arbiter.policy = fleet::ArbiterPolicy::QosFeedback;
+    applyEngine(server_options, options);
+
+    fleet::Server server(app, cal.ident.table, model, server_options);
+    const auto report = timedServe(server, arrivals, "scale", options);
+    printEpochs(report);
+
+    banner("scale summary");
+    std::printf("machines %zu, epochs %zu, offered %zu jobs\n",
+                options.fleet, options.steps, offered);
+    std::printf("%6s %6s %8s %10s %12s %10s %10s %10s %10s\n", "jobs",
+                "shed", "drained", "watts", "fleet_rate", "p50_lat",
+                "p95_lat", "p99_lat", "qos_loss%");
+    std::printf("%6zu %6zu %8zu %10.1f %12.1f %10.4f %10.4f %10.4f "
+                "%10.3f\n",
+                report.total_jobs, report.total_shed,
+                report.drained_jobs, report.mean_watts,
+                report.mean_fleet_rate, report.p50_latency_s,
+                report.p95_latency_s, report.p99_latency_s,
+                100.0 * report.mean_qos_loss);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const auto options = parseFleetOptions(argc, argv);
+    if (options.fleet > 0)
+        return runScaleFleet(options);
     banner("Fleet spike: consolidated swaptions fleet under a "
            "cluster power cap");
 
@@ -199,9 +467,11 @@ main(int argc, char **argv)
         if (fleet_case.power_aware)
             server_options.placement =
                 fleet::makePowerAwarePlacement();
+        applyEngine(server_options, options);
         fleet::Server server(app, cal.ident.table, model,
                              server_options);
-        reports.push_back(server.serve(arrivals));
+        reports.push_back(
+            timedServe(server, arrivals, fleet_case.label, options));
         printEpochs(reports.back());
     }
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The discrete-event fleet engine.
+ *
+ * The legacy epoch loop advances every tenant and re-prices every
+ * machine once per epoch, whether or not anything changed — wall-clock
+ * scales with fleet size x epoch count. This engine replaces the round
+ * loop with a deterministic discrete-event core:
+ *
+ *   - a priority queue of typed events — job arrivals, beat-quantum
+ *     expiries, job completions, lease rewrites (arbitration), trace
+ *     samples — ordered by (virtual time, stable sequence id), so
+ *     execution order is total and independent of thread count;
+ *   - tenant advancement *between* events through core::FanoutEngine's
+ *     fixed-order merge (the only parallel section);
+ *   - arbitration triggered by state changes (admissions, completions)
+ *     rather than by the epoch clock; the epoch cadence survives only
+ *     as a periodic event source (trace samples, the default quantum).
+ *
+ * In EventEngineOptions::epoch_compat mode the queue is restricted to
+ * epoch-cadence events replaying the legacy schedule exactly, and the
+ * resulting FleetReport is bit-identical to Server's epoch loop —
+ * tests/test_fleet_event_engine.cc pins this differentially over
+ * dozens of randomized scenarios.
+ */
+#ifndef POWERDIAL_FLEET_EVENT_ENGINE_H
+#define POWERDIAL_FLEET_EVENT_ENGINE_H
+
+#include <vector>
+
+#include "fleet/server.h"
+
+namespace powerdial::fleet {
+
+/**
+ * Serve @p arrivals through the discrete-event engine. Called by
+ * Server::serve when ServerOptions::engine == EngineMode::Event;
+ * callers normally go through Server rather than this entry point.
+ * Same contract as Server::serve: app, table, and model must outlive
+ * the call, and the caller's app instance is never run.
+ */
+FleetReport serveEventDriven(const core::App &app,
+                             const core::KnobTable &table,
+                             const core::ResponseModel &model,
+                             const ServerOptions &options,
+                             const std::vector<std::size_t> &arrivals);
+
+} // namespace powerdial::fleet
+
+#endif // POWERDIAL_FLEET_EVENT_ENGINE_H

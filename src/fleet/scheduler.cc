@@ -80,7 +80,8 @@ Scheduler::Scheduler(sim::Cluster &cluster, PlacementFactory policy)
 }
 
 Scheduler::Scheduler(sim::Cluster &cluster, SchedulerOptions options)
-    : cluster_(&cluster), options_(std::move(options))
+    : cluster_(&cluster), options_(std::move(options)),
+      shed_by_machine_(cluster.size(), 0)
 {
     policy_ = options_.placement ? options_.placement()
                                  : makeLeastLoadedPlacement()();
@@ -89,12 +90,14 @@ Scheduler::Scheduler(sim::Cluster &cluster, SchedulerOptions options)
             "Scheduler: placement factory returned null");
 }
 
-std::optional<std::size_t>
+Scheduler::Pick
 Scheduler::pickWithRoom() const
 {
     std::size_t machine = policy_->pick(*cluster_);
     if (machine >= cluster_->size())
         throw std::logic_error("Scheduler: policy picked a bad machine");
+    Pick pick;
+    pick.policy_pick = machine;
     const std::size_t depth = options_.queue_depth;
     if (depth != 0 && cluster_->activeOn(machine) >= depth) {
         // The policy's pick is full: overflow to the least-loaded
@@ -110,21 +113,24 @@ Scheduler::pickWithRoom() const
             }
         }
         if (!found)
-            return std::nullopt;
+            return pick;
     }
-    return machine;
+    pick.machine = machine;
+    return pick;
 }
 
 std::optional<std::size_t>
 Scheduler::tryAdmit()
 {
-    const auto machine = pickWithRoom();
-    if (!machine.has_value()) {
+    const Pick pick = pickWithRoom();
+    if (!pick.machine.has_value()) {
+        // Shed: charge the job to the host the policy chose for it.
         ++shed_;
+        ++shed_by_machine_[pick.policy_pick];
         return std::nullopt;
     }
-    cluster_->place(*machine);
-    return machine;
+    cluster_->place(*pick.machine);
+    return pick.machine;
 }
 
 std::size_t
@@ -132,13 +138,13 @@ Scheduler::admit()
 {
     // A full cluster is a caller bug here, not a shed event: the
     // counter only tracks tryAdmit()-path admission control.
-    const auto machine = pickWithRoom();
-    if (!machine.has_value())
+    const Pick pick = pickWithRoom();
+    if (!pick.machine.has_value())
         throw std::logic_error(
             "Scheduler: admit() shed a job; use tryAdmit() with a "
             "queue-depth bound");
-    cluster_->place(*machine);
-    return *machine;
+    cluster_->place(*pick.machine);
+    return *pick.machine;
 }
 
 void

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/cluster.h"
 
@@ -114,6 +115,18 @@ class Scheduler
     /** Jobs shed by admission control so far. */
     std::size_t shedCount() const { return shed_; }
 
+    /**
+     * Per-machine shed attribution: each shed job is charged to the
+     * machine the placement policy picked for it (the host it would
+     * have run on had there been room). The counts sum to shedCount(),
+     * so overload reports can say *where* demand was turned away, not
+     * just how much.
+     */
+    const std::vector<std::size_t> &shedByMachine() const
+    {
+        return shed_by_machine_;
+    }
+
     /** The placement policy in use. */
     const PlacementPolicy &policy() const { return *policy_; }
 
@@ -123,13 +136,22 @@ class Scheduler
     const sim::Cluster &cluster() const { return *cluster_; }
 
   private:
-    /** Policy pick with bound-overflow; nullopt = cluster full. */
-    std::optional<std::size_t> pickWithRoom() const;
+    /** A placement attempt: the policy's raw pick plus, when some
+     *  machine still has room, the (possibly overflowed) host. */
+    struct Pick
+    {
+        std::size_t policy_pick = 0;
+        std::optional<std::size_t> machine;
+    };
+
+    /** Policy pick with bound-overflow; machine empty = cluster full. */
+    Pick pickWithRoom() const;
 
     sim::Cluster *cluster_;
     SchedulerOptions options_;
     std::unique_ptr<PlacementPolicy> policy_;
     std::size_t shed_ = 0;
+    std::vector<std::size_t> shed_by_machine_;
 };
 
 } // namespace powerdial::fleet

@@ -2,54 +2,17 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <memory>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/fanout.h"
+#include "fleet/event_engine.h"
+#include "fleet/tenant.h"
 
 namespace powerdial::fleet {
 
-namespace {
-
-/**
- * One admitted job, persistent across epochs: its session, private
- * clone, simulated machine, and metrics probe live as long as the job
- * is in flight, and its lease is rewritten by the arbiter at every
- * epoch boundary. Tenants are heap-allocated and never move, so the
- * session's pointers into the clone and table (and the gate's pointer
- * back into the tenant) stay valid for the whole run.
- */
-struct Tenant
-{
-    std::size_t job = 0;
-    std::size_t input = 0;
-    std::size_t machine_index = 0;
-    std::size_t arrival_epoch = 0;
-
-    std::unique_ptr<core::App> app;
-    core::KnobTable table;
-    sim::Machine machine;
-    ArbitrationLease lease;
-    std::size_t applied_generation = 0; //!< Gate-side: last applied.
-    double slice_deadline_s = 0.0;      //!< Tenant-local epoch end.
-    std::size_t beats_reported = 0;     //!< Beats already attributed
-                                        //!< to earlier epochs' rates.
-
-    explicit Tenant(const sim::Machine::Config &config)
-        : machine(config)
-    {
-    }
-
-    std::optional<MetricsHub::Probe> probe;
-    std::optional<core::Session> session;
-    bool started = false;
-    bool done = false;
-};
-
-} // namespace
+using detail::Tenant;
 
 Server::Server(const core::App &app, const core::KnobTable &table,
                const core::ResponseModel &model, ServerOptions options)
@@ -62,11 +25,27 @@ Server::Server(const core::App &app, const core::KnobTable &table,
         options_.tenants = app.productionInputs();
     if (options_.tenants.empty())
         throw std::invalid_argument("Server: no tenant inputs");
+    if (options_.event.sample_stride == 0)
+        throw std::invalid_argument(
+            "Server: event sample_stride must be >= 1");
+    if (options_.event.quantum_seconds < 0.0)
+        throw std::invalid_argument(
+            "Server: event quantum must be >= 0");
+    if (options_.event.epoch_compat &&
+        (options_.event.sample_stride != 1 ||
+         options_.event.quantum_seconds != 0.0))
+        throw std::invalid_argument(
+            "Server: epoch_compat fixes the quantum to one epoch and "
+            "the sample stride to 1");
 }
 
 FleetReport
 Server::serve(const std::vector<std::size_t> &arrivals)
 {
+    if (options_.engine == EngineMode::Event)
+        return serveEventDriven(*app_, *table_, *model_, options_,
+                                arrivals);
+
     sim::Cluster cluster(options_.machines, options_.machine);
     Scheduler scheduler(
         cluster, SchedulerOptions{options_.placement,
@@ -151,45 +130,10 @@ Server::serve(const std::vector<std::size_t> &arrivals)
         auto bound = core::FanoutEngine::cloneBound(
             *app_, *table_, placements.size());
         for (std::size_t i = 0; i < placements.size(); ++i) {
-            auto tenant = std::make_unique<Tenant>(options_.machine);
-            Tenant *t = tenant.get();
-            t->job = next_job;
-            t->input =
-                options_.tenants[next_job % options_.tenants.size()];
-            t->machine_index = placements[i];
-            t->arrival_epoch = e;
-            t->app = std::move(bound.apps[i]);
-            t->table = std::move(bound.tables[i]);
+            active.push_back(detail::makeTenant(
+                options_, *model_, hub, next_job, placements[i], e,
+                std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job;
-
-            JobRecord seed;
-            seed.job = t->job;
-            seed.tenant = t->input;
-            seed.epoch = e;
-            seed.machine = t->machine_index;
-            t->probe.emplace(hub.probe(0, seed));
-
-            // The tenant's gate: the caller's gate first, then the
-            // lease re-read (terms applied within one beat of the
-            // rewrite), then the lease-driven duty-cycle pause.
-            core::SessionOptions session_options = options_.session;
-            session_options.withGate(core::composeGates(
-                {options_.session.gate,
-                 [t](core::BeatGateContext &ctx) {
-                     const ArbitrationLease &lease = t->lease;
-                     if (t->applied_generation != lease.generation) {
-                         ctx.machine.setPStateCap(lease.pstate_cap);
-                         ctx.machine.setShare(lease.share);
-                         ctx.machine.setUtilization(lease.utilization);
-                         t->applied_generation = lease.generation;
-                         t->probe->noteLease(lease.generation);
-                     }
-                 },
-                 core::makeDutyCycleGate(
-                     [t]() { return t->lease.pause_ratio; })}));
-            t->session.emplace(*t->app, t->table, *model_,
-                               std::move(session_options));
-            active.push_back(std::move(tenant));
         }
 
         // Arbitration reads the post-placement occupancy; the new
@@ -200,6 +144,9 @@ Server::serve(const std::vector<std::size_t> &arrivals)
             arbiter.arbitrate(cluster, qos_feedback);
         const std::size_t generation = e + 1;
         stats.lease_generation = generation;
+        if (options_.arbitration_probe)
+            options_.arbitration_probe(ArbitrationSample{
+                static_cast<double>(e) * epoch_s, generation, decision});
         for (auto &tenant : active) {
             const auto load = cluster.loadOf(
                 cluster.activeOn(tenant->machine_index));
@@ -260,53 +207,20 @@ Server::serve(const std::vector<std::size_t> &arrivals)
     }
 
     // Past the horizon: in-flight tenants run to completion under
-    // their final lease terms (no further arbitration rounds).
+    // their final lease terms (no further arbitration rounds). Every
+    // tenant still held here was never released inside the horizon,
+    // so the conservation invariant reads
+    //   total_jobs == sum(epochs.completed) + drained_jobs.
+    report.drained_jobs = active.size();
     for (auto &tenant : active)
         tenant->slice_deadline_s =
             std::numeric_limits<double>::infinity();
     runSlices();
     active.clear();
 
-    report.jobs = hub.drain();
     report.total_jobs = next_job;
-
-    double watts_sum = 0.0, rate_sum = 0.0;
-    for (const EpochStats &stats : report.epochs) {
-        watts_sum += stats.watts;
-        rate_sum += stats.fleet_rate;
-    }
-    if (!report.epochs.empty()) {
-        const double n = static_cast<double>(report.epochs.size());
-        report.mean_watts = watts_sum / n;
-        report.mean_fleet_rate = rate_sum / n;
-    }
-
-    std::vector<double> latencies;
-    latencies.reserve(report.jobs.size());
-    double qos_sum = 0.0;
-    std::map<std::size_t, TenantStats> tenants;
-    for (const JobRecord &job : report.jobs) {
-        latencies.push_back(job.latency_s);
-        qos_sum += job.qos_loss;
-        TenantStats &tenant = tenants[job.tenant];
-        tenant.tenant = job.tenant;
-        ++tenant.jobs;
-        tenant.mean_qos_loss += job.qos_loss;
-        tenant.mean_latency_s += job.latency_s;
-    }
-    if (!report.jobs.empty())
-        report.mean_qos_loss =
-            qos_sum / static_cast<double>(report.jobs.size());
-    std::sort(latencies.begin(), latencies.end());
-    report.p50_latency_s = percentileOf(latencies, 50.0);
-    report.p95_latency_s = percentileOf(latencies, 95.0);
-    report.p99_latency_s = percentileOf(latencies, 99.0);
-    for (auto &[id, tenant] : tenants) {
-        const double jobs = static_cast<double>(tenant.jobs);
-        tenant.mean_qos_loss /= jobs;
-        tenant.mean_latency_s /= jobs;
-        report.tenants.push_back(tenant);
-    }
+    report.shed_by_machine = scheduler.shedByMachine();
+    detail::finalizeReport(report, hub.drain());
     return report;
 }
 

@@ -44,6 +44,7 @@
 #define POWERDIAL_FLEET_SERVER_H
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/session.h"
@@ -53,6 +54,72 @@
 #include "sim/cluster.h"
 
 namespace powerdial::fleet {
+
+/**
+ * Which engine drives the serve.
+ *
+ * Epoch is the legacy synchronous round loop: every epoch advances
+ * every tenant one slice and runs one arbitration round, whether or
+ * not anything changed. Event is the discrete-event engine
+ * (src/fleet/event_engine.cc): a priority queue of typed events —
+ * arrivals, beat-quantum expiries, completions, lease rewrites, trace
+ * samples — ordered by (virtual time, stable sequence id), with
+ * arbitration fired by state changes rather than by the epoch clock.
+ * The event engine configured with EventEngineOptions::epoch_compat
+ * reproduces the epoch loop's FleetReport bit for bit
+ * (tests/test_fleet_event_engine.cc pins this differentially).
+ */
+enum class EngineMode
+{
+    Epoch,
+    Event,
+};
+
+/** Tuning for EngineMode::Event. */
+struct EventEngineOptions
+{
+    /**
+     * Restrict the event engine to epoch-cadence triggers only: one
+     * lease-rewrite and one trace-sample event per epoch, quantum
+     * equal to the epoch — the discrete-event machinery replaying the
+     * legacy schedule exactly. The resulting FleetReport is
+     * bit-identical to EngineMode::Epoch; differential tests run both
+     * and compare. Requires the defaults for the fields below.
+     */
+    bool epoch_compat = false;
+    /**
+     * Beat-quantum: the longest the engine lets virtual time run
+     * between visits to an active tenant, bounding how stale a
+     * completion can go unnoticed. <= 0 (default) means one epoch.
+     */
+    double quantum_seconds = 0.0;
+    /**
+     * Emit one EpochStats row per this many epochs (trace-sample
+     * events). 1 = every epoch, like the legacy loop; larger strides
+     * keep the report small for 10^4+-epoch scale runs. Must be >= 1.
+     */
+    std::size_t sample_stride = 1;
+};
+
+/**
+ * One arbitration round as observed by ServerOptions::arbitration_probe:
+ * when it fired (virtual seconds), the lease generation it installed,
+ * and the decision's per-machine terms. The decision reference is only
+ * valid during the callback.
+ */
+struct ArbitrationSample
+{
+    double time_s = 0.0;
+    std::size_t generation = 0;
+    const ArbitrationDecision &decision;
+};
+
+/**
+ * Observer for arbitration rounds (both engines call it, in virtual-
+ * time order). Tests use it to assert per-machine budgets sum to the
+ * cap after *every* round and that rounds are monotone in time.
+ */
+using ArbitrationProbe = std::function<void(const ArbitrationSample &)>;
 
 /**
  * The mutable, epoch-indexed contract between the arbiter and one
@@ -109,6 +176,12 @@ struct ServerOptions
      * application's production inputs.
      */
     std::vector<std::size_t> tenants;
+    /** Which engine drives serve(); see EngineMode. */
+    EngineMode engine = EngineMode::Epoch;
+    /** Event-engine tuning (ignored under EngineMode::Epoch). */
+    EventEngineOptions event{};
+    /** Optional observer invoked after every arbitration round. */
+    ArbitrationProbe arbitration_probe;
 };
 
 /** Aggregate fleet state over one epoch. */
@@ -146,6 +219,10 @@ struct FleetReport
     std::vector<TenantStats> tenants;//!< Sorted by tenant id.
     std::size_t total_jobs = 0;      //!< Jobs admitted (and served).
     std::size_t total_shed = 0;      //!< Jobs shed by admission control.
+    /** Jobs still in flight at the horizon, finished in the drain. */
+    std::size_t drained_jobs = 0;
+    /** Sheds charged to the machine the placement policy picked. */
+    std::vector<std::size_t> shed_by_machine;
     double mean_watts = 0.0;       //!< Mean of per-epoch cluster power.
     double mean_fleet_rate = 0.0;  //!< Mean of per-epoch heart rate.
     double mean_qos_loss = 0.0;    //!< Mean over all jobs.

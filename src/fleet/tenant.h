@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tenant bookkeeping shared by the two fleet engines.
+ *
+ * The epoch loop (server.cc) and the discrete-event engine
+ * (event_engine.cc) must construct tenants — and summarise finished
+ * runs — through *identical* code paths, or their reports could drift
+ * apart in ways the differential tests would then chase through two
+ * divergent copies. This header is that single path: the persistent
+ * Tenant record, the gate-composition recipe that wires a tenant's
+ * lease into its session, and the report finalisation that turns
+ * drained job records into fleet aggregates.
+ */
+#ifndef POWERDIAL_FLEET_TENANT_H
+#define POWERDIAL_FLEET_TENANT_H
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fleet/server.h"
+
+namespace powerdial::fleet::detail {
+
+/**
+ * One admitted job, persistent across epochs: its session, private
+ * clone, simulated machine, and metrics probe live as long as the job
+ * is in flight, and its lease is rewritten by the arbiter at every
+ * arbitration round. Tenants are heap-allocated and never move, so the
+ * session's pointers into the clone and table (and the gate's pointer
+ * back into the tenant) stay valid for the whole run.
+ */
+struct Tenant
+{
+    std::size_t job = 0;
+    std::size_t input = 0;
+    std::size_t machine_index = 0;
+    std::size_t arrival_epoch = 0;
+    double arrival_time_s = 0.0; //!< Fleet virtual time at admission
+                                 //!< (event engine; the epoch loop
+                                 //!< derives times from arrival_epoch).
+
+    std::unique_ptr<core::App> app;
+    core::KnobTable table;
+    sim::Machine machine;
+    ArbitrationLease lease;
+    std::size_t applied_generation = 0; //!< Gate-side: last applied.
+    double slice_deadline_s = 0.0;      //!< Tenant-local slice end.
+    std::size_t beats_reported = 0;     //!< Beats already attributed
+                                        //!< to earlier epochs' rates.
+
+    explicit Tenant(const sim::Machine::Config &config)
+        : machine(config)
+    {
+    }
+
+    std::optional<MetricsHub::Probe> probe;
+    std::optional<core::Session> session;
+    bool started = false;
+    bool done = false;
+};
+
+/**
+ * Build one tenant the way both engines must: probe seeded from the
+ * job's identity, session gated by (caller's gate, lease re-read,
+ * lease-driven duty-cycle pause) in that order. The lease re-read gate
+ * applies changed terms within one beat of an arbiter rewrite and
+ * reports the applied generation to the metrics probe.
+ */
+inline std::unique_ptr<Tenant>
+makeTenant(const ServerOptions &options,
+           const core::ResponseModel &model, MetricsHub &hub,
+           std::size_t job, std::size_t machine_index,
+           std::size_t arrival_epoch, std::unique_ptr<core::App> app,
+           core::KnobTable table)
+{
+    auto tenant = std::make_unique<Tenant>(options.machine);
+    Tenant *t = tenant.get();
+    t->job = job;
+    t->input = options.tenants[job % options.tenants.size()];
+    t->machine_index = machine_index;
+    t->arrival_epoch = arrival_epoch;
+    t->app = std::move(app);
+    t->table = std::move(table);
+
+    JobRecord seed;
+    seed.job = t->job;
+    seed.tenant = t->input;
+    seed.epoch = arrival_epoch;
+    seed.machine = t->machine_index;
+    t->probe.emplace(hub.probe(0, seed));
+
+    // The tenant's gate: the caller's gate first, then the lease
+    // re-read (terms applied within one beat of the rewrite), then
+    // the lease-driven duty-cycle pause.
+    core::SessionOptions session_options = options.session;
+    session_options.withGate(core::composeGates(
+        {options.session.gate,
+         [t](core::BeatGateContext &ctx) {
+             const ArbitrationLease &lease = t->lease;
+             if (t->applied_generation != lease.generation) {
+                 ctx.machine.setPStateCap(lease.pstate_cap);
+                 ctx.machine.setShare(lease.share);
+                 ctx.machine.setUtilization(lease.utilization);
+                 t->applied_generation = lease.generation;
+                 t->probe->noteLease(lease.generation);
+             }
+         },
+         core::makeDutyCycleGate([t]() { return t->lease.pause_ratio; })}));
+    t->session.emplace(*t->app, t->table, model,
+                       std::move(session_options));
+    return tenant;
+}
+
+/**
+ * Fold the drained job records and accumulated epoch rows into the
+ * report's aggregates: epoch means, overall QoS mean, latency
+ * percentiles, and the per-tenant table (sorted by tenant id). Both
+ * engines call this with report.epochs / total counters already set.
+ */
+inline void
+finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
+{
+    report.jobs = std::move(jobs);
+
+    double watts_sum = 0.0, rate_sum = 0.0;
+    for (const EpochStats &stats : report.epochs) {
+        watts_sum += stats.watts;
+        rate_sum += stats.fleet_rate;
+    }
+    if (!report.epochs.empty()) {
+        const double n = static_cast<double>(report.epochs.size());
+        report.mean_watts = watts_sum / n;
+        report.mean_fleet_rate = rate_sum / n;
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(report.jobs.size());
+    double qos_sum = 0.0;
+    std::map<std::size_t, TenantStats> tenants;
+    for (const JobRecord &job : report.jobs) {
+        latencies.push_back(job.latency_s);
+        qos_sum += job.qos_loss;
+        TenantStats &tenant = tenants[job.tenant];
+        tenant.tenant = job.tenant;
+        ++tenant.jobs;
+        tenant.mean_qos_loss += job.qos_loss;
+        tenant.mean_latency_s += job.latency_s;
+    }
+    if (!report.jobs.empty())
+        report.mean_qos_loss =
+            qos_sum / static_cast<double>(report.jobs.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_latency_s = percentileOf(latencies, 50.0);
+    report.p95_latency_s = percentileOf(latencies, 95.0);
+    report.p99_latency_s = percentileOf(latencies, 99.0);
+    for (auto &[id, tenant] : tenants) {
+        const double job_count = static_cast<double>(tenant.jobs);
+        tenant.mean_qos_loss /= job_count;
+        tenant.mean_latency_s /= job_count;
+        report.tenants.push_back(tenant);
+    }
+}
+
+} // namespace powerdial::fleet::detail
+
+#endif // POWERDIAL_FLEET_TENANT_H

@@ -37,13 +37,25 @@ class VirtualClock
         now_s_ += dt;
     }
 
-    /** Advance the clock to absolute time @p t (no-op if in the past). */
-    void
+    /**
+     * Advance the clock to absolute time @p t (no-op if in the past).
+     * @return true when the clock moved, false when @p t was not in
+     *         the future — the signal the event-driven fleet engine
+     *         uses to tell "a later event time" (tenants must advance)
+     *         from "another event at the current time" apart without
+     *         re-comparing doubles at every dispatch site.
+     */
+    bool
     advanceTo(double t)
     {
-        if (t > now_s_)
-            now_s_ = t;
+        if (t <= now_s_)
+            return false;
+        now_s_ = t;
+        return true;
     }
+
+    /** Rewind to time zero (reusing one clock across experiments). */
+    void reset() { now_s_ = 0.0; }
 
   private:
     double now_s_ = 0.0;

@@ -33,15 +33,36 @@ struct PoissonArrivalParams
 
 /**
  * Draw per-step arrival counts N_t ~ Poisson(trace[t] * peak_rate).
- * Fully deterministic in (trace, params); one RNG stream drives the
- * whole trace, so a prefix of the same trace yields a prefix of the
- * same arrivals.
+ * Fully deterministic in (trace, params), and *per-step stable*: each
+ * step draws from its own counter-derived RNG substream, so the count
+ * at step t depends only on (seed, t, trace[t]). Extending the horizon
+ * never perturbs earlier arrivals, and a window of the trace generated
+ * on its own (via @p first_step) matches the same window of the full
+ * generation — the random-access property the event-driven fleet
+ * engine's arrival events rely on.
+ *
+ * @param first_step Global step index of trace[0]; pass w to generate
+ *        the window starting at step w of a longer trace.
  */
 std::vector<std::size_t>
 makePoissonArrivals(const std::vector<double> &trace,
-                    const PoissonArrivalParams &params);
+                    const PoissonArrivalParams &params,
+                    std::size_t first_step = 0);
 
-/** One Poisson deviate with mean @p lambda >= 0 (Knuth's method). */
+/**
+ * The arrival count of global step @p step alone, at trace level
+ * @p level — the per-step substream makePoissonArrivals() is built
+ * from, exposed for random access.
+ */
+std::size_t poissonArrivalAt(const PoissonArrivalParams &params,
+                             std::size_t step, double level);
+
+/**
+ * One Poisson deviate with mean @p lambda >= 0: Knuth's exact method
+ * up to lambda = 700, the rounded normal approximation N(lambda,
+ * lambda) above it (where Knuth's exp(-lambda) underflows and the
+ * approximation error is far below the distribution's own spread).
+ */
 std::size_t poissonDeviate(Rng &rng, double lambda);
 
 } // namespace powerdial::workload

@@ -5,38 +5,20 @@
 #include <cmath>
 #include <memory>
 
-#include "core/calibration.h"
-#include "core/identify.h"
 #include "fleet/metrics_hub.h"
 #include "fleet/power_arbiter.h"
 #include "fleet/scheduler.h"
 #include "fleet/server.h"
-#include "toy_app.h"
+#include "fleet_scenarios.h"
 #include "workload/arrivals.h"
 #include "workload/load_trace.h"
 
 namespace powerdial::fleet {
 namespace {
 
-using tests::ToyApp;
-
-struct Pipeline
-{
-    ToyApp app;
-    core::KnobTable table;
-    core::ResponseModel model;
-};
-
-Pipeline
-makePipeline(const ToyApp::Config &config = {})
-{
-    Pipeline p{ToyApp(config), {}, {}};
-    auto ident = core::identifyKnobs(p.app);
-    EXPECT_TRUE(ident.analysis.accepted);
-    p.table = std::move(ident.table);
-    p.model = core::calibrate(p.app, p.app.trainingInputs()).model;
-    return p;
-}
+using powerdial::tests::ToyApp;
+using tests::expectReportsIdentical;
+using tests::makePipeline;
 
 // ---------------------------------------------------------------------
 // Scheduler placement properties.
@@ -174,6 +156,64 @@ TEST(Scheduler, AdmitThrowsInsteadOfSheddingSilently)
     // The rejection surfaced as an exception, not as a shed event:
     // the counter tracks only tryAdmit()-path admission control.
     EXPECT_EQ(scheduler.shedCount(), 0u);
+    for (const std::size_t count : scheduler.shedByMachine())
+        EXPECT_EQ(count, 0u);
+}
+
+TEST(Scheduler, ShedsAreChargedToThePolicyPick)
+{
+    // Least-loaded on a full cluster ties toward machine 0, so every
+    // shed job is charged there: the count says which host demand was
+    // aimed at when it was turned away.
+    sim::Cluster cluster(2, sim::Machine::Config{});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1});
+    EXPECT_TRUE(scheduler.tryAdmit().has_value());
+    EXPECT_TRUE(scheduler.tryAdmit().has_value());
+    for (std::size_t k = 0; k < 3; ++k)
+        EXPECT_FALSE(scheduler.tryAdmit().has_value());
+    EXPECT_EQ(scheduler.shedCount(), 3u);
+    EXPECT_EQ(scheduler.shedByMachine(),
+              (std::vector<std::size_t>{3, 0}));
+}
+
+TEST(Scheduler, ShedAttributionFollowsThePlacementPolicy)
+{
+    // Power-aware placement prefers the frequency-capped machine 1;
+    // with the whole cluster at the bound, the sheds land on machine
+    // 1's ledger, not machine 0's.
+    sim::Cluster cluster(2, sim::Machine::Config{});
+    cluster.machine(1).setPStateCap(
+        cluster.machine(1).scale().states() - 1);
+    Scheduler scheduler(
+        cluster, SchedulerOptions{makePowerAwarePlacement(), 2});
+    cluster.place(0);
+    cluster.place(0);
+    cluster.place(1);
+    cluster.place(1); // Both machines at the bound, by hand.
+    EXPECT_FALSE(scheduler.tryAdmit().has_value());
+    EXPECT_EQ(scheduler.shedByMachine(),
+              (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Scheduler, ShedAttributionSumsToShedCount)
+{
+    sim::Cluster cluster(3, sim::Machine::Config{});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 2});
+    std::size_t admitted = 0;
+    for (std::size_t k = 0; k < 11; ++k)
+        if (scheduler.tryAdmit().has_value())
+            ++admitted;
+    EXPECT_EQ(admitted, 6u);
+    EXPECT_EQ(scheduler.shedCount(), 5u);
+    std::size_t attributed = 0;
+    for (const std::size_t count : scheduler.shedByMachine())
+        attributed += count;
+    EXPECT_EQ(attributed, scheduler.shedCount());
+    // A release reopens a slot; the next admit does not shed and the
+    // attribution stays frozen.
+    scheduler.release(2);
+    EXPECT_TRUE(scheduler.tryAdmit().has_value());
+    EXPECT_EQ(scheduler.shedCount(), 5u);
 }
 
 // ---------------------------------------------------------------------
@@ -377,45 +417,6 @@ spikeArrivals(std::size_t peak)
     arrival_params.peak_rate = static_cast<double>(peak);
     return workload::makePoissonArrivals(
         workload::makeLoadTrace(trace_params), arrival_params);
-}
-
-void
-expectReportsIdentical(const FleetReport &a, const FleetReport &b)
-{
-    ASSERT_EQ(a.epochs.size(), b.epochs.size());
-    for (std::size_t e = 0; e < a.epochs.size(); ++e) {
-        EXPECT_EQ(a.epochs[e].arrivals, b.epochs[e].arrivals);
-        EXPECT_EQ(a.epochs[e].shed, b.epochs[e].shed);
-        EXPECT_EQ(a.epochs[e].completed, b.epochs[e].completed);
-        EXPECT_EQ(a.epochs[e].active, b.epochs[e].active);
-        EXPECT_EQ(a.epochs[e].lease_generation,
-                  b.epochs[e].lease_generation);
-        EXPECT_EQ(a.epochs[e].watts, b.epochs[e].watts);
-        EXPECT_EQ(a.epochs[e].fleet_rate, b.epochs[e].fleet_rate);
-        EXPECT_EQ(a.epochs[e].mean_qos_loss, b.epochs[e].mean_qos_loss);
-    }
-    ASSERT_EQ(a.jobs.size(), b.jobs.size());
-    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
-        EXPECT_EQ(a.jobs[i].job, b.jobs[i].job);
-        EXPECT_EQ(a.jobs[i].tenant, b.jobs[i].tenant);
-        EXPECT_EQ(a.jobs[i].machine, b.jobs[i].machine);
-        EXPECT_EQ(a.jobs[i].latency_s, b.jobs[i].latency_s);
-        EXPECT_EQ(a.jobs[i].mean_rate, b.jobs[i].mean_rate);
-        EXPECT_EQ(a.jobs[i].qos_loss, b.jobs[i].qos_loss);
-        EXPECT_EQ(a.jobs[i].energy_j, b.jobs[i].energy_j);
-        EXPECT_EQ(a.jobs[i].beats, b.jobs[i].beats);
-        EXPECT_EQ(a.jobs[i].lease_generation,
-                  b.jobs[i].lease_generation);
-        EXPECT_EQ(a.jobs[i].lease_updates, b.jobs[i].lease_updates);
-    }
-    EXPECT_EQ(a.total_jobs, b.total_jobs);
-    EXPECT_EQ(a.total_shed, b.total_shed);
-    EXPECT_EQ(a.mean_watts, b.mean_watts);
-    EXPECT_EQ(a.mean_fleet_rate, b.mean_fleet_rate);
-    EXPECT_EQ(a.mean_qos_loss, b.mean_qos_loss);
-    EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
-    EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
-    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
 }
 
 TEST(Server, ReportIsBitIdenticalAcrossThreadCounts)
@@ -724,6 +725,9 @@ TEST(Server, QueueDepthShedsAndCountsOverload)
     EXPECT_EQ(report.epochs[0].arrivals, 4u);
     EXPECT_EQ(report.epochs[0].shed, 2u);
     EXPECT_EQ(report.jobs.size(), 4u);
+    // The report carries the per-machine shed attribution too.
+    EXPECT_EQ(report.shed_by_machine,
+              (std::vector<std::size_t>{2}));
 }
 
 TEST(Server, TenantMachinesUseTheConfiguredMachineModel)

@@ -48,5 +48,28 @@ TEST(VirtualClock, AdvanceToPastIsNoOp)
     EXPECT_DOUBLE_EQ(clock.now(), 5.0);
 }
 
+TEST(VirtualClock, AdvanceToReportsWhetherTheClockMoved)
+{
+    // The event engine distinguishes "a later event time" (tenants
+    // must advance) from "another event at the current time" by this
+    // return value alone.
+    VirtualClock clock;
+    EXPECT_TRUE(clock.advanceTo(1.0));
+    EXPECT_FALSE(clock.advanceTo(1.0)); // Same time: no move.
+    EXPECT_FALSE(clock.advanceTo(0.5)); // Past: no move.
+    EXPECT_TRUE(clock.advanceTo(2.0));
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+    EXPECT_FALSE(clock.advanceTo(0.0));
+}
+
+TEST(VirtualClock, ResetRewindsToZero)
+{
+    VirtualClock clock;
+    clock.advance(7.5);
+    clock.reset();
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+    EXPECT_TRUE(clock.advanceTo(1.0));
+}
+
 } // namespace
 } // namespace powerdial::sim

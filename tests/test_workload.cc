@@ -311,8 +311,9 @@ TEST(PoissonArrivals, Deterministic)
 
 TEST(PoissonArrivals, PrefixTraceYieldsPrefixArrivals)
 {
-    // One RNG stream drives the whole trace, so truncating the trace
-    // truncates the arrivals without disturbing the kept prefix.
+    // Each step draws from its own counter-derived substream, so
+    // truncating the trace truncates the arrivals without disturbing
+    // the kept prefix.
     const auto trace = makeLoadTrace({});
     const auto full = makePoissonArrivals(trace, {});
     const std::vector<double> half(trace.begin(),
@@ -321,6 +322,60 @@ TEST(PoissonArrivals, PrefixTraceYieldsPrefixArrivals)
     ASSERT_EQ(prefix.size(), half.size());
     for (std::size_t t = 0; t < prefix.size(); ++t)
         EXPECT_EQ(prefix[t], full[t]);
+}
+
+TEST(PoissonArrivals, ExtendingTheHorizonKeepsEarlierArrivals)
+{
+    // The converse regression: generating a LONGER trace must not
+    // perturb the steps already generated — the event engine relies
+    // on extension-safe arrival streams when a serve's horizon grows.
+    LoadTraceParams long_params;
+    long_params.steps = 300;
+    const auto long_trace = makeLoadTrace(long_params);
+    const auto full = makePoissonArrivals(long_trace, {});
+    for (const std::size_t cut : {1u, 37u, 150u, 299u}) {
+        const std::vector<double> shorter(long_trace.begin(),
+                                          long_trace.begin() + cut);
+        const auto arrivals = makePoissonArrivals(shorter, {});
+        ASSERT_EQ(arrivals.size(), cut);
+        for (std::size_t t = 0; t < cut; ++t)
+            EXPECT_EQ(arrivals[t], full[t]) << "cut=" << cut
+                                            << " t=" << t;
+    }
+}
+
+TEST(PoissonArrivals, WindowedGenerationMatchesFullGeneration)
+{
+    // Random access: a window generated on its own (first_step = w)
+    // reproduces the same window of the full generation, and the
+    // per-step accessor agrees with both.
+    const auto trace = makeLoadTrace({});
+    PoissonArrivalParams params;
+    const auto full = makePoissonArrivals(trace, params);
+    const std::size_t w = trace.size() / 3;
+    const std::vector<double> window(trace.begin() + w, trace.end());
+    const auto suffix = makePoissonArrivals(window, params, w);
+    ASSERT_EQ(suffix.size(), trace.size() - w);
+    for (std::size_t i = 0; i < suffix.size(); ++i)
+        EXPECT_EQ(suffix[i], full[w + i]) << "i=" << i;
+    for (std::size_t t = 0; t < trace.size(); ++t)
+        EXPECT_EQ(poissonArrivalAt(params, t, trace[t]), full[t])
+            << "t=" << t;
+}
+
+TEST(PoissonArrivals, StepSubstreamsAreDecorrelated)
+{
+    // Neighbouring steps share a level but must not share a stream:
+    // a flat trace's counts should not be constant (they would be if
+    // adjacent substreams collapsed onto each other).
+    const std::vector<double> flat(64, 0.5);
+    PoissonArrivalParams params;
+    params.peak_rate = 8.0;
+    const auto arrivals = makePoissonArrivals(flat, params);
+    const bool all_equal = std::all_of(
+        arrivals.begin(), arrivals.end(),
+        [&](std::size_t c) { return c == arrivals.front(); });
+    EXPECT_FALSE(all_equal);
 }
 
 TEST(PoissonArrivals, ZeroLoadOffersNoJobs)
@@ -350,11 +405,36 @@ TEST(PoissonArrivals, DeviateEdgeCases)
     Rng rng(7);
     EXPECT_EQ(poissonDeviate(rng, 0.0), 0u);
     EXPECT_THROW(poissonDeviate(rng, -1.0), std::invalid_argument);
-    // Past ~708 exp(-lambda) underflows and Knuth's method would
-    // silently saturate; the generator rejects instead.
-    EXPECT_THROW(poissonDeviate(rng, 1e3), std::invalid_argument);
     EXPECT_THROW(makePoissonArrivals({0.5}, {-1.0, 1}),
                  std::invalid_argument);
+}
+
+TEST(PoissonArrivals, LargeMeansUseTheNormalApproximation)
+{
+    // Past ~708 exp(-lambda) underflows and Knuth's method would
+    // silently saturate; the generator switches to the rounded
+    // N(lambda, lambda) approximation there instead of rejecting
+    // (scale-bench traces run thousands of arrivals per step).
+    const double lambda = 4000.0;
+    Rng rng(7);
+    double sum = 0.0;
+    const std::size_t draws = 400;
+    for (std::size_t i = 0; i < draws; ++i)
+        sum += static_cast<double>(poissonDeviate(rng, lambda));
+    const double mean = sum / static_cast<double>(draws);
+    // 4 sigma of the sample mean: 4 * sqrt(lambda / draws).
+    EXPECT_NEAR(mean, lambda,
+                4.0 * std::sqrt(lambda / static_cast<double>(draws)));
+
+    // Per-step stability holds across the threshold too.
+    PoissonArrivalParams params;
+    params.peak_rate = 8000.0;
+    const std::vector<double> flat(8, 0.5);
+    const auto full = makePoissonArrivals(flat, params);
+    const std::vector<double> tail(flat.begin() + 3, flat.end());
+    const auto window = makePoissonArrivals(tail, params, 3);
+    for (std::size_t i = 0; i < window.size(); ++i)
+        EXPECT_EQ(window[i], full[3 + i]) << "step " << 3 + i;
 }
 
 } // namespace
