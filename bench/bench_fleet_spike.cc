@@ -52,6 +52,7 @@
 
 #include "bench_common.h"
 #include "fleet/server.h"
+#include "microsim_app.h"
 #include "sim/machine.h"
 #include "workload/arrivals.h"
 #include "workload/load_trace.h"
@@ -235,109 +236,6 @@ printEpochs(const fleet::FleetReport &report)
                     epoch.max_pause_ratio);
     }
 }
-
-/**
- * The scale-mode tenant: a synthetic application with an exactly
- * known response (one knob k, speedup exactly k, QoS loss exactly
- * 1% per unit of k - 1) and deliberately tiny jobs. A swaptions job
- * costs ~2 ms of wall-clock per beat; at 10^5 jobs that is hours,
- * while microsim jobs keep the scale scenario in seconds so the
- * bench measures the *engine*, not the tenant payload.
- */
-class MicrosimApp final : public core::App
-{
-  public:
-    MicrosimApp() : space_({{"k", {1.0, 2.0, 4.0}}}) {}
-
-    std::string name() const override { return "microsim"; }
-
-    std::unique_ptr<core::App>
-    clone() const override
-    {
-        return std::make_unique<MicrosimApp>(*this);
-    }
-
-    const core::KnobSpace &knobSpace() const override { return space_; }
-
-    std::size_t defaultCombination() const override { return 0; }
-
-    void
-    configure(const std::vector<double> &params) override
-    {
-        k_ = params.at(0);
-    }
-
-    void
-    traceRun(influence::TraceRun &trace,
-             const std::vector<double> &params) override
-    {
-        influence::Value<double> k(params.at(0),
-                                   influence::paramBit(0));
-        trace.store("k", k * influence::Value<double>(1.0),
-                    "microsim:init");
-        trace.firstHeartbeat();
-        trace.read("k", "microsim:loop");
-    }
-
-    void
-    bindControlVariables(core::KnobTable &table) override
-    {
-        table.bind({"k", [this](const std::vector<double> &v) {
-                        k_ = v.at(0);
-                    }});
-    }
-
-    std::size_t inputCount() const override { return 4; }
-
-    std::vector<std::size_t>
-    trainingInputs() const override
-    {
-        return {0, 1};
-    }
-
-    std::vector<std::size_t>
-    productionInputs() const override
-    {
-        return {2, 3};
-    }
-
-    void
-    loadInput(std::size_t index) override
-    {
-        (void)index;
-        produced_ = 0.0;
-        units_done_ = 0;
-    }
-
-    std::size_t unitCount() const override { return kUnits; }
-
-    void
-    processUnit(std::size_t unit, sim::Machine &machine) override
-    {
-        (void)unit;
-        machine.execute(kBaseCycles / k_);
-        produced_ += 100.0 * (1.0 - 0.01 * (k_ - 1.0));
-        ++units_done_;
-    }
-
-    qos::OutputAbstraction
-    output() const override
-    {
-        const double mean = units_done_ > 0
-            ? produced_ / static_cast<double>(units_done_)
-            : 0.0;
-        return {{mean}, {}};
-    }
-
-    static constexpr std::size_t kUnits = 40;
-    static constexpr double kBaseCycles = 6.0e5;
-
-  private:
-    core::KnobSpace space_;
-    double k_ = 1.0;
-    double produced_ = 0.0;
-    std::size_t units_done_ = 0;
-};
 
 /**
  * Scale mode: --fleet=N machines serve a Poisson stream of microsim

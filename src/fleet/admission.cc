@@ -1,0 +1,180 @@
+#include "fleet/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/response_model.h"
+#include "fleet/metrics_hub.h"
+#include "fleet/scheduler.h"
+#include "sim/cluster.h"
+
+namespace powerdial::fleet {
+
+namespace {
+
+/**
+ * The capacity decision both policies share: the placement policy's
+ * pick, overflowed through PlacementPolicy::pickAmong to the policy's
+ * preference among machines with room when the pick is at the
+ * queue-depth bound. An empty machine means every machine is at the
+ * bound — a capacity shed.
+ */
+AdmissionVerdict
+pickWithRoom(const AdmissionContext &context)
+{
+    AdmissionVerdict verdict;
+    verdict.policy_pick = context.placement.pick(context.cluster);
+    if (verdict.policy_pick >= context.cluster.size())
+        throw std::logic_error("Scheduler: policy picked a bad machine");
+    std::size_t machine = verdict.policy_pick;
+    const std::size_t depth = context.queue_depth;
+    if (depth != 0 && context.cluster.activeOn(machine) >= depth) {
+        std::vector<std::size_t> room;
+        for (std::size_t i = 0; i < context.cluster.size(); ++i)
+            if (context.cluster.activeOn(i) < depth)
+                room.push_back(i);
+        if (room.empty())
+            return verdict; // Cluster full: shed.
+        machine = context.placement.pickAmong(context.cluster, room);
+    }
+    verdict.machine = machine;
+    return verdict;
+}
+
+class QueueDepthAdmission final : public AdmissionPolicy
+{
+  public:
+    std::string name() const override { return "queue-depth"; }
+
+    AdmissionVerdict
+    decide(const OfferedJob &job,
+           const AdmissionContext &context) override
+    {
+        (void)job; // Blind: metadata never considered.
+        return pickWithRoom(context);
+    }
+};
+
+class PredictiveAdmission final : public AdmissionPolicy
+{
+  public:
+    explicit PredictiveAdmission(PredictiveAdmissionOptions options)
+        : options_(options), margin_(options.initial_margin)
+    {
+        if (options_.window == 0)
+            throw std::invalid_argument(
+                "PredictiveAdmission: window must be >= 1");
+    }
+
+    std::string name() const override { return "predictive-slo"; }
+
+    AdmissionVerdict
+    decide(const OfferedJob &job,
+           const AdmissionContext &context) override
+    {
+        AdmissionVerdict verdict = pickWithRoom(context);
+        if (!verdict.machine.has_value())
+            return verdict; // Capacity shed, like queue-depth.
+        verdict.predicted_s =
+            predictLatency(context, *verdict.machine);
+        if (job.deadline_s > 0.0 && verdict.predicted_s > 0.0) {
+            const double headroom = 1.0 +
+                options_.class_headroom *
+                    static_cast<double>(job.job_class);
+            if (verdict.predicted_s * margin_ * headroom >
+                job.deadline_s)
+                verdict.machine.reset(); // Predicted SLO violation.
+        }
+        return verdict;
+    }
+
+    void
+    noteCompletion(double observed_s, double predicted_s) override
+    {
+        if (predicted_s <= 0.0 || observed_s < 0.0)
+            return;
+        if (observed_.size() < options_.window) {
+            observed_.push_back(observed_s);
+            predicted_.push_back(predicted_s);
+        } else {
+            observed_[next_] = observed_s;
+            predicted_[next_] = predicted_s;
+        }
+        next_ = (next_ + 1) % options_.window;
+        // Distribution-level calibration: the ratio of the window's
+        // observed p95 to its predicted p95, not the p95 of per-job
+        // ratios. Jobs admitted early in an arrival burst are priced
+        // at pre-burst occupancy but live through the burst, so their
+        // individual ratios are systematically inflated; a tail-of-
+        // ratios margin ratchets up on them, then starves admission so
+        // the window never refreshes. Comparing the two tails instead
+        // measures how far the *distribution* of outcomes sits from
+        // the distribution of promises, which is the miscalibration
+        // the margin is meant to correct.
+        std::vector<double> observed = observed_;
+        std::vector<double> predicted = predicted_;
+        std::sort(observed.begin(), observed.end());
+        std::sort(predicted.begin(), predicted.end());
+        const double predicted_p95 = percentileOf(predicted, 95.0);
+        if (predicted_p95 <= 0.0)
+            return;
+        margin_ = std::clamp(percentileOf(observed, 95.0) /
+                                 predicted_p95,
+                             options_.min_margin, options_.max_margin);
+    }
+
+  private:
+    /**
+     * Predicted completion latency of one more job on @p machine: the
+     * calibrated baseline stretched by the slowdown the job would run
+     * under — core share after placement, the DVFS cap's frequency
+     * ratio, and the lease's duty-cycle pause — minus whatever the
+     * controller can win back by trading QoS (capped by the response
+     * model's largest Pareto speedup).
+     */
+    double
+    predictLatency(const AdmissionContext &context,
+                   std::size_t machine) const
+    {
+        if (context.model == nullptr)
+            return 0.0;
+        const sim::Machine &m = context.cluster.machine(machine);
+        const auto load = context.cluster.loadOf(
+            context.cluster.activeOn(machine) + 1);
+        double pause = 0.0;
+        if (context.decision != nullptr &&
+            machine < context.decision->pause_ratio.size())
+            pause = context.decision->pause_ratio[machine];
+        const double slowdown = (1.0 / load.per_instance_share) *
+            (m.scale().frequencyHz(0) / m.frequencyHz()) *
+            (1.0 + pause);
+        const double catchup = std::min(
+            slowdown, std::max(context.model->maxSpeedup(), 1.0));
+        return context.model->baselineSeconds() * slowdown / catchup;
+    }
+
+    PredictiveAdmissionOptions options_;
+    double margin_;
+    std::vector<double> observed_;
+    std::vector<double> predicted_;
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+AdmissionFactory
+makeQueueDepthAdmission()
+{
+    return []() { return std::make_unique<QueueDepthAdmission>(); };
+}
+
+AdmissionFactory
+makePredictiveAdmission(PredictiveAdmissionOptions options)
+{
+    return [options]() {
+        return std::make_unique<PredictiveAdmission>(options);
+    };
+}
+
+} // namespace powerdial::fleet

@@ -52,13 +52,15 @@ class EventServe
     EventServe(const core::App &app, const core::KnobTable &table,
                const core::ResponseModel &model,
                const ServerOptions &options,
-               const std::vector<std::size_t> &arrivals)
+               const std::vector<std::vector<workload::OfferedJob>>
+                   &offers)
         : app_(app), table_(table), model_(model), options_(options),
-          arrivals_(arrivals),
+          offers_(offers),
           cluster_(options.machines, options.machine),
           scheduler_(cluster_,
                      SchedulerOptions{options.placement,
-                                      options.queue_depth}),
+                                      options.queue_depth,
+                                      options.admission, &model}),
           arbiter_(options.arbiter), engine_(options.threads),
           hub_(engine_.workers()),
           qos_feedback_(options.machines, 0.0)
@@ -92,6 +94,7 @@ class EventServe
 
         report_.total_jobs = next_job_;
         report_.shed_by_machine = scheduler_.shedByMachine();
+        report_.shed_by_class = scheduler_.shedByClass();
         detail::finalizeReport(report_, hub_.drain());
         return std::move(report_);
     }
@@ -109,8 +112,8 @@ class EventServe
     void
     runCompat()
     {
-        report_.epochs.reserve(arrivals_.size());
-        for (std::size_t e = 0; e < arrivals_.size(); ++e) {
+        report_.epochs.reserve(offers_.size());
+        for (std::size_t e = 0; e < offers_.size(); ++e) {
             queue_.push(static_cast<double>(e) * epoch_s_,
                         Event{Event::Kind::EpochTop, e});
             queue_.push(static_cast<double>(e + 1) * epoch_s_,
@@ -142,10 +145,14 @@ class EventServe
         pending_.epoch = e;
 
         // Tenants that completed during the previous epoch's slice
-        // release their machine slot now.
+        // release their machine slot now, feeding their observed-vs-
+        // predicted latency to the admission policy.
         std::size_t kept = 0;
         for (auto &tenant : active_) {
             if (tenant->done) {
+                const JobRecord &record = tenant->probe->record();
+                scheduler_.noteCompletion(record.latency_s,
+                                          record.predicted_s);
                 scheduler_.release(tenant->machine_index);
                 ++pending_.completed;
             } else {
@@ -154,9 +161,10 @@ class EventServe
         }
         active_.resize(kept);
 
-        admit(arrivals_[e], e, pending_);
+        admit(offers_[e], e, pending_);
 
         last_decision_ = arbiter_.arbitrate(cluster_, qos_feedback_);
+        scheduler_.noteArbitration(last_decision_);
         const std::size_t generation = e + 1;
         pending_.lease_generation = generation;
         if (options_.arbitration_probe)
@@ -222,7 +230,7 @@ class EventServe
     void
     runEvent()
     {
-        const std::size_t n = arrivals_.size();
+        const std::size_t n = offers_.size();
         horizon_s_ = static_cast<double>(n) * epoch_s_;
         quantum_s_ = options_.event.quantum_seconds > 0.0
             ? options_.event.quantum_seconds
@@ -230,7 +238,7 @@ class EventServe
         const std::size_t stride = options_.event.sample_stride;
 
         for (std::size_t e = 0; e < n; ++e)
-            if (arrivals_[e] > 0)
+            if (!offers_[e].empty())
                 queue_.push(static_cast<double>(e) * epoch_s_,
                             Event{Event::Kind::Arrivals, e});
         for (std::size_t w = 0; w * stride < n; ++w) {
@@ -280,11 +288,11 @@ class EventServe
         }
     }
 
-    /** The trace offers arrivals_[e] jobs at t(e). */
+    /** The trace offers offers_[e] at t(e). */
     void
     arrivalsAt(std::size_t e)
     {
-        const std::size_t admitted = admit(arrivals_[e], e, window_);
+        const std::size_t admitted = admit(offers_[e], e, window_);
         if (admitted == 0)
             return;
         for (std::size_t i = active_.size() - admitted;
@@ -317,6 +325,8 @@ class EventServe
                 ++machine_jobs[tenant->machine_index];
                 window_qos_sum_ += record.qos_loss;
                 ++window_finished_;
+                scheduler_.noteCompletion(record.latency_s,
+                                          record.predicted_s);
                 scheduler_.release(tenant->machine_index);
                 tenant.reset();
             } else {
@@ -338,6 +348,7 @@ class EventServe
     arbitrateNow()
     {
         last_decision_ = arbiter_.arbitrate(cluster_, qos_feedback_);
+        scheduler_.noteArbitration(last_decision_);
         ++generation_;
         if (options_.arbitration_probe)
             options_.arbitration_probe(ArbitrationSample{
@@ -354,7 +365,7 @@ class EventServe
         const std::size_t stride = options_.event.sample_stride;
         const std::size_t start = w * stride;
         const std::size_t end =
-            std::min(start + stride, arrivals_.size());
+            std::min(start + stride, offers_.size());
 
         for (const auto &tenant : active_) {
             const std::size_t beats = tenant->probe->record().beats;
@@ -435,9 +446,9 @@ class EventServe
     epochOf(double t) const
     {
         const auto e = static_cast<std::size_t>(t / epoch_s_);
-        return arrivals_.empty()
+        return offers_.empty()
             ? e
-            : std::min(e, arrivals_.size() - 1);
+            : std::min(e, offers_.size() - 1);
     }
 
     // ------------------------------------------------------------------
@@ -451,15 +462,17 @@ class EventServe
      * @return Jobs actually admitted (appended to active_, in order).
      */
     std::size_t
-    admit(std::size_t offered, std::size_t e, EpochStats &stats)
+    admit(const std::vector<workload::OfferedJob> &offered,
+          std::size_t e, EpochStats &stats)
     {
         const std::size_t shed_before = scheduler_.shedCount();
-        std::vector<std::size_t> placements;
-        placements.reserve(offered);
-        for (std::size_t k = 0; k < offered; ++k) {
-            const auto machine = scheduler_.tryAdmit();
-            if (machine.has_value())
-                placements.push_back(*machine);
+        std::vector<std::pair<Admission, const workload::OfferedJob *>>
+            placements;
+        placements.reserve(offered.size());
+        for (const workload::OfferedJob &job : offered) {
+            const auto admission = scheduler_.tryAdmit(job);
+            if (admission.has_value())
+                placements.emplace_back(*admission, &job);
         }
         stats.arrivals += placements.size();
         const std::size_t shed = scheduler_.shedCount() - shed_before;
@@ -470,7 +483,9 @@ class EventServe
             app_, table_, placements.size());
         for (std::size_t i = 0; i < placements.size(); ++i) {
             active_.push_back(detail::makeTenant(
-                options_, model_, hub_, next_job_, placements[i], e,
+                options_, model_, hub_, next_job_,
+                placements[i].first.machine, e, *placements[i].second,
+                placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job_;
         }
@@ -526,7 +541,7 @@ class EventServe
     const core::KnobTable &table_;
     const core::ResponseModel &model_;
     const ServerOptions &options_;
-    const std::vector<std::size_t> &arrivals_;
+    const std::vector<std::vector<workload::OfferedJob>> &offers_;
 
     sim::Cluster cluster_;
     Scheduler scheduler_;
@@ -566,9 +581,10 @@ FleetReport
 serveEventDriven(const core::App &app, const core::KnobTable &table,
                  const core::ResponseModel &model,
                  const ServerOptions &options,
-                 const std::vector<std::size_t> &arrivals)
+                 const std::vector<std::vector<workload::OfferedJob>>
+                     &offers)
 {
-    return EventServe(app, table, model, options, arrivals).run();
+    return EventServe(app, table, model, options, offers).run();
 }
 
 } // namespace powerdial::fleet

@@ -33,17 +33,19 @@
 namespace powerdial::fleet {
 
 /**
- * Serve @p arrivals through the discrete-event engine. Called by
- * Server::serve when ServerOptions::engine == EngineMode::Event;
- * callers normally go through Server rather than this entry point.
- * Same contract as Server::serve: app, table, and model must outlive
- * the call, and the caller's app instance is never run.
+ * Serve @p offers (jobs offered per epoch, with tenant/class/deadline
+ * metadata) through the discrete-event engine. Called by Server::serve
+ * when ServerOptions::engine == EngineMode::Event; callers normally go
+ * through Server rather than this entry point. Same contract as
+ * Server::serve: app, table, and model must outlive the call, and the
+ * caller's app instance is never run.
  */
-FleetReport serveEventDriven(const core::App &app,
-                             const core::KnobTable &table,
-                             const core::ResponseModel &model,
-                             const ServerOptions &options,
-                             const std::vector<std::size_t> &arrivals);
+FleetReport
+serveEventDriven(const core::App &app, const core::KnobTable &table,
+                 const core::ResponseModel &model,
+                 const ServerOptions &options,
+                 const std::vector<std::vector<workload::OfferedJob>>
+                     &offers);
 
 } // namespace powerdial::fleet
 

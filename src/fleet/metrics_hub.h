@@ -32,6 +32,11 @@ struct JobRecord
     std::size_t tenant = 0;  //!< Tenant (input stream) the job served.
     std::size_t epoch = 0;   //!< Epoch the job arrived in.
     std::size_t machine = 0; //!< Hosting machine index.
+    std::size_t job_class = 0; //!< Priority class (0 = highest).
+    double deadline_s = 0.0; //!< Relative deadline (0 = none).
+    /** Completion latency the admission policy predicted when it
+     *  admitted the job (0 = no prediction was made). */
+    double predicted_s = 0.0;
     double latency_s = 0.0;  //!< Virtual seconds to completion.
     double mean_rate = 0.0;  //!< Mean sliding-window heart rate.
     double qos_loss = 0.0;   //!< Work-weighted calibrated QoS loss.

@@ -21,6 +21,8 @@ class LeastLoadedPolicy final : public PlacementPolicy
                 best = i;
         return best;
     }
+
+    // The base-class pickAmong is already least-loaded-among.
 };
 
 class PowerAwarePolicy final : public PlacementPolicy
@@ -37,6 +39,22 @@ class PowerAwarePolicy final : public PlacementPolicy
             const double cost = marginalWatts(cluster, i);
             if (cost < best_cost) {
                 best = i;
+                best_cost = cost;
+            }
+        }
+        return best;
+    }
+
+    std::size_t
+    pickAmong(const sim::Cluster &cluster,
+              const std::vector<std::size_t> &candidates) const override
+    {
+        std::size_t best = candidates.front();
+        double best_cost = marginalWatts(cluster, best);
+        for (std::size_t i = 1; i < candidates.size(); ++i) {
+            const double cost = marginalWatts(cluster, candidates[i]);
+            if (cost < best_cost) {
+                best = candidates[i];
                 best_cost = cost;
             }
         }
@@ -62,6 +80,18 @@ class PowerAwarePolicy final : public PlacementPolicy
 
 } // namespace
 
+std::size_t
+PlacementPolicy::pickAmong(const sim::Cluster &cluster,
+                           const std::vector<std::size_t> &candidates)
+    const
+{
+    std::size_t best = candidates.front();
+    for (std::size_t i = 1; i < candidates.size(); ++i)
+        if (cluster.activeOn(candidates[i]) < cluster.activeOn(best))
+            best = candidates[i];
+    return best;
+}
+
 PlacementFactory
 makeLeastLoadedPlacement()
 {
@@ -75,7 +105,8 @@ makePowerAwarePlacement()
 }
 
 Scheduler::Scheduler(sim::Cluster &cluster, PlacementFactory policy)
-    : Scheduler(cluster, SchedulerOptions{std::move(policy), 0})
+    : Scheduler(cluster, SchedulerOptions{std::move(policy), 0,
+                                          nullptr, nullptr})
 {
 }
 
@@ -88,69 +119,88 @@ Scheduler::Scheduler(sim::Cluster &cluster, SchedulerOptions options)
     if (policy_ == nullptr)
         throw std::invalid_argument(
             "Scheduler: placement factory returned null");
+    admission_ = options_.admission ? options_.admission()
+                                    : makeQueueDepthAdmission()();
+    if (admission_ == nullptr)
+        throw std::invalid_argument(
+            "Scheduler: admission factory returned null");
 }
 
-Scheduler::Pick
-Scheduler::pickWithRoom() const
+AdmissionVerdict
+Scheduler::decideWith(const OfferedJob &job) const
 {
-    std::size_t machine = policy_->pick(*cluster_);
-    if (machine >= cluster_->size())
+    const AdmissionContext context{
+        *cluster_, *policy_, options_.queue_depth, options_.model,
+        have_decision_ ? &last_decision_ : nullptr};
+    AdmissionVerdict verdict = admission_->decide(job, context);
+    if (verdict.policy_pick >= cluster_->size() ||
+        (verdict.machine.has_value() &&
+         *verdict.machine >= cluster_->size()))
         throw std::logic_error("Scheduler: policy picked a bad machine");
-    Pick pick;
-    pick.policy_pick = machine;
-    const std::size_t depth = options_.queue_depth;
-    if (depth != 0 && cluster_->activeOn(machine) >= depth) {
-        // The policy's pick is full: overflow to the least-loaded
-        // machine with room (lowest index on ties), none = shed.
-        bool found = false;
-        for (std::size_t i = 0; i < cluster_->size(); ++i) {
-            if (cluster_->activeOn(i) >= depth)
-                continue;
-            if (!found || cluster_->activeOn(i) <
-                              cluster_->activeOn(machine)) {
-                machine = i;
-                found = true;
-            }
-        }
-        if (!found)
-            return pick;
+    return verdict;
+}
+
+std::optional<Admission>
+Scheduler::tryAdmit(const OfferedJob &job)
+{
+    const AdmissionVerdict verdict = decideWith(job);
+    if (!verdict.machine.has_value()) {
+        // Shed: charge the job to the host the policy chose for it
+        // and to its priority class.
+        ++shed_;
+        ++shed_by_machine_[verdict.policy_pick];
+        if (job.job_class >= shed_by_class_.size())
+            shed_by_class_.resize(job.job_class + 1, 0);
+        ++shed_by_class_[job.job_class];
+        return std::nullopt;
     }
-    pick.machine = machine;
-    return pick;
+    cluster_->place(*verdict.machine);
+    return Admission{*verdict.machine, verdict.predicted_s};
 }
 
 std::optional<std::size_t>
 Scheduler::tryAdmit()
 {
-    const Pick pick = pickWithRoom();
-    if (!pick.machine.has_value()) {
-        // Shed: charge the job to the host the policy chose for it.
-        ++shed_;
-        ++shed_by_machine_[pick.policy_pick];
+    const auto admission =
+        tryAdmit(OfferedJob{kRoundRobinTenant, 0, 0.0});
+    if (!admission.has_value())
         return std::nullopt;
-    }
-    cluster_->place(*pick.machine);
-    return pick.machine;
+    return admission->machine;
 }
 
 std::size_t
 Scheduler::admit()
 {
     // A full cluster is a caller bug here, not a shed event: the
-    // counter only tracks tryAdmit()-path admission control.
-    const Pick pick = pickWithRoom();
-    if (!pick.machine.has_value())
+    // counters only track tryAdmit()-path admission control.
+    const AdmissionVerdict verdict =
+        decideWith(OfferedJob{kRoundRobinTenant, 0, 0.0});
+    if (!verdict.machine.has_value())
         throw std::logic_error(
             "Scheduler: admit() shed a job; use tryAdmit() with a "
             "queue-depth bound");
-    cluster_->place(*pick.machine);
-    return *pick.machine;
+    cluster_->place(*verdict.machine);
+    return *verdict.machine;
 }
 
 void
 Scheduler::release(std::size_t machine)
 {
     cluster_->release(machine);
+}
+
+void
+Scheduler::noteArbitration(const ArbitrationDecision &decision)
+{
+    last_decision_ = decision;
+    have_decision_ = true;
+    admission_->noteArbitration(decision);
+}
+
+void
+Scheduler::noteCompletion(double observed_s, double predicted_s)
+{
+    admission_->noteCompletion(observed_s, predicted_s);
 }
 
 } // namespace powerdial::fleet

@@ -1,15 +1,20 @@
 /**
  * @file
- * Job placement for the fleet serving subsystem.
+ * Job placement and admission for the fleet serving subsystem.
  *
  * The analytic sim::Cluster::balance() answers "how would a
  * proportional balancer spread a steady load"; a serving fleet instead
  * places jobs one at a time as they arrive and releases them as they
  * complete. The Scheduler does that incremental placement against the
- * cluster's dynamic occupancy state, with the policy choice behind a
- * seam so least-loaded and power-aware placement are interchangeable
- * (and new policies pluggable, like the control-loop seams of
- * core::Session).
+ * cluster's dynamic occupancy state, with two policy seams so the
+ * pieces are independently interchangeable (like the control-loop
+ * seams of core::Session):
+ *
+ *   - PlacementPolicy: *where* an admitted job runs (least-loaded or
+ *     power-aware, or anything pluggable);
+ *   - AdmissionPolicy (fleet/admission.h): *whether* an arriving job
+ *     runs at all — blind queue-depth shedding, or SLO-aware
+ *     prediction against the job's deadline class.
  */
 #ifndef POWERDIAL_FLEET_SCHEDULER_H
 #define POWERDIAL_FLEET_SCHEDULER_H
@@ -20,7 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "fleet/admission.h"
+#include "fleet/power_arbiter.h"
 #include "sim/cluster.h"
+
+namespace powerdial::core {
+class ResponseModel;
+}
 
 namespace powerdial::fleet {
 
@@ -40,6 +51,20 @@ class PlacementPolicy
 
     /** The machine index the next job should be placed on. */
     virtual std::size_t pick(const sim::Cluster &cluster) const = 0;
+
+    /**
+     * The policy's preference restricted to @p candidates (non-empty,
+     * ascending machine indices) — asked when the unrestricted pick is
+     * at the queue-depth bound but other machines still have room, so
+     * overflow keeps following the policy's own criterion instead of
+     * silently reverting to least-loaded. The default implementation
+     * is least-loaded-among-candidates (lowest index on ties), the
+     * historical overflow rule; built-in policies with another cost
+     * function (power-aware) override it.
+     */
+    virtual std::size_t
+    pickAmong(const sim::Cluster &cluster,
+              const std::vector<std::size_t> &candidates) const;
 };
 
 /** Mint a fresh placement policy per scheduler. */
@@ -75,11 +100,26 @@ struct SchedulerOptions
      * unbounded behaviour.
      */
     std::size_t queue_depth = 0;
+    /** Admission policy; null means blind queue-depth shedding. */
+    AdmissionFactory admission;
+    /**
+     * Calibrated response model handed to the admission policy for
+     * completion-time prediction; may be null (QueueDepthAdmission
+     * never reads it). Must outlive the scheduler when set.
+     */
+    const core::ResponseModel *model = nullptr;
+};
+
+/** One admitted job: its host and the policy's latency prediction. */
+struct Admission
+{
+    std::size_t machine = 0;
+    double predicted_s = 0.0; //!< 0 = the policy made no prediction.
 };
 
 /**
- * Incremental job placement against one cluster's dynamic state.
- * The cluster must outlive the scheduler.
+ * Incremental job admission and placement against one cluster's
+ * dynamic state. The cluster must outlive the scheduler.
  */
 class Scheduler
 {
@@ -91,26 +131,44 @@ class Scheduler
     Scheduler(sim::Cluster &cluster, SchedulerOptions options);
 
     /**
-     * Place one arriving job; returns the hosting machine index, or
-     * std::nullopt when admission control shed the job (every machine
-     * already at the queue-depth bound; the shed counter increments).
-     * If the policy's pick is full but another machine has room, the
-     * job overflows to the least-loaded machine with space (lowest
-     * index on ties) so a full machine never sheds work an emptier
-     * neighbour could hold.
+     * Offer one arriving job to the admission policy; returns the
+     * admission (host plus prediction) or std::nullopt when the policy
+     * shed the job (the shed counters increment, attributed to the
+     * placement pick and the job's priority class).
+     */
+    std::optional<Admission> tryAdmit(const OfferedJob &job);
+
+    /**
+     * Legacy count-based admission: one metadata-free job (round-robin
+     * tenant, class 0, no deadline); returns the hosting machine.
+     * Under the default QueueDepthAdmission this sheds exactly when
+     * every machine is at the queue-depth bound, as it always has.
      */
     std::optional<std::size_t> tryAdmit();
 
     /**
      * Unbounded admit (pre-admission-control API): always places.
-     * With a queue-depth bound configured, throws std::logic_error
-     * when the job would have been shed — callers that can shed must
-     * use tryAdmit().
+     * Throws std::logic_error when the admission policy would have
+     * shed the job — callers that can shed must use tryAdmit().
      */
     std::size_t admit();
 
     /** Record completion of a job hosted on machine @p machine. */
     void release(std::size_t machine);
+
+    /**
+     * Feed one arbitration round to the admission policy and retain
+     * the decision as lease context for subsequent tryAdmit calls.
+     * Call serially, in virtual-time order.
+     */
+    void noteArbitration(const ArbitrationDecision &decision);
+
+    /**
+     * Feed one completed job's observed-vs-predicted latency to the
+     * admission policy's margin feedback. Call serially, in
+     * virtual-time order.
+     */
+    void noteCompletion(double observed_s, double predicted_s);
 
     /** Jobs shed by admission control so far. */
     std::size_t shedCount() const { return shed_; }
@@ -127,8 +185,22 @@ class Scheduler
         return shed_by_machine_;
     }
 
+    /**
+     * Per-priority-class shed counts, indexed by OfferedJob::job_class
+     * (grown on demand; sums to shedCount()). Class 0 is the highest
+     * priority, so a healthy SLO-aware fleet sheds from the tail of
+     * this vector first.
+     */
+    const std::vector<std::size_t> &shedByClass() const
+    {
+        return shed_by_class_;
+    }
+
     /** The placement policy in use. */
     const PlacementPolicy &policy() const { return *policy_; }
+
+    /** The admission policy in use. */
+    const AdmissionPolicy &admissionPolicy() const { return *admission_; }
 
     /** The queue-depth bound (0 = unbounded). */
     std::size_t queueDepth() const { return options_.queue_depth; }
@@ -136,22 +208,17 @@ class Scheduler
     const sim::Cluster &cluster() const { return *cluster_; }
 
   private:
-    /** A placement attempt: the policy's raw pick plus, when some
-     *  machine still has room, the (possibly overflowed) host. */
-    struct Pick
-    {
-        std::size_t policy_pick = 0;
-        std::optional<std::size_t> machine;
-    };
-
-    /** Policy pick with bound-overflow; machine empty = cluster full. */
-    Pick pickWithRoom() const;
+    AdmissionVerdict decideWith(const OfferedJob &job) const;
 
     sim::Cluster *cluster_;
     SchedulerOptions options_;
     std::unique_ptr<PlacementPolicy> policy_;
+    std::unique_ptr<AdmissionPolicy> admission_;
+    ArbitrationDecision last_decision_;
+    bool have_decision_ = false;
     std::size_t shed_ = 0;
     std::vector<std::size_t> shed_by_machine_;
+    std::vector<std::size_t> shed_by_class_;
 };
 
 } // namespace powerdial::fleet

@@ -42,14 +42,29 @@ Server::Server(const core::App &app, const core::KnobTable &table,
 FleetReport
 Server::serve(const std::vector<std::size_t> &arrivals)
 {
+    // The legacy count-based schedule: every offered job is
+    // metadata-free (round-robin tenant, class 0, no deadline), so
+    // the serve below reproduces the historical behaviour exactly.
+    std::vector<std::vector<workload::OfferedJob>> offers(
+        arrivals.size());
+    for (std::size_t e = 0; e < arrivals.size(); ++e)
+        offers[e].assign(arrivals[e],
+                         workload::OfferedJob{kRoundRobinTenant, 0, 0.0});
+    return serve(offers);
+}
+
+FleetReport
+Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
+{
     if (options_.engine == EngineMode::Event)
         return serveEventDriven(*app_, *table_, *model_, options_,
-                                arrivals);
+                                offers);
 
     sim::Cluster cluster(options_.machines, options_.machine);
     Scheduler scheduler(
         cluster, SchedulerOptions{options_.placement,
-                                  options_.queue_depth});
+                                  options_.queue_depth,
+                                  options_.admission, model_});
     PowerArbiter arbiter(options_.arbiter);
 
     const double epoch_s = options_.epoch_seconds > 0.0
@@ -68,7 +83,7 @@ Server::serve(const std::vector<std::size_t> &arrivals)
     std::vector<std::unique_ptr<Tenant>> active; // In job order.
 
     FleetReport report;
-    report.epochs.reserve(arrivals.size());
+    report.epochs.reserve(offers.size());
     std::size_t next_job = 0;
 
     // Advance every active tenant to its current slice deadline
@@ -94,15 +109,19 @@ Server::serve(const std::vector<std::size_t> &arrivals)
                    });
     };
 
-    for (std::size_t e = 0; e < arrivals.size(); ++e) {
+    for (std::size_t e = 0; e < offers.size(); ++e) {
         EpochStats stats;
         stats.epoch = e;
 
         // Top of epoch: tenants that completed during the previous
-        // epoch's slice release their machine slot now.
+        // epoch's slice release their machine slot now, feeding their
+        // observed-vs-predicted latency to the admission policy.
         std::size_t kept = 0;
         for (auto &tenant : active) {
             if (tenant->done) {
+                const JobRecord &record = tenant->probe->record();
+                scheduler.noteCompletion(record.latency_s,
+                                         record.predicted_s);
                 scheduler.release(tenant->machine_index);
                 ++stats.completed;
             } else {
@@ -112,14 +131,15 @@ Server::serve(const std::vector<std::size_t> &arrivals)
         active.resize(kept);
 
         // Admission: serial and deterministic, one arrival at a time.
-        // Jobs past the queue-depth bound are shed, not queued.
+        // The admission policy decides who runs and who is shed.
         const std::size_t shed_before = scheduler.shedCount();
-        std::vector<std::size_t> placements;
-        placements.reserve(arrivals[e]);
-        for (std::size_t k = 0; k < arrivals[e]; ++k) {
-            const auto machine = scheduler.tryAdmit();
-            if (machine.has_value())
-                placements.push_back(*machine);
+        std::vector<std::pair<Admission, const workload::OfferedJob *>>
+            placements;
+        placements.reserve(offers[e].size());
+        for (const workload::OfferedJob &job : offers[e]) {
+            const auto admission = scheduler.tryAdmit(job);
+            if (admission.has_value())
+                placements.emplace_back(*admission, &job);
         }
         stats.arrivals = placements.size();
         stats.shed = scheduler.shedCount() - shed_before;
@@ -131,7 +151,9 @@ Server::serve(const std::vector<std::size_t> &arrivals)
             *app_, *table_, placements.size());
         for (std::size_t i = 0; i < placements.size(); ++i) {
             active.push_back(detail::makeTenant(
-                options_, *model_, hub, next_job, placements[i], e,
+                options_, *model_, hub, next_job,
+                placements[i].first.machine, e, *placements[i].second,
+                placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job;
         }
@@ -139,9 +161,11 @@ Server::serve(const std::vector<std::size_t> &arrivals)
         // Arbitration reads the post-placement occupancy; the new
         // terms land in every in-flight tenant's lease — including
         // tenants admitted epochs ago — and their gates apply them at
-        // the next beat.
+        // the next beat. The scheduler sees the round too, as lease
+        // context for the next epoch's admission decisions.
         const ArbitrationDecision decision =
             arbiter.arbitrate(cluster, qos_feedback);
+        scheduler.noteArbitration(decision);
         const std::size_t generation = e + 1;
         stats.lease_generation = generation;
         if (options_.arbitration_probe)
@@ -220,6 +244,7 @@ Server::serve(const std::vector<std::size_t> &arrivals)
 
     report.total_jobs = next_job;
     report.shed_by_machine = scheduler.shedByMachine();
+    report.shed_by_class = scheduler.shedByClass();
     detail::finalizeReport(report, hub.drain());
     return report;
 }

@@ -168,6 +168,13 @@ struct ServerOptions
      * bound are shed and counted. 0 = unbounded (the default).
      */
     std::size_t queue_depth = 0;
+    /**
+     * Admission policy (fleet/admission.h); null means the historical
+     * blind queue-depth shedding. makePredictiveAdmission() sheds by
+     * predicted SLO violation instead, using the server's calibrated
+     * response model.
+     */
+    AdmissionFactory admission;
     /** Control-loop composition shared by every tenant session. */
     core::SessionOptions session{};
     /**
@@ -211,6 +218,17 @@ struct TenantStats
     double mean_latency_s = 0.0;
 };
 
+/** Per-priority-class serving quality over a whole serve. */
+struct ClassStats
+{
+    std::size_t job_class = 0; //!< Priority class (0 = highest).
+    std::size_t jobs = 0;      //!< Jobs of this class served.
+    std::size_t shed = 0;      //!< Jobs of this class shed.
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+};
+
 /** Everything one serve() call measured. */
 struct FleetReport
 {
@@ -223,6 +241,11 @@ struct FleetReport
     std::size_t drained_jobs = 0;
     /** Sheds charged to the machine the placement policy picked. */
     std::vector<std::size_t> shed_by_machine;
+    /** Sheds per priority class (indexed by class, grown on demand). */
+    std::vector<std::size_t> shed_by_class;
+    /** Per-class latency percentiles and shed counts, sorted by
+     *  class. Covers every class seen in served or shed jobs. */
+    std::vector<ClassStats> classes;
     double mean_watts = 0.0;       //!< Mean of per-epoch cluster power.
     double mean_fleet_rate = 0.0;  //!< Mean of per-epoch heart rate.
     double mean_qos_loss = 0.0;    //!< Mean over all jobs.
@@ -248,9 +271,20 @@ class Server
     /**
      * Run the fleet through @p arrivals (jobs offered per epoch, e.g.
      * from workload::makePoissonArrivals) and report the aggregate
-     * series plus every job's record.
+     * series plus every job's record. Every offered job carries the
+     * legacy metadata: round-robin tenant, class 0, no deadline.
      */
     FleetReport serve(const std::vector<std::size_t> &arrivals);
+
+    /**
+     * Run the fleet through a composed traffic schedule (jobs offered
+     * per epoch with tenant/class/deadline metadata, e.g. from
+     * workload::makeTrafficMix) — the SLO-aware serving path: the
+     * admission policy sees each job's deadline class, and the report
+     * carries per-class percentiles and shed counts.
+     */
+    FleetReport
+    serve(const std::vector<std::vector<workload::OfferedJob>> &offers);
 
   private:
     const core::App *app_;

@@ -65,22 +65,27 @@ struct Tenant
 
 /**
  * Build one tenant the way both engines must: probe seeded from the
- * job's identity, session gated by (caller's gate, lease re-read,
- * lease-driven duty-cycle pause) in that order. The lease re-read gate
- * applies changed terms within one beat of an arbiter rewrite and
- * reports the applied generation to the metrics probe.
+ * job's identity and offered metadata, session gated by (caller's
+ * gate, lease re-read, lease-driven duty-cycle pause) in that order.
+ * The lease re-read gate applies changed terms within one beat of an
+ * arbiter rewrite and reports the applied generation to the metrics
+ * probe. An offer with the kRoundRobinTenant sentinel resolves its
+ * input by the legacy round-robin-on-job-id rule.
  */
 inline std::unique_ptr<Tenant>
 makeTenant(const ServerOptions &options,
            const core::ResponseModel &model, MetricsHub &hub,
            std::size_t job, std::size_t machine_index,
-           std::size_t arrival_epoch, std::unique_ptr<core::App> app,
+           std::size_t arrival_epoch, const workload::OfferedJob &offer,
+           double predicted_s, std::unique_ptr<core::App> app,
            core::KnobTable table)
 {
     auto tenant = std::make_unique<Tenant>(options.machine);
     Tenant *t = tenant.get();
     t->job = job;
-    t->input = options.tenants[job % options.tenants.size()];
+    t->input = offer.tenant == kRoundRobinTenant
+        ? options.tenants[job % options.tenants.size()]
+        : offer.tenant;
     t->machine_index = machine_index;
     t->arrival_epoch = arrival_epoch;
     t->app = std::move(app);
@@ -91,6 +96,9 @@ makeTenant(const ServerOptions &options,
     seed.tenant = t->input;
     seed.epoch = arrival_epoch;
     seed.machine = t->machine_index;
+    seed.job_class = offer.job_class;
+    seed.deadline_s = offer.deadline_s;
+    seed.predicted_s = predicted_s;
     t->probe.emplace(hub.probe(0, seed));
 
     // The tenant's gate: the caller's gate first, then the lease
@@ -162,6 +170,30 @@ finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
         tenant.mean_qos_loss /= job_count;
         tenant.mean_latency_s /= job_count;
         report.tenants.push_back(tenant);
+    }
+
+    // Per-priority-class scoreboard: latency percentiles over the
+    // served jobs of each class, plus that class's shed count — every
+    // class seen in either gets a row, so a class that was shed into
+    // oblivion still shows up (jobs 0, shed > 0).
+    std::map<std::size_t, std::vector<double>> class_latencies;
+    for (const JobRecord &job : report.jobs)
+        class_latencies[job.job_class].push_back(job.latency_s);
+    for (std::size_t c = 0; c < report.shed_by_class.size(); ++c)
+        if (report.shed_by_class[c] > 0)
+            class_latencies.try_emplace(c);
+    for (auto &[c, values] : class_latencies) {
+        ClassStats row;
+        row.job_class = c;
+        row.jobs = values.size();
+        row.shed = c < report.shed_by_class.size()
+            ? report.shed_by_class[c]
+            : 0;
+        std::sort(values.begin(), values.end());
+        row.p50_latency_s = percentileOf(values, 50.0);
+        row.p95_latency_s = percentileOf(values, 95.0);
+        row.p99_latency_s = percentileOf(values, 99.0);
+        report.classes.push_back(row);
     }
 }
 

@@ -40,6 +40,7 @@
 #include "core/trace_export.h"
 
 // Fleet serving: many controlled sessions as tenants of a cluster.
+#include "fleet/admission.h"
 #include "fleet/metrics_hub.h"
 #include "fleet/power_arbiter.h"
 #include "fleet/scheduler.h"
@@ -62,5 +63,8 @@
 #include "sim/power_model.h"
 #include "sim/virtual_clock.h"
 #include "workload/arrivals.h"
+#include "workload/load_trace.h"
+#include "workload/traffic_mix.h"
+#include "workload/zipf.h"
 
 #endif // POWERDIAL_POWERDIAL_H

@@ -5,26 +5,66 @@
 
 namespace powerdial::workload {
 
+namespace {
+
+/**
+ * The substream of step @p t: linear seeds on the SplitMix64
+ * golden-ratio stride land on well-separated trajectories, so
+ * neighbouring steps are decorrelated even though their seeds differ
+ * by a constant. t + 1 keeps step 0 off the bare trace seed. Draw
+ * order within a step is fixed: spike-start uniform first, then the
+ * jitter gaussian, so spike membership and jitter never perturb each
+ * other across parameter changes.
+ */
+Rng
+stepRng(const LoadTraceParams &params, std::size_t t)
+{
+    return Rng(params.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
+}
+
+/** Did the per-step substream start a spike at step @p t? */
+bool
+spikeStartsAt(const LoadTraceParams &params, std::size_t t)
+{
+    return stepRng(params, t).uniform() < params.spike_probability;
+}
+
+} // namespace
+
+double
+loadLevelAt(const LoadTraceParams &params, std::size_t t)
+{
+    // A spike covers t when a start was drawn at any of the
+    // spike_length steps ending at t (overlaps merge). Membership is
+    // a pure function of (params, t), which is what makes windows of
+    // the trace regenerable independently.
+    if (params.spike_length > 0) {
+        const std::size_t first =
+            t >= params.spike_length - 1 ? t - (params.spike_length - 1)
+                                         : 0;
+        for (std::size_t s = first; s <= t; ++s)
+            if (spikeStartsAt(params, s))
+                return std::clamp(params.spike_utilization, 0.0, 1.0);
+    }
+    Rng rng = stepRng(params, t);
+    rng.uniform(); // The spike-start draw, position-stable.
+    double level = params.base_utilization +
+        rng.gaussian(0.0, params.jitter);
+    if (params.diurnal_amplitude != 0.0 && params.diurnal_period > 0) {
+        const double phase = 2.0 * M_PI * static_cast<double>(t) /
+            static_cast<double>(params.diurnal_period);
+        level += params.diurnal_amplitude * std::sin(phase);
+    }
+    return std::clamp(level, 0.0, 1.0);
+}
+
 std::vector<double>
 makeLoadTrace(const LoadTraceParams &params)
 {
-    Rng rng(params.seed);
     std::vector<double> trace;
     trace.reserve(params.steps);
-    std::size_t spike_left = 0;
-    for (std::size_t t = 0; t < params.steps; ++t) {
-        if (spike_left == 0 && rng.uniform() < params.spike_probability)
-            spike_left = params.spike_length;
-        double u;
-        if (spike_left > 0) {
-            u = params.spike_utilization;
-            --spike_left;
-        } else {
-            u = params.base_utilization +
-                rng.gaussian(0.0, params.jitter);
-        }
-        trace.push_back(std::clamp(u, 0.0, 1.0));
-    }
+    for (std::size_t t = 0; t < params.steps; ++t)
+        trace.push_back(loadLevelAt(params, t));
     return trace;
 }
 
@@ -33,7 +73,9 @@ instancesAt(double utilization, std::size_t peak_instances)
 {
     const double m =
         std::round(utilization * static_cast<double>(peak_instances));
-    return static_cast<std::size_t>(std::max(0.0, m));
+    if (m <= 0.0)
+        return 0;
+    return std::min(static_cast<std::size_t>(m), peak_instances);
 }
 
 } // namespace powerdial::workload

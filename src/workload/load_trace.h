@@ -4,7 +4,17 @@
  *
  * Models the workload pattern that motivates the peak-load provisioning
  * experiments (paper sections 3, 5.5): "Common workloads often contain
- * intermittent load spikes" atop predominantly low utilisation.
+ * intermittent load spikes" atop predominantly low utilisation, with an
+ * optional diurnal swell so day/night request curves can be composed
+ * with spikes and flash crowds (workload::makeTrafficMix).
+ *
+ * Every step of a trace is drawn from its own counter-derived RNG
+ * substream (the same SplitMix64-stride scheme as poissonArrivalAt), so
+ * the level at step t depends only on (params, t): extending the
+ * horizon never perturbs earlier steps and any window regenerates
+ * independently. A spike covers step t when a spike *start* was drawn
+ * at any of the spike_length steps ending at t; overlapping starts
+ * simply merge into one longer spike.
  */
 #ifndef POWERDIAL_WORKLOAD_LOAD_TRACE_H
 #define POWERDIAL_WORKLOAD_LOAD_TRACE_H
@@ -25,16 +35,36 @@ struct LoadTraceParams
     std::size_t spike_length = 6;   //!< Steps a spike lasts.
     double spike_utilization = 1.0; //!< Peak load during a spike.
     double jitter = 0.05;           //!< Gaussian noise on the base load.
+    /**
+     * Peak amplitude of an optional diurnal swell added to the base
+     * load: level(t) += diurnal_amplitude * sin(2*pi*t/period). 0 (the
+     * default) keeps the trace flat outside spikes.
+     */
+    double diurnal_amplitude = 0.0;
+    std::size_t diurnal_period = 96; //!< Steps per diurnal cycle.
     std::uint64_t seed = 0x10ad0001;
 };
 
 /**
  * A utilisation trace in [0, 1]: fraction of the provisioned peak
- * instance count offered at each time step.
+ * instance count offered at each time step. Equivalent to calling
+ * loadLevelAt() for t in [0, params.steps).
  */
 std::vector<double> makeLoadTrace(const LoadTraceParams &params);
 
-/** Convert a utilisation level into a concrete instance count. */
+/**
+ * The utilisation level of step @p t alone — the per-step substream
+ * makeLoadTrace() is built from, exposed for random access (window
+ * regeneration, event-driven arrival streams).
+ */
+double loadLevelAt(const LoadTraceParams &params, std::size_t t);
+
+/**
+ * Convert a utilisation level into a concrete instance count, clamped
+ * to [0, peak_instances]: a level above 1.0 (flash-crowd superposition
+ * in composed traffic) asks for more instances than are provisioned,
+ * and the answer is the provisioned peak, not a phantom machine.
+ */
 std::size_t instancesAt(double utilization, std::size_t peak_instances);
 
 } // namespace powerdial::workload

@@ -62,11 +62,28 @@ class Rng
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-    /** Uniform integer in [0, n). @p n must be > 0. */
+    /**
+     * Uniform integer in [0, n). @p n must be > 0.
+     *
+     * Rejection-sampled against the smallest covering power-of-two
+     * mask, so every value is exactly equally likely — `next() % n`
+     * would be modulo-biased toward low values whenever n does not
+     * divide 2^64 (tests/test_workload.cc pins uniformity).
+     */
     std::uint64_t
     below(std::uint64_t n)
     {
-        return next() % n;
+        std::uint64_t mask = n - 1;
+        mask |= mask >> 1;
+        mask |= mask >> 2;
+        mask |= mask >> 4;
+        mask |= mask >> 8;
+        mask |= mask >> 16;
+        mask |= mask >> 32;
+        std::uint64_t value = next() & mask;
+        while (value >= n)
+            value = next() & mask;
+        return value;
     }
 
     /** Standard normal deviate (Box-Muller, cached pair). */

@@ -80,6 +80,9 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.jobs[i].tenant, b.jobs[i].tenant);
         EXPECT_EQ(a.jobs[i].epoch, b.jobs[i].epoch);
         EXPECT_EQ(a.jobs[i].machine, b.jobs[i].machine);
+        EXPECT_EQ(a.jobs[i].job_class, b.jobs[i].job_class);
+        EXPECT_EQ(a.jobs[i].deadline_s, b.jobs[i].deadline_s);
+        EXPECT_EQ(a.jobs[i].predicted_s, b.jobs[i].predicted_s);
         EXPECT_EQ(a.jobs[i].latency_s, b.jobs[i].latency_s);
         EXPECT_EQ(a.jobs[i].mean_rate, b.jobs[i].mean_rate);
         EXPECT_EQ(a.jobs[i].qos_loss, b.jobs[i].qos_loss);
@@ -99,10 +102,24 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.tenants[i].mean_latency_s,
                   b.tenants[i].mean_latency_s);
     }
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (std::size_t i = 0; i < a.classes.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "class row " << i);
+        EXPECT_EQ(a.classes[i].job_class, b.classes[i].job_class);
+        EXPECT_EQ(a.classes[i].jobs, b.classes[i].jobs);
+        EXPECT_EQ(a.classes[i].shed, b.classes[i].shed);
+        EXPECT_EQ(a.classes[i].p50_latency_s,
+                  b.classes[i].p50_latency_s);
+        EXPECT_EQ(a.classes[i].p95_latency_s,
+                  b.classes[i].p95_latency_s);
+        EXPECT_EQ(a.classes[i].p99_latency_s,
+                  b.classes[i].p99_latency_s);
+    }
     EXPECT_EQ(a.total_jobs, b.total_jobs);
     EXPECT_EQ(a.total_shed, b.total_shed);
     EXPECT_EQ(a.drained_jobs, b.drained_jobs);
     EXPECT_EQ(a.shed_by_machine, b.shed_by_machine);
+    EXPECT_EQ(a.shed_by_class, b.shed_by_class);
     EXPECT_EQ(a.mean_watts, b.mean_watts);
     EXPECT_EQ(a.mean_fleet_rate, b.mean_fleet_rate);
     EXPECT_EQ(a.mean_qos_loss, b.mean_qos_loss);

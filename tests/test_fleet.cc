@@ -105,7 +105,7 @@ TEST(Scheduler, PowerAwarePrefersCappedMachines)
 TEST(Scheduler, ShedsWhenEveryMachineIsAtTheBound)
 {
     sim::Cluster cluster(2, sim::Machine::Config{});
-    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 3});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 3, {}, nullptr});
     for (std::size_t k = 0; k < 6; ++k)
         EXPECT_TRUE(scheduler.tryAdmit().has_value()) << "k=" << k;
     EXPECT_FALSE(scheduler.tryAdmit().has_value());
@@ -127,8 +127,9 @@ TEST(Scheduler, FullPolicyPickOverflowsToMachineWithRoom)
     sim::Cluster cluster(2, sim::Machine::Config{});
     const std::size_t cores = cluster.machine(0).cores();
     Scheduler scheduler(cluster,
-                        SchedulerOptions{makePowerAwarePlacement(),
-                                         cores + 1});
+                        SchedulerOptions{
+                            makePowerAwarePlacement(), cores + 1,
+                            {}, nullptr});
     for (std::size_t k = 0; k < cores + 1; ++k)
         cluster.place(0); // Fill machine 0 to the bound by hand.
     const auto machine = scheduler.tryAdmit();
@@ -150,7 +151,7 @@ TEST(Scheduler, UnboundedAdmitNeverSheds)
 TEST(Scheduler, AdmitThrowsInsteadOfSheddingSilently)
 {
     sim::Cluster cluster(1, sim::Machine::Config{});
-    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1, {}, nullptr});
     scheduler.admit();
     EXPECT_THROW(scheduler.admit(), std::logic_error);
     // The rejection surfaced as an exception, not as a shed event:
@@ -166,7 +167,7 @@ TEST(Scheduler, ShedsAreChargedToThePolicyPick)
     // shed job is charged there: the count says which host demand was
     // aimed at when it was turned away.
     sim::Cluster cluster(2, sim::Machine::Config{});
-    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 1, {}, nullptr});
     EXPECT_TRUE(scheduler.tryAdmit().has_value());
     EXPECT_TRUE(scheduler.tryAdmit().has_value());
     for (std::size_t k = 0; k < 3; ++k)
@@ -185,7 +186,7 @@ TEST(Scheduler, ShedAttributionFollowsThePlacementPolicy)
     cluster.machine(1).setPStateCap(
         cluster.machine(1).scale().states() - 1);
     Scheduler scheduler(
-        cluster, SchedulerOptions{makePowerAwarePlacement(), 2});
+        cluster, SchedulerOptions{makePowerAwarePlacement(), 2, {}, nullptr});
     cluster.place(0);
     cluster.place(0);
     cluster.place(1);
@@ -198,7 +199,7 @@ TEST(Scheduler, ShedAttributionFollowsThePlacementPolicy)
 TEST(Scheduler, ShedAttributionSumsToShedCount)
 {
     sim::Cluster cluster(3, sim::Machine::Config{});
-    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 2});
+    Scheduler scheduler(cluster, SchedulerOptions{nullptr, 2, {}, nullptr});
     std::size_t admitted = 0;
     for (std::size_t k = 0; k < 11; ++k)
         if (scheduler.tryAdmit().has_value())
@@ -512,7 +513,7 @@ TEST(Server, CallerGateComposesWithArbitrationPauses)
     options.session.withGate(
         [calls](core::BeatGateContext &) { ++*calls; });
     Server server(p.app, p.table, p.model, options);
-    const auto report = server.serve({2, 2});
+    const auto report = server.serve(std::vector<std::size_t>{2, 2});
     ASSERT_EQ(report.total_jobs, 4u);
     double max_pause = 0.0;
     for (const auto &epoch : report.epochs)
@@ -718,7 +719,7 @@ TEST(Server, QueueDepthShedsAndCountsOverload)
         serveOptions(1, 0.0, ArbiterPolicy::Uniform, 1);
     options.queue_depth = 4;
     Server server(p.app, p.table, p.model, options);
-    const auto report = server.serve({6, 0});
+    const auto report = server.serve(std::vector<std::size_t>{6, 0});
     EXPECT_EQ(report.total_jobs, 4u);
     EXPECT_EQ(report.total_shed, 2u);
     ASSERT_EQ(report.epochs.size(), 2u);
@@ -743,8 +744,8 @@ TEST(Server, TenantMachinesUseTheConfiguredMachineModel)
     small_options.machine.cores = 1;
     Server default_server(p.app, p.table, p.model, default_options);
     Server small_server(p.app, p.table, p.model, small_options);
-    const auto default_report = default_server.serve({1});
-    const auto small_report = small_server.serve({1});
+    const auto default_report = default_server.serve(std::vector<std::size_t>{1});
+    const auto small_report = small_server.serve(std::vector<std::size_t>{1});
     ASSERT_EQ(default_report.jobs.size(), 1u);
     ASSERT_EQ(small_report.jobs.size(), 1u);
     EXPECT_GT(small_report.jobs.front().energy_j,

@@ -312,7 +312,7 @@ TEST(EventEngine, QuantumBoundsCompletionDiscoveryLatency)
                 times.push_back(sample.time_s);
             };
         Server server(p.app, p.table, p.model, options);
-        const FleetReport report = server.serve({1, 0, 0});
+        const FleetReport report = server.serve(std::vector<std::size_t>{1, 0, 0});
         EXPECT_EQ(report.total_jobs, 1u);
         EXPECT_EQ(report.drained_jobs, 0u);
         // Admission round + completion round, nothing else: quantum

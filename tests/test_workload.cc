@@ -10,6 +10,7 @@
 #include "workload/corpus.h"
 #include "workload/load_trace.h"
 #include "workload/rng.h"
+#include "workload/traffic_mix.h"
 #include "workload/video_source.h"
 #include "workload/zipf.h"
 
@@ -56,6 +57,34 @@ TEST(Rng, GaussianMomentsApproximatelyStandard)
     const double var = sum_sq / n - mean * mean;
     EXPECT_NEAR(mean, 0.0, 0.03);
     EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossBuckets)
+{
+    // Regression for the modulo-biased reduction: `next() % n` favours
+    // low values for n not a power of two. The rejection reduction
+    // must land each bucket of n = 6 within a few percent of uniform.
+    Rng rng(2024);
+    constexpr std::size_t kBuckets = 6;
+    constexpr std::size_t kDraws = 60000;
+    std::size_t counts[kBuckets] = {};
+    for (std::size_t i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBuckets)];
+    const double expected =
+        static_cast<double>(kDraws) / kBuckets;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(static_cast<double>(counts[b]), expected,
+                    0.05 * expected)
+            << "bucket " << b;
 }
 
 TEST(Zipf, PmfSumsToOne)
@@ -299,6 +328,87 @@ TEST(LoadTrace, InstancesAtScalesByPeak)
     EXPECT_EQ(instancesAt(1.0, 32), 32u);
 }
 
+TEST(LoadTrace, InstancesAtClampsToProvisionedPeak)
+{
+    // Regression: a utilisation above 1.0 — exactly what flash-crowd
+    // superposition produces — used to provision phantom instances
+    // beyond the fleet's peak. The answer is the provisioned peak.
+    EXPECT_EQ(instancesAt(1.4, 32), 32u);
+    EXPECT_EQ(instancesAt(2.0, 8), 8u);
+    EXPECT_EQ(instancesAt(100.0, 1), 1u);
+    // The lower clamp still holds.
+    EXPECT_EQ(instancesAt(-0.3, 32), 0u);
+}
+
+TEST(LoadTrace, ExtendingTheHorizonKeepsEarlierSteps)
+{
+    // Regression for the sequential-stream defect: per-step substreams
+    // mean a longer horizon never perturbs steps already generated.
+    LoadTraceParams long_params;
+    long_params.steps = 300;
+    const auto full = makeLoadTrace(long_params);
+    for (const std::size_t cut : {1u, 37u, 150u, 299u}) {
+        LoadTraceParams params = long_params;
+        params.steps = cut;
+        const auto shorter = makeLoadTrace(params);
+        ASSERT_EQ(shorter.size(), cut);
+        for (std::size_t t = 0; t < cut; ++t)
+            EXPECT_EQ(shorter[t], full[t])
+                << "cut=" << cut << " t=" << t;
+    }
+}
+
+TEST(LoadTrace, PerStepAccessorMatchesFullGeneration)
+{
+    // Random access: any window of the trace regenerates independently
+    // through loadLevelAt, with no draw-order coupling to neighbours.
+    LoadTraceParams params;
+    params.steps = 200;
+    const auto trace = makeLoadTrace(params);
+    for (std::size_t t = 0; t < trace.size(); ++t)
+        EXPECT_EQ(loadLevelAt(params, t), trace[t]) << "t=" << t;
+}
+
+TEST(LoadTrace, SpikeLengthOnlyAffectsSpikeMembership)
+{
+    // The historical bug skipped jitter draws during spike steps, so
+    // changing spike_length rewrote the whole downstream trace. Now a
+    // step outside the spike cover of BOTH lengths must be identical.
+    LoadTraceParams short_spikes;
+    short_spikes.steps = 400;
+    short_spikes.spike_length = 2;
+    LoadTraceParams long_spikes = short_spikes;
+    long_spikes.spike_length = 10;
+    const auto a = makeLoadTrace(short_spikes);
+    const auto b = makeLoadTrace(long_spikes);
+    std::size_t compared = 0;
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        const bool spiky_a =
+            a[t] == short_spikes.spike_utilization;
+        const bool spiky_b = b[t] == long_spikes.spike_utilization;
+        if (spiky_a || spiky_b)
+            continue;
+        EXPECT_EQ(a[t], b[t]) << "t=" << t;
+        ++compared;
+    }
+    EXPECT_GT(compared, a.size() / 2);
+}
+
+TEST(LoadTrace, DiurnalSwellModulatesBaseLoad)
+{
+    LoadTraceParams params;
+    params.steps = 96;
+    params.base_utilization = 0.5;
+    params.spike_probability = 0.0;
+    params.jitter = 0.0;
+    params.diurnal_amplitude = 0.3;
+    params.diurnal_period = 96;
+    const auto trace = makeLoadTrace(params);
+    EXPECT_NEAR(trace[24], 0.8, 1e-9);  // sin peak.
+    EXPECT_NEAR(trace[72], 0.2, 1e-9);  // sin trough.
+    EXPECT_NEAR(trace[0], 0.5, 1e-9);   // Phase zero.
+}
+
 TEST(PoissonArrivals, Deterministic)
 {
     const auto trace = makeLoadTrace({});
@@ -435,6 +545,114 @@ TEST(PoissonArrivals, LargeMeansUseTheNormalApproximation)
     const auto window = makePoissonArrivals(tail, params, 3);
     for (std::size_t i = 0; i < window.size(); ++i)
         EXPECT_EQ(window[i], full[3 + i]) << "step " << 3 + i;
+}
+
+// ---------------------------------------------------------------------
+// Composed production-shaped traffic.
+// ---------------------------------------------------------------------
+
+namespace {
+
+TrafficMixParams
+flatMixParams()
+{
+    TrafficMixParams params;
+    params.steps = 50;
+    params.trace.base_utilization = 0.5;
+    params.trace.spike_probability = 0.0;
+    params.trace.jitter = 0.0;
+    return params;
+}
+
+} // namespace
+
+TEST(TrafficMix, FlashCrowdsSuperimposeWithoutClamping)
+{
+    TrafficMixParams params = flatMixParams();
+    params.flash_crowds = {{10, 5, 0.8}};
+    const auto mix =
+        makeTrafficMix(params, {{0, 0, 0.0}});
+    ASSERT_EQ(mix.levels.size(), params.steps);
+    for (std::size_t t = 0; t < params.steps; ++t) {
+        const bool in_crowd = t >= 10 && t < 15;
+        EXPECT_NEAR(mix.levels[t], in_crowd ? 1.3 : 0.5, 1e-9)
+            << "t=" << t;
+    }
+    // Offered load past 1.0 is the point: more demand than the fleet
+    // is provisioned for, undistorted by a clamp.
+    EXPECT_GT(*std::max_element(mix.levels.begin(), mix.levels.end()),
+              1.0);
+}
+
+TEST(TrafficMix, DeterministicAndAccountedFor)
+{
+    TrafficMixParams params = flatMixParams();
+    params.flash_crowds = {{5, 3, 0.6}};
+    const std::vector<TenantProfile> profiles = {
+        {0, 0, 9.0}, {1, 1, 6.0}, {2, 2, 3.0}};
+    const auto a = makeTrafficMix(params, profiles);
+    const auto b = makeTrafficMix(params, profiles);
+    ASSERT_EQ(a.offers.size(), b.offers.size());
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < a.offers.size(); ++t) {
+        ASSERT_EQ(a.offers[t].size(), b.offers[t].size());
+        total += a.offers[t].size();
+        for (std::size_t i = 0; i < a.offers[t].size(); ++i) {
+            EXPECT_EQ(a.offers[t][i].tenant, b.offers[t][i].tenant);
+            EXPECT_EQ(a.offers[t][i].job_class,
+                      b.offers[t][i].job_class);
+            EXPECT_EQ(a.offers[t][i].deadline_s,
+                      b.offers[t][i].deadline_s);
+        }
+    }
+    EXPECT_EQ(a.total_offered, total);
+    EXPECT_GT(total, 0u);
+}
+
+TEST(TrafficMix, OffersCarryTheirProfilesMetadata)
+{
+    TrafficMixParams params = flatMixParams();
+    const std::vector<TenantProfile> profiles = {
+        {7, 0, 12.0}, {3, 1, 6.0}};
+    const auto mix = makeTrafficMix(params, profiles);
+    for (const auto &step : mix.offers)
+        for (const OfferedJob &job : step) {
+            const bool first =
+                job.tenant == 7 && job.job_class == 0 &&
+                job.deadline_s == 12.0;
+            const bool second =
+                job.tenant == 3 && job.job_class == 1 &&
+                job.deadline_s == 6.0;
+            EXPECT_TRUE(first || second);
+        }
+}
+
+TEST(TrafficMix, ZipfSkewsPopularityTowardRankZero)
+{
+    TrafficMixParams params = flatMixParams();
+    params.steps = 200;
+    params.peak_rate = 20.0;
+    params.zipf_skew = 1.2;
+    const std::vector<TenantProfile> profiles = {
+        {0, 0, 0.0}, {1, 0, 0.0}, {2, 0, 0.0}, {3, 0, 0.0}};
+    const auto mix = makeTrafficMix(params, profiles);
+    std::size_t counts[4] = {};
+    for (const auto &step : mix.offers)
+        for (const OfferedJob &job : step)
+            ++counts[job.tenant];
+    EXPECT_GT(counts[0], counts[3] * 2);
+}
+
+TEST(TrafficMix, LevelAccessorMatchesFullComposition)
+{
+    TrafficMixParams params = flatMixParams();
+    params.trace.jitter = 0.05;
+    params.trace.diurnal_amplitude = 0.2;
+    params.flash_crowds = {{3, 4, 0.5}, {20, 2, 1.0}};
+    const auto mix = makeTrafficMix(params, {{0, 0, 0.0}});
+    for (std::size_t t = 0; t < params.steps; ++t)
+        EXPECT_EQ(trafficLevelAt(params, t), mix.levels[t])
+            << "t=" << t;
 }
 
 } // namespace
