@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "class_mix.h"
 #include "fleet/server.h"
 #include "microsim_app.h"
 #include "sim/machine.h"
@@ -79,6 +80,9 @@ struct FleetBenchOptions
     std::size_t sample_stride = 1;  //!< Event-engine report stride.
     std::size_t fleet = 0;          //!< 0 = comparison bench; else scale.
     std::size_t peak_rate = 0;      //!< Poisson peak (0 = mode default).
+    /** Heterogeneous fleet spec, e.g. "big:2,little:2" (empty =
+     *  homogeneous default; overrides the per-case machine counts). */
+    std::string class_mix;
 };
 
 const char *
@@ -118,7 +122,11 @@ parseFleetOptions(int argc, char **argv)
                      "  fleet       scale mode: N machines serving "
                      "synthetic microsim tenants\n"
                      "  peak-rate   Poisson peak arrivals per epoch "
-                     "(default 12, or 1000 with --fleet)\n",
+                     "(default 12, or 1000 with --fleet)\n"
+                     "  class-mix   heterogeneous fleet from the "
+                     "big.LITTLE catalog, e.g. big:2,little:2\n"
+                     "              (overrides the machine counts; "
+                     "absent = homogeneous default)\n",
                      argv[0]);
         std::exit(2);
     };
@@ -160,6 +168,8 @@ parseFleetOptions(int argc, char **argv)
             options.fleet = parseCount(arg + 8);
         } else if (std::strncmp(arg, "--peak-rate=", 12) == 0) {
             options.peak_rate = parseCount(arg + 12);
+        } else if (std::strncmp(arg, "--class-mix=", 12) == 0) {
+            options.class_mix = arg + 12;
         } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
             options.threads = parseCount(argv[++i]);
         } else {
@@ -279,6 +289,8 @@ runScaleFleet(const FleetBenchOptions &options)
         probe.powerModel().peakWatts();
     server_options.arbiter.policy = fleet::ArbiterPolicy::QosFeedback;
     applyEngine(server_options, options);
+    if (!applyClassMix(server_options, options.class_mix))
+        return 2;
 
     fleet::Server server(app, cal.ident.table, model, server_options);
     const auto report = timedServe(server, arrivals, "scale", options);
@@ -366,6 +378,8 @@ main(int argc, char **argv)
             server_options.placement =
                 fleet::makePowerAwarePlacement();
         applyEngine(server_options, options);
+        if (!applyClassMix(server_options, options.class_mix))
+            return 2;
         fleet::Server server(app, cal.ident.table, model,
                              server_options);
         reports.push_back(

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "class_mix.h"
 #include "fleet/server.h"
 #include "microsim_app.h"
 #include "workload/traffic_mix.h"
@@ -49,6 +50,9 @@ struct SloBenchOptions
 {
     std::size_t steps = 48;  //!< Traffic-schedule length, epochs.
     std::size_t threads = 0; //!< Tenant-session workers (0 = all).
+    /** Heterogeneous fleet spec, e.g. "big:1,little:2" (empty =
+     *  the homogeneous two-single-core-machine default). */
+    std::string class_mix;
 };
 
 SloBenchOptions
@@ -57,10 +61,15 @@ parseSloOptions(int argc, char **argv)
     SloBenchOptions options;
     const auto usage = [argv]() {
         std::fprintf(stderr,
-                     "usage: %s [--steps=N] [--threads=N | -t N]\n"
-                     "  steps    traffic-schedule epochs (default 48)\n"
-                     "  threads  tenant-session workers "
-                     "(0 = all hardware contexts, 1 = serial)\n",
+                     "usage: %s [--steps=N] [--threads=N | -t N] "
+                     "[--class-mix=SPEC]\n"
+                     "  steps      traffic-schedule epochs "
+                     "(default 48)\n"
+                     "  threads    tenant-session workers "
+                     "(0 = all hardware contexts, 1 = serial)\n"
+                     "  class-mix  heterogeneous fleet from the "
+                     "big.LITTLE catalog, e.g. big:1,little:2\n"
+                     "             (absent = homogeneous default)\n",
                      argv[0]);
         std::exit(2);
     };
@@ -81,6 +90,8 @@ parseSloOptions(int argc, char **argv)
             options.threads = parseCount(arg + 10);
         } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
             options.threads = parseCount(argv[++i]);
+        } else if (std::strncmp(arg, "--class-mix=", 12) == 0) {
+            options.class_mix = arg + 12;
         } else {
             usage();
         }
@@ -247,6 +258,9 @@ main(int argc, char **argv)
                 server_options.queue_depth = 12;
                 server_options.admission = admission.factory;
                 server_options.engine = engine.mode;
+                if (!applyClassMix(server_options,
+                                   options.class_mix))
+                    return 2;
 
                 std::string label = std::string(shape.label) + " / " +
                     engine.label + " / " + admission.label;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The --class-mix flag shared by the fleet benches.
+ *
+ * A spec like "big:2,little:2" provisions the serve's fleet from the
+ * built-in big.LITTLE machine catalog instead of N copies of the
+ * default machine: class names resolve against
+ * sim::MachineCatalog::bigLittle(), counts accumulate per class, and
+ * the resulting (catalog, class_mix) pair replaces the homogeneous
+ * machines/machine options. An absent (empty) spec leaves the options
+ * untouched, so every pre-heterogeneity golden stays byte-identical.
+ */
+#ifndef POWERDIAL_BENCH_CLASS_MIX_H
+#define POWERDIAL_BENCH_CLASS_MIX_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fleet/server.h"
+#include "sim/machine_catalog.h"
+
+namespace powerdial::bench {
+
+/**
+ * Apply @p spec ("name:count[,name:count...]") to @p options; an empty
+ * spec is a no-op. Returns false after printing a diagnostic when the
+ * spec is malformed, names an unknown class, or provisions nothing.
+ */
+inline bool
+applyClassMix(fleet::ServerOptions &options, const std::string &spec)
+{
+    if (spec.empty())
+        return true;
+    const sim::MachineCatalog catalog =
+        sim::MachineCatalog::bigLittle();
+    std::vector<std::size_t> mix(catalog.size(), 0);
+    std::size_t total = 0;
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(pos, comma - pos);
+        const std::size_t colon = entry.find(':');
+        if (colon == 0 || colon == std::string::npos ||
+            colon + 1 == entry.size()) {
+            std::fprintf(stderr,
+                         "--class-mix: malformed entry '%s' "
+                         "(expected name:count)\n",
+                         entry.c_str());
+            return false;
+        }
+        const std::string name = entry.substr(0, colon);
+        const std::string count_text = entry.substr(colon + 1);
+        for (const char c : count_text)
+            if (c < '0' || c > '9') {
+                std::fprintf(stderr,
+                             "--class-mix: bad count in '%s'\n",
+                             entry.c_str());
+                return false;
+            }
+        std::size_t index = 0;
+        try {
+            index = catalog.indexOf(name);
+        } catch (const std::invalid_argument &) {
+            std::fprintf(stderr,
+                         "--class-mix: unknown class '%s' (catalog: "
+                         "big, little)\n",
+                         name.c_str());
+            return false;
+        }
+        const auto count = static_cast<std::size_t>(
+            std::strtoul(count_text.c_str(), nullptr, 10));
+        mix[index] += count;
+        total += count;
+        pos = comma + 1;
+    }
+    if (total == 0) {
+        std::fprintf(stderr,
+                     "--class-mix: must provision at least one "
+                     "machine\n");
+        return false;
+    }
+    options.catalog = catalog;
+    options.class_mix = mix;
+    return true;
+}
+
+} // namespace powerdial::bench
+
+#endif // POWERDIAL_BENCH_CLASS_MIX_H

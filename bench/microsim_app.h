@@ -24,7 +24,18 @@ namespace powerdial::bench {
 class MicrosimApp final : public core::App
 {
   public:
-    MicrosimApp() : space_({{"k", {1.0, 2.0, 4.0}}}) {}
+    /**
+     * @param k_values Ascending knob values; speedup is exactly k and
+     *        QoS loss exactly 1% per unit of k - 1. The default matches
+     *        the historical fixed knob (bench goldens depend on it);
+     *        bench_hetero narrows the range so the knob cannot fully
+     *        absorb a little-class speed deficit.
+     */
+    explicit MicrosimApp(std::vector<double> k_values = {1.0, 2.0,
+                                                         4.0})
+        : space_({{"k", std::move(k_values)}})
+    {
+    }
 
     std::string name() const override { return "microsim"; }
 

@@ -1,0 +1,233 @@
+#include "apps/spmv/spmv_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/corpus.h"
+#include "workload/rng.h"
+
+namespace powerdial::apps::spmv {
+namespace {
+
+core::KnobSpace
+makeSpace(const SpmvConfig &config)
+{
+    return core::KnobSpace({{"bits", config.bits_values},
+                            {"keep", config.keep_values}});
+}
+
+/**
+ * Cycles per multiply-accumulate, per precision bit: the wider the
+ * arithmetic, the more cycles each retained nonzero costs, so run time
+ * is monotone along both knobs (fewer nonzeros, or cheaper ones).
+ */
+constexpr double kCyclesPerMacBit = 150.0;
+
+/** Round @p v to @p bits of precision; 64 is exact, 32 is IEEE
+ *  single, narrower widths snap to a fixed-point grid. */
+double
+quantize(double v, int bits)
+{
+    if (bits >= 64)
+        return v;
+    if (bits == 32)
+        return static_cast<double>(static_cast<float>(v));
+    const double scale = std::ldexp(1.0, bits - 1);
+    return std::round(v * scale) / scale;
+}
+
+} // namespace
+
+SpmvApp::SpmvApp(const SpmvConfig &config)
+    : config_(config), space_(makeSpace(config))
+{
+    if (config_.rows == 0 || config_.band == 0)
+        throw std::invalid_argument("SpmvApp: empty matrix");
+    if (config_.fill <= 0.0 || config_.fill > 1.0)
+        throw std::invalid_argument("SpmvApp: fill must be in (0, 1]");
+    if (config_.inputs == 0)
+        throw std::invalid_argument("SpmvApp: need at least one input");
+    if (config_.blocks == 0 || config_.blocks > config_.rows)
+        throw std::invalid_argument(
+            "SpmvApp: blocks must be in [1, rows]");
+
+    // Banded sparsity with the diagonal always present, positive
+    // values bounded away from zero so block sums (and thus the QoS
+    // denominators) stay well conditioned.
+    workload::Rng rng(config_.seed);
+    matrix_.resize(config_.rows);
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+        SpmvRow &row = matrix_[r];
+        const std::size_t lo = r >= config_.band ? r - config_.band : 0;
+        const std::size_t hi =
+            std::min(config_.rows - 1, r + config_.band);
+        for (std::size_t c = lo; c <= hi; ++c) {
+            if (c != r && rng.uniform() >= config_.fill)
+                continue;
+            row.cols.push_back(c);
+            row.values.push_back(0.1 + 0.9 * rng.uniform());
+        }
+        row.by_magnitude.resize(row.values.size());
+        for (std::size_t i = 0; i < row.values.size(); ++i)
+            row.by_magnitude[i] = i;
+        std::sort(row.by_magnitude.begin(), row.by_magnitude.end(),
+                  [&row](std::size_t a, std::size_t b) {
+                      const double ma = std::abs(row.values[a]);
+                      const double mb = std::abs(row.values[b]);
+                      if (ma != mb)
+                          return ma > mb;
+                      return a < b;
+                  });
+    }
+
+    vectors_.reserve(config_.inputs);
+    for (std::size_t i = 0; i < config_.inputs; ++i) {
+        workload::Rng vrng(config_.seed + 0x51AB + i * 0x9E37ULL);
+        std::vector<double> x(config_.rows);
+        for (double &v : x)
+            v = 0.1 + 0.9 * vrng.uniform();
+        vectors_.push_back(std::move(x));
+    }
+    result_.assign(config_.rows, 0.0);
+}
+
+std::unique_ptr<core::App>
+SpmvApp::clone() const
+{
+    // Every member is value-semantic (the CSR rows, the input
+    // vectors, the control variables), so the implicit copy is a full
+    // deep copy.
+    return std::make_unique<SpmvApp>(*this);
+}
+
+std::size_t
+SpmvApp::defaultCombination() const
+{
+    // Full fp64 precision over every nonzero — the exact kernel.
+    return space_.findCombination(
+        {config_.bits_values.back(), config_.keep_values.back()});
+}
+
+void
+SpmvApp::configure(const std::vector<double> &params)
+{
+    if (params.size() != 2)
+        throw std::invalid_argument("SpmvApp: expected 2 parameters");
+    bits_ = static_cast<int>(params[0]);
+    keep_ = params[1];
+}
+
+void
+SpmvApp::traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params)
+{
+    using influence::Value;
+    const Value<double> bits(params.at(0), influence::paramBit(0));
+    const Value<double> keep(params.at(1), influence::paramBit(1));
+
+    // Init phase: control variables derived from the parameters.
+    trace.store("mac_bits", bits * Value<double>(1.0),
+                "spmv_app.cc:configure");
+    trace.store("keep_frac", keep * Value<double>(1.0),
+                "spmv_app.cc:configure");
+    // Untainted init variable (the matrix geometry): must be excluded.
+    trace.store("row_count",
+                Value<double>(static_cast<double>(config_.rows)),
+                "spmv_app.cc:configure");
+
+    // Main loop: every row's multiply-accumulate reads both knobs.
+    trace.firstHeartbeat();
+    trace.read("mac_bits", "spmv_app.cc:processUnit");
+    trace.read("keep_frac", "spmv_app.cc:processUnit");
+    trace.read("row_count", "spmv_app.cc:processUnit");
+}
+
+void
+SpmvApp::bindControlVariables(core::KnobTable &table)
+{
+    table.bind({"mac_bits", [this](const std::vector<double> &v) {
+                    bits_ = static_cast<int>(v.at(0));
+                }});
+    table.bind({"keep_frac", [this](const std::vector<double> &v) {
+                    keep_ = v.at(0);
+                }});
+}
+
+std::size_t
+SpmvApp::inputCount() const
+{
+    return vectors_.size();
+}
+
+std::vector<std::size_t>
+SpmvApp::trainingInputs() const
+{
+    return workload::splitInputs(vectors_.size(), config_.seed ^ 0x7e57)
+        .training;
+}
+
+std::vector<std::size_t>
+SpmvApp::productionInputs() const
+{
+    return workload::splitInputs(vectors_.size(), config_.seed ^ 0x7e57)
+        .production;
+}
+
+void
+SpmvApp::loadInput(std::size_t index)
+{
+    if (index >= vectors_.size())
+        throw std::out_of_range("SpmvApp: bad input index");
+    current_input_ = index;
+    result_.assign(config_.rows, 0.0);
+}
+
+std::size_t
+SpmvApp::unitCount() const
+{
+    return matrix_.size();
+}
+
+std::size_t
+SpmvApp::keptOf(std::size_t row) const
+{
+    const std::size_t nnz = matrix_[row].values.size();
+    const auto kept = static_cast<std::size_t>(
+        std::ceil(keep_ * static_cast<double>(nnz)));
+    return std::min(std::max<std::size_t>(kept, 1), nnz);
+}
+
+void
+SpmvApp::processUnit(std::size_t unit, sim::Machine &machine)
+{
+    const SpmvRow &row = matrix_.at(unit);
+    const std::vector<double> &x = vectors_[current_input_];
+    const std::size_t kept = keptOf(unit);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kept; ++i) {
+        const std::size_t e = row.by_magnitude[i];
+        acc += quantize(row.values[e], bits_) *
+            quantize(x[row.cols[e]], bits_);
+    }
+    result_[unit] = acc;
+    machine.execute(static_cast<double>(kept) * kCyclesPerMacBit *
+                    static_cast<double>(bits_));
+}
+
+qos::OutputAbstraction
+SpmvApp::output() const
+{
+    // Block sums of the result vector: coarse enough to be a stable
+    // abstraction, fine enough that dropped or misrounded nonzeros in
+    // any region of the matrix show up as distortion.
+    qos::OutputAbstraction out;
+    out.components.assign(config_.blocks, 0.0);
+    out.weights.assign(config_.blocks, 1.0);
+    for (std::size_t r = 0; r < result_.size(); ++r)
+        out.components[r * config_.blocks / result_.size()] +=
+            result_[r];
+    return out;
+}
+
+} // namespace powerdial::apps::spmv

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sparse matrix-vector multiply as a PowerDial application — the fifth
+ * app domain (scientific kernels) through the knob pipeline.
+ *
+ * The kernel computes y = A x over a synthetic banded sparse matrix,
+ * one row per main-loop unit. Knobs: `bits` (arithmetic precision of
+ * the multiply-accumulate: 8/16-bit quantised, fp32, fp64) and `keep`
+ * (nonzero compression: the fraction of each row's entries retained,
+ * smallest magnitudes dropped first). Full precision over all nonzeros
+ * — {64, 1.0} — is the baseline; either knob trades result fidelity
+ * for proportionally fewer or cheaper multiply-accumulates. The QoS
+ * metric is the distortion of block sums of the result vector.
+ */
+#ifndef POWERDIAL_APPS_SPMV_APP_H
+#define POWERDIAL_APPS_SPMV_APP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app.h"
+
+namespace powerdial::apps::spmv {
+
+/** Benchmark sizing. */
+struct SpmvConfig
+{
+    /** Precision of the multiply-accumulate, ascending cost. */
+    std::vector<double> bits_values = {8, 16, 32, 64};
+    /** Fraction of each row's nonzeros retained, ascending cost. */
+    std::vector<double> keep_values = {0.25, 0.5, 0.75, 1.0};
+    std::size_t rows = 96;       //!< Square matrix dimension.
+    std::size_t band = 24;       //!< Half-bandwidth of the sparsity.
+    double fill = 0.5;           //!< Nonzero density inside the band.
+    std::size_t inputs = 8;      //!< Dense input vectors to synthesise.
+    std::size_t blocks = 4;      //!< Output-abstraction block sums.
+    std::uint64_t seed = 0x5937C001;
+};
+
+/** One CSR row: column indices and values, plus the magnitude order
+ *  the keep knob truncates along. */
+struct SpmvRow
+{
+    std::vector<std::size_t> cols;
+    std::vector<double> values;
+    /** Entry positions ordered by |value| descending (index ascending
+     *  on ties) — the first ceil(keep * nnz) survive compression. */
+    std::vector<std::size_t> by_magnitude;
+};
+
+/** PowerDial App implementation for the SpMV kernel. */
+class SpmvApp final : public core::App
+{
+  public:
+    explicit SpmvApp(const SpmvConfig &config = {});
+
+    std::string name() const override { return "spmv"; }
+    std::unique_ptr<core::App> clone() const override;
+    const core::KnobSpace &knobSpace() const override { return space_; }
+    std::size_t defaultCombination() const override;
+    void configure(const std::vector<double> &params) override;
+    void traceRun(influence::TraceRun &trace,
+                  const std::vector<double> &params) override;
+    void bindControlVariables(core::KnobTable &table) override;
+    std::size_t inputCount() const override;
+    std::vector<std::size_t> trainingInputs() const override;
+    std::vector<std::size_t> productionInputs() const override;
+    void loadInput(std::size_t index) override;
+    std::size_t unitCount() const override;
+    void processUnit(std::size_t unit, sim::Machine &machine) override;
+    qos::OutputAbstraction output() const override;
+
+    /** Current precision (control variable; for tests). */
+    int bits() const { return bits_; }
+    /** Current retained-nonzero fraction (control variable). */
+    double keepFraction() const { return keep_; }
+
+  private:
+    /** Nonzeros of row @p row that survive the current keep knob. */
+    std::size_t keptOf(std::size_t row) const;
+
+    SpmvConfig config_;
+    core::KnobSpace space_;
+    std::vector<SpmvRow> matrix_;            //!< One entry per row.
+    std::vector<std::vector<double>> vectors_; //!< Input vectors.
+
+    // Control variables, derived from {bits, keep} at init.
+    int bits_ = 64;
+    double keep_ = 1.0;
+
+    // Per-run state.
+    std::size_t current_input_ = 0;
+    std::vector<double> result_;
+};
+
+} // namespace powerdial::apps::spmv
+
+#endif // POWERDIAL_APPS_SPMV_APP_H

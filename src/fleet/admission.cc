@@ -128,10 +128,15 @@ class PredictiveAdmission final : public AdmissionPolicy
     /**
      * Predicted completion latency of one more job on @p machine: the
      * calibrated baseline stretched by the slowdown the job would run
-     * under — core share after placement, the DVFS cap's frequency
-     * ratio, and the lease's duty-cycle pause — minus whatever the
-     * controller can win back by trading QoS (capped by the response
-     * model's largest Pareto speedup).
+     * under — core share after placement (against the machine's own
+     * class core count), the machine's effective-speed deficit versus
+     * the fleet's reference class (which folds in both the DVFS cap
+     * and a sub-1.0 class speed factor), and the lease's duty-cycle
+     * pause — minus whatever the controller can win back by trading
+     * QoS (capped by the response model's largest Pareto speedup). On
+     * a homogeneous fleet the reference speed is the machine's own
+     * P-state-0 frequency times 1.0, so this prices exactly as it did
+     * before machine classes existed, bit for bit.
      */
     double
     predictLatency(const AdmissionContext &context,
@@ -141,13 +146,14 @@ class PredictiveAdmission final : public AdmissionPolicy
             return 0.0;
         const sim::Machine &m = context.cluster.machine(machine);
         const auto load = context.cluster.loadOf(
-            context.cluster.activeOn(machine) + 1);
+            machine, context.cluster.activeOn(machine) + 1);
         double pause = 0.0;
         if (context.decision != nullptr &&
             machine < context.decision->pause_ratio.size())
             pause = context.decision->pause_ratio[machine];
         const double slowdown = (1.0 / load.per_instance_share) *
-            (m.scale().frequencyHz(0) / m.frequencyHz()) *
+            (context.cluster.referenceEffectiveHz() /
+             (m.frequencyHz() * m.speedFactor())) *
             (1.0 + pause);
         const double catchup = std::min(
             slowdown, std::max(context.model->maxSpeedup(), 1.0));

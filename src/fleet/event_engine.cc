@@ -56,14 +56,14 @@ class EventServe
                    &offers)
         : app_(app), table_(table), model_(model), options_(options),
           offers_(offers),
-          cluster_(options.machines, options.machine),
+          cluster_(detail::makeCluster(options)),
           scheduler_(cluster_,
                      SchedulerOptions{options.placement,
                                       options.queue_depth,
                                       options.admission, &model}),
           arbiter_(options.arbiter), engine_(options.threads),
           hub_(engine_.workers()),
-          qos_feedback_(options.machines, 0.0)
+          qos_feedback_(cluster_.size(), 0.0)
     {
         epoch_s_ = options_.epoch_seconds > 0.0
             ? options_.epoch_seconds
@@ -95,7 +95,7 @@ class EventServe
         report_.total_jobs = next_job_;
         report_.shed_by_machine = scheduler_.shedByMachine();
         report_.shed_by_class = scheduler_.shedByClass();
-        detail::finalizeReport(report_, hub_.drain());
+        detail::finalizeReport(report_, hub_.drain(), cluster_);
         return std::move(report_);
     }
 
@@ -185,8 +185,8 @@ class EventServe
     void
     sampleCompat()
     {
-        std::vector<double> machine_qos(options_.machines, 0.0);
-        std::vector<std::size_t> machine_jobs(options_.machines, 0);
+        std::vector<double> machine_qos(cluster_.size(), 0.0);
+        std::vector<std::size_t> machine_jobs(cluster_.size(), 0);
         double qos_sum = 0.0;
         std::size_t finished = 0;
         for (const auto &tenant : active_) {
@@ -203,7 +203,7 @@ class EventServe
                 ++finished;
             }
         }
-        for (std::size_t m = 0; m < options_.machines; ++m)
+        for (std::size_t m = 0; m < cluster_.size(); ++m)
             if (machine_jobs[m] > 0)
                 qos_feedback_[m] = machine_qos[m] /
                     static_cast<double>(machine_jobs[m]);
@@ -313,8 +313,8 @@ class EventServe
     void
     processCompletions()
     {
-        std::vector<double> machine_qos(options_.machines, 0.0);
-        std::vector<std::size_t> machine_jobs(options_.machines, 0);
+        std::vector<double> machine_qos(cluster_.size(), 0.0);
+        std::vector<std::size_t> machine_jobs(cluster_.size(), 0);
         std::size_t kept = 0;
         for (auto &tenant : active_) {
             if (tenant->done) {
@@ -336,7 +336,7 @@ class EventServe
         if (kept == active_.size())
             return;
         active_.resize(kept);
-        for (std::size_t m = 0; m < options_.machines; ++m)
+        for (std::size_t m = 0; m < cluster_.size(); ++m)
             if (machine_jobs[m] > 0)
                 qos_feedback_[m] = machine_qos[m] /
                     static_cast<double>(machine_jobs[m]);
@@ -483,9 +483,10 @@ class EventServe
             app_, table_, placements.size());
         for (std::size_t i = 0; i < placements.size(); ++i) {
             active_.push_back(detail::makeTenant(
-                options_, model_, hub_, next_job_,
-                placements[i].first.machine, e, *placements[i].second,
-                placements[i].first.predicted_s,
+                options_, model_, hub_,
+                cluster_.configOf(placements[i].first.machine),
+                next_job_, placements[i].first.machine, e,
+                *placements[i].second, placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job_;
         }
@@ -497,8 +498,9 @@ class EventServe
     writeLease(Tenant &tenant, std::size_t generation,
                std::size_t epoch, const ArbitrationDecision &decision)
     {
-        const auto load =
-            cluster_.loadOf(cluster_.activeOn(tenant.machine_index));
+        const auto load = cluster_.loadOf(
+            tenant.machine_index,
+            cluster_.activeOn(tenant.machine_index));
         tenant.lease.generation = generation;
         tenant.lease.epoch = epoch;
         tenant.lease.share = load.per_instance_share;

@@ -131,4 +131,15 @@ percentileOf(const std::vector<double> &sorted, double p)
     return sorted[std::min(index, sorted.size() - 1)];
 }
 
+LatencyPercentiles
+latencyPercentiles(std::vector<double> &values)
+{
+    std::sort(values.begin(), values.end());
+    LatencyPercentiles out;
+    out.p50 = percentileOf(values, 50.0);
+    out.p95 = percentileOf(values, 95.0);
+    out.p99 = percentileOf(values, 99.0);
+    return out;
+}
+
 } // namespace powerdial::fleet

@@ -155,6 +155,22 @@ class MetricsHub : public core::RunObserver
  */
 double percentileOf(const std::vector<double> &sorted, double p);
 
+/** The standard latency summary every report row carries. */
+struct LatencyPercentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Sort @p values in place and take the p50/p95/p99 nearest-rank
+ * percentiles — the one aggregation the per-machine, per-tenant, and
+ * per-class report paths all share, kept here so their tails can
+ * never drift apart numerically.
+ */
+LatencyPercentiles latencyPercentiles(std::vector<double> &values);
+
 } // namespace powerdial::fleet
 
 #endif // POWERDIAL_FLEET_METRICS_HUB_H

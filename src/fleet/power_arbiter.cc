@@ -59,6 +59,8 @@ PowerArbiter::splitBudget(const sim::Cluster &cluster,
     std::vector<double> budgets(n, cap / static_cast<double>(n));
     if (options_.policy == ArbiterPolicy::Uniform)
         return budgets;
+    if (cluster.heterogeneous())
+        return splitBudgetHeterogeneous(cluster, qos_loss);
 
     // Both informed policies start from an idle floor for every
     // machine (idle machines are powered on, not off) and split the
@@ -109,6 +111,73 @@ PowerArbiter::splitBudget(const sim::Cluster &cluster,
     return budgets;
 }
 
+std::vector<double>
+PowerArbiter::splitBudgetHeterogeneous(
+    const sim::Cluster &cluster,
+    const std::vector<double> &qos_loss) const
+{
+    // The mixed-fleet generalisation of the informed split above: the
+    // idle floor and the weight are per-class. Every machine gets its
+    // own class's idle draw as a floor; the remaining headroom is
+    // split by active instances scaled by the class's dynamic range
+    // (peak - idle), so one active instance on a big machine commands
+    // more of the cap than one on a low-power node — proportional to
+    // the watts that instance can actually turn into speed. Kept as a
+    // separate function (not a parameterised merge) so homogeneous
+    // fleets keep the legacy arithmetic and its exact rounding.
+    const std::size_t n = cluster.size();
+    const double cap = options_.cluster_cap_watts;
+    std::vector<double> budgets(n, cap / static_cast<double>(n));
+
+    std::vector<double> floors(n, 0.0);
+    double floor_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        floors[i] = cluster.machine(i).powerModel().idleWatts();
+        floor_sum += floors[i];
+    }
+    const double headroom = cap - floor_sum;
+    if (headroom <= 0.0)
+        return budgets;
+
+    std::vector<double> weights(n, 0.0);
+    double weight_sum = 0.0;
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i)
+        any_active = any_active || cluster.activeOn(i) > 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double range =
+            cluster.machine(i).powerModel().peakWatts() - floors[i];
+        weights[i] = any_active
+            ? static_cast<double>(cluster.activeOn(i)) * range
+            : range;
+        weight_sum += weights[i];
+    }
+    if (weight_sum <= 0.0)
+        return budgets;
+
+    if (options_.policy == ArbiterPolicy::QosFeedback &&
+        qos_loss.size() == n) {
+        double mean = 0.0;
+        for (const double q : qos_loss)
+            mean += q;
+        mean /= static_cast<double>(n);
+        if (mean > 0.0) {
+            weight_sum = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double error = (qos_loss[i] - mean) / mean;
+                const double scale = std::clamp(
+                    1.0 + options_.feedback_gain * error, 0.1, 10.0);
+                weights[i] *= scale;
+                weight_sum += weights[i];
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        budgets[i] = floors[i] + headroom * weights[i] / weight_sum;
+    return budgets;
+}
+
 ArbitrationDecision
 PowerArbiter::arbitrate(sim::Cluster &cluster,
                         const std::vector<double> &qos_loss)
@@ -134,7 +203,7 @@ PowerArbiter::arbitrate(sim::Cluster &cluster,
         sim::Machine &machine = cluster.machine(i);
         const double budget = decision.budget_watts[i];
         const double util =
-            cluster.loadOf(cluster.activeOn(i)).utilization;
+            cluster.loadOf(i, cluster.activeOn(i)).utilization;
         const std::size_t cap = pstateCapFor(machine, budget, util);
         machine.setPStateCap(cap);
         machine.setPState(cap); // Run as fast as the cap allows.

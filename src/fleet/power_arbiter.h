@@ -112,6 +112,16 @@ class PowerArbiter
                                     const std::vector<double> &qos_loss)
         const;
 
+    /**
+     * The informed split for mixed fleets: per-class idle floors, and
+     * headroom weighted by active instances times the class's dynamic
+     * power range (peak - idle). Homogeneous fleets never reach this
+     * path, so the legacy split's exact rounding is preserved.
+     */
+    std::vector<double>
+    splitBudgetHeterogeneous(const sim::Cluster &cluster,
+                             const std::vector<double> &qos_loss) const;
+
     ArbiterOptions options_;
 };
 

@@ -1,7 +1,10 @@
 #include "fleet/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "core/response_model.h"
 
 namespace powerdial::fleet {
 
@@ -71,11 +74,93 @@ class PowerAwarePolicy final : public PlacementPolicy
         const auto &model = m.powerModel();
         const std::size_t active = cluster.activeOn(i);
         const double before =
-            model.watts(freq, cluster.loadOf(active).utilization);
+            model.watts(freq, cluster.loadOf(i, active).utilization);
         const double after =
-            model.watts(freq, cluster.loadOf(active + 1).utilization);
+            model.watts(freq, cluster.loadOf(i, active + 1).utilization);
         return after - before;
     }
+};
+
+class AffinityAwarePolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "affinity-aware"; }
+
+    void bindModel(const core::ResponseModel *model) override
+    {
+        model_ = model;
+    }
+
+    std::size_t
+    pick(const sim::Cluster &cluster) const override
+    {
+        std::size_t best = 0;
+        double best_cost = predictedCost(cluster, 0);
+        for (std::size_t i = 1; i < cluster.size(); ++i) {
+            const double cost = predictedCost(cluster, i);
+            if (better(cluster, i, cost, best, best_cost)) {
+                best = i;
+                best_cost = cost;
+            }
+        }
+        return best;
+    }
+
+    std::size_t
+    pickAmong(const sim::Cluster &cluster,
+              const std::vector<std::size_t> &candidates) const override
+    {
+        std::size_t best = candidates.front();
+        double best_cost = predictedCost(cluster, best);
+        for (std::size_t i = 1; i < candidates.size(); ++i) {
+            const std::size_t c = candidates[i];
+            const double cost = predictedCost(cluster, c);
+            if (better(cluster, c, cost, best, best_cost)) {
+                best = c;
+                best_cost = cost;
+            }
+        }
+        return best;
+    }
+
+  private:
+    /**
+     * Relative completion-cost of hosting the next job on machine
+     * @p i: occupancy slowdown (the inverse per-instance share it
+     * would get there, against that machine's own core count) times
+     * the class speed deficit (fleet reference effective Hz over the
+     * machine's current effective Hz, which folds in both a slower
+     * clock or arbiter cap and a sub-1.0 speed factor), discounted by
+     * the knob catch-up the calibrated model could actuate. On a
+     * homogeneous uncapped fleet every machine at equal load prices
+     * identically, so the tie-breaks below carry the whole decision.
+     */
+    double
+    predictedCost(const sim::Cluster &cluster, std::size_t i) const
+    {
+        const sim::Machine &m = cluster.machine(i);
+        const auto load = cluster.loadOf(i, cluster.activeOn(i) + 1);
+        const double slowdown = (1.0 / load.per_instance_share) *
+            (cluster.referenceEffectiveHz() /
+             (m.frequencyHz() * m.speedFactor()));
+        const double catchup = model_ == nullptr
+            ? 1.0
+            : std::min(slowdown, std::max(model_->maxSpeedup(), 1.0));
+        return slowdown / catchup;
+    }
+
+    /** Lexicographic (cost, active instances, index) comparison — the
+     *  last two make the homogeneous ranking exactly least-loaded. */
+    static bool
+    better(const sim::Cluster &cluster, std::size_t i, double cost,
+           std::size_t best, double best_cost)
+    {
+        if (cost != best_cost)
+            return cost < best_cost;
+        return cluster.activeOn(i) < cluster.activeOn(best);
+    }
+
+    const core::ResponseModel *model_ = nullptr;
 };
 
 } // namespace
@@ -104,6 +189,12 @@ makePowerAwarePlacement()
     return []() { return std::make_unique<PowerAwarePolicy>(); };
 }
 
+PlacementFactory
+makeAffinityAwarePlacement()
+{
+    return []() { return std::make_unique<AffinityAwarePolicy>(); };
+}
+
 Scheduler::Scheduler(sim::Cluster &cluster, PlacementFactory policy)
     : Scheduler(cluster, SchedulerOptions{std::move(policy), 0,
                                           nullptr, nullptr})
@@ -124,6 +215,7 @@ Scheduler::Scheduler(sim::Cluster &cluster, SchedulerOptions options)
     if (admission_ == nullptr)
         throw std::invalid_argument(
             "Scheduler: admission factory returned null");
+    policy_->bindModel(options_.model);
 }
 
 AdmissionVerdict

@@ -65,6 +65,17 @@ class PlacementPolicy
     virtual std::size_t
     pickAmong(const sim::Cluster &cluster,
               const std::vector<std::size_t> &candidates) const;
+
+    /**
+     * Hand the policy the scheduler's calibrated response model (may
+     * be null). Called once at scheduler construction, before any
+     * pick. Most policies ignore it; the affinity-aware policy uses
+     * its speedup range to price a candidate machine's class tables.
+     */
+    virtual void bindModel(const core::ResponseModel *model)
+    {
+        (void)model;
+    }
 };
 
 /** Mint a fresh placement policy per scheduler. */
@@ -86,6 +97,19 @@ PlacementFactory makeLeastLoadedPlacement();
  * marginal watt cost is low, trading per-job speed for fleet power.
  */
 PlacementFactory makePowerAwarePlacement();
+
+/**
+ * Class-aware placement for heterogeneous fleets: each candidate is
+ * priced by the slowdown a job would see there — occupancy (inverse
+ * per-instance share against the candidate's own core count) times the
+ * class speed deficit (fleet reference effective Hz over the machine's
+ * current effective Hz), discounted by the bound knob catch-up the
+ * scheduler's calibrated model can deliver. Smallest predicted cost
+ * wins; ties break to fewer active instances, then the lowest index —
+ * so on a homogeneous fleet the ranking degenerates to exactly
+ * least-loaded (every machine prices identically at equal load).
+ */
+PlacementFactory makeAffinityAwarePlacement();
 
 /** Admission-control parameters. */
 struct SchedulerOptions

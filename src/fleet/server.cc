@@ -19,8 +19,24 @@ Server::Server(const core::App &app, const core::KnobTable &table,
     : app_(&app), table_(&table), model_(&model),
       options_(std::move(options))
 {
-    if (options_.machines == 0)
-        throw std::invalid_argument("Server: need at least one machine");
+    if (options_.catalog.empty()) {
+        if (options_.machines == 0)
+            throw std::invalid_argument(
+                "Server: need at least one machine");
+        if (!options_.class_mix.empty())
+            throw std::invalid_argument(
+                "Server: class_mix needs a machine catalog");
+    } else {
+        if (options_.class_mix.size() != options_.catalog.size())
+            throw std::invalid_argument(
+                "Server: class_mix must be parallel to the catalog");
+        std::size_t provisioned = 0;
+        for (const std::size_t count : options_.class_mix)
+            provisioned += count;
+        if (provisioned == 0)
+            throw std::invalid_argument(
+                "Server: class_mix provisions no machines");
+    }
     if (options_.tenants.empty())
         options_.tenants = app.productionInputs();
     if (options_.tenants.empty())
@@ -60,7 +76,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
         return serveEventDriven(*app_, *table_, *model_, options_,
                                 offers);
 
-    sim::Cluster cluster(options_.machines, options_.machine);
+    sim::Cluster cluster = detail::makeCluster(options_);
     Scheduler scheduler(
         cluster, SchedulerOptions{options_.placement,
                                   options_.queue_depth,
@@ -79,7 +95,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
     core::FanoutEngine engine(options_.threads);
     MetricsHub hub(engine.workers());
 
-    std::vector<double> qos_feedback(options_.machines, 0.0);
+    std::vector<double> qos_feedback(cluster.size(), 0.0);
     std::vector<std::unique_ptr<Tenant>> active; // In job order.
 
     FleetReport report;
@@ -151,7 +167,8 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
             *app_, *table_, placements.size());
         for (std::size_t i = 0; i < placements.size(); ++i) {
             active.push_back(detail::makeTenant(
-                options_, *model_, hub, next_job,
+                options_, *model_, hub,
+                cluster.configOf(placements[i].first.machine), next_job,
                 placements[i].first.machine, e, *placements[i].second,
                 placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
@@ -173,6 +190,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
                 static_cast<double>(e) * epoch_s, generation, decision});
         for (auto &tenant : active) {
             const auto load = cluster.loadOf(
+                tenant->machine_index,
                 cluster.activeOn(tenant->machine_index));
             tenant->lease.generation = generation;
             tenant->lease.epoch = e;
@@ -194,8 +212,8 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
         // comes from jobs that finished this epoch; machines with no
         // finisher keep their last-known loss, so the signal persists
         // across idle gaps rather than flickering to zero.
-        std::vector<double> machine_qos(options_.machines, 0.0);
-        std::vector<std::size_t> machine_jobs(options_.machines, 0);
+        std::vector<double> machine_qos(cluster.size(), 0.0);
+        std::vector<std::size_t> machine_jobs(cluster.size(), 0);
         double qos_sum = 0.0;
         std::size_t finished = 0;
         for (const auto &tenant : active) {
@@ -215,7 +233,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
                 ++finished;
             }
         }
-        for (std::size_t m = 0; m < options_.machines; ++m)
+        for (std::size_t m = 0; m < cluster.size(); ++m)
             if (machine_jobs[m] > 0)
                 qos_feedback[m] = machine_qos[m] /
                     static_cast<double>(machine_jobs[m]);
@@ -245,7 +263,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
     report.total_jobs = next_job;
     report.shed_by_machine = scheduler.shedByMachine();
     report.shed_by_class = scheduler.shedByClass();
-    detail::finalizeReport(report, hub.drain());
+    detail::finalizeReport(report, hub.drain(), cluster);
     return report;
 }
 

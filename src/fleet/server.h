@@ -143,10 +143,23 @@ struct ArbitrationLease
 /** Fleet composition options. */
 struct ServerOptions
 {
-    /** Machines in the (possibly consolidated) cluster. */
+    /** Machines in the (possibly consolidated) cluster. Ignored when
+     *  a catalog is set — the class mix sizes the fleet instead. */
     std::size_t machines = 1;
-    /** Per-machine configuration (all identical). */
+    /** Per-machine configuration (all identical; ignored when a
+     *  catalog is set). */
     sim::Machine::Config machine{};
+    /**
+     * Heterogeneous fleet: when non-empty, the cluster is provisioned
+     * from this catalog and class_mix (class_mix[c] machines of
+     * catalog class c, class order) instead of `machines` copies of
+     * `machine`. Empty (default) keeps the homogeneous path — and its
+     * outputs — bit for bit.
+     */
+    sim::MachineCatalog catalog{};
+    /** Machines per catalog class; must be parallel to the catalog
+     *  (and provision >= 1 machine) when the catalog is set. */
+    std::vector<std::size_t> class_mix;
     /**
      * Worker threads for tenant sessions: 1 (default) serial, 0 all
      * hardware contexts, N > 1 exactly N. The report is bit-identical
@@ -216,6 +229,21 @@ struct TenantStats
     std::size_t jobs = 0;
     double mean_qos_loss = 0.0;
     double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+};
+
+/** Per-machine serving quality over a whole serve. */
+struct MachineStats
+{
+    std::size_t machine = 0;       //!< Machine index in the cluster.
+    std::size_t machine_class = 0; //!< Catalog class of the machine.
+    std::size_t jobs = 0;          //!< Jobs this machine hosted.
+    std::size_t shed = 0;          //!< Sheds charged to this machine.
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
 };
 
 /** Per-priority-class serving quality over a whole serve. */
@@ -246,6 +274,10 @@ struct FleetReport
     /** Per-class latency percentiles and shed counts, sorted by
      *  class. Covers every class seen in served or shed jobs. */
     std::vector<ClassStats> classes;
+    /** Per-machine latency percentiles, hosted-job and shed counts —
+     *  one row per cluster machine, in machine order, each tagged
+     *  with its catalog class. */
+    std::vector<MachineStats> machines;
     double mean_watts = 0.0;       //!< Mean of per-epoch cluster power.
     double mean_fleet_rate = 0.0;  //!< Mean of per-epoch heart rate.
     double mean_qos_loss = 0.0;    //!< Mean over all jobs.

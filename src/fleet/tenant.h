@@ -26,6 +26,19 @@
 namespace powerdial::fleet::detail {
 
 /**
+ * Provision the serve's cluster the way both engines must: from the
+ * catalog and class mix when a catalog is configured, else the legacy
+ * homogeneous fleet of `machines` copies of `machine`.
+ */
+inline sim::Cluster
+makeCluster(const ServerOptions &options)
+{
+    if (!options.catalog.empty())
+        return sim::Cluster(options.catalog, options.class_mix);
+    return sim::Cluster(options.machines, options.machine);
+}
+
+/**
  * One admitted job, persistent across epochs: its session, private
  * clone, simulated machine, and metrics probe live as long as the job
  * is in flight, and its lease is rewritten by the arbiter at every
@@ -70,17 +83,21 @@ struct Tenant
  * The lease re-read gate applies changed terms within one beat of an
  * arbiter rewrite and reports the applied generation to the metrics
  * probe. An offer with the kRoundRobinTenant sentinel resolves its
- * input by the legacy round-robin-on-job-id rule.
+ * input by the legacy round-robin-on-job-id rule. The tenant's private
+ * machine is built from @p host_config — the *class* configuration of
+ * the machine the job was placed on (cluster.configOf(machine_index)),
+ * so a job landing on a little node simulates little-node frequency,
+ * power, and speed tables, not the fleet default's.
  */
 inline std::unique_ptr<Tenant>
 makeTenant(const ServerOptions &options,
            const core::ResponseModel &model, MetricsHub &hub,
-           std::size_t job, std::size_t machine_index,
-           std::size_t arrival_epoch, const workload::OfferedJob &offer,
-           double predicted_s, std::unique_ptr<core::App> app,
-           core::KnobTable table)
+           const sim::Machine::Config &host_config, std::size_t job,
+           std::size_t machine_index, std::size_t arrival_epoch,
+           const workload::OfferedJob &offer, double predicted_s,
+           std::unique_ptr<core::App> app, core::KnobTable table)
 {
-    auto tenant = std::make_unique<Tenant>(options.machine);
+    auto tenant = std::make_unique<Tenant>(host_config);
     Tenant *t = tenant.get();
     t->job = job;
     t->input = offer.tenant == kRoundRobinTenant
@@ -126,11 +143,14 @@ makeTenant(const ServerOptions &options,
 /**
  * Fold the drained job records and accumulated epoch rows into the
  * report's aggregates: epoch means, overall QoS mean, latency
- * percentiles, and the per-tenant table (sorted by tenant id). Both
+ * percentiles, and the per-tenant / per-class / per-machine tables
+ * (sorted by id; machine rows cover the whole cluster). All four
+ * percentile paths go through the one latencyPercentiles helper. Both
  * engines call this with report.epochs / total counters already set.
  */
 inline void
-finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
+finalizeReport(FleetReport &report, std::vector<JobRecord> jobs,
+               const sim::Cluster &cluster)
 {
     report.jobs = std::move(jobs);
 
@@ -149,6 +169,8 @@ finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
     latencies.reserve(report.jobs.size());
     double qos_sum = 0.0;
     std::map<std::size_t, TenantStats> tenants;
+    std::map<std::size_t, std::vector<double>> tenant_latencies;
+    std::vector<std::vector<double>> machine_latencies(cluster.size());
     for (const JobRecord &job : report.jobs) {
         latencies.push_back(job.latency_s);
         qos_sum += job.qos_loss;
@@ -157,18 +179,26 @@ finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
         ++tenant.jobs;
         tenant.mean_qos_loss += job.qos_loss;
         tenant.mean_latency_s += job.latency_s;
+        tenant_latencies[job.tenant].push_back(job.latency_s);
+        if (job.machine < machine_latencies.size())
+            machine_latencies[job.machine].push_back(job.latency_s);
     }
     if (!report.jobs.empty())
         report.mean_qos_loss =
             qos_sum / static_cast<double>(report.jobs.size());
-    std::sort(latencies.begin(), latencies.end());
-    report.p50_latency_s = percentileOf(latencies, 50.0);
-    report.p95_latency_s = percentileOf(latencies, 95.0);
-    report.p99_latency_s = percentileOf(latencies, 99.0);
+    const LatencyPercentiles overall = latencyPercentiles(latencies);
+    report.p50_latency_s = overall.p50;
+    report.p95_latency_s = overall.p95;
+    report.p99_latency_s = overall.p99;
     for (auto &[id, tenant] : tenants) {
         const double job_count = static_cast<double>(tenant.jobs);
         tenant.mean_qos_loss /= job_count;
         tenant.mean_latency_s /= job_count;
+        const LatencyPercentiles tail =
+            latencyPercentiles(tenant_latencies[id]);
+        tenant.p50_latency_s = tail.p50;
+        tenant.p95_latency_s = tail.p95;
+        tenant.p99_latency_s = tail.p99;
         report.tenants.push_back(tenant);
     }
 
@@ -189,11 +219,30 @@ finalizeReport(FleetReport &report, std::vector<JobRecord> jobs)
         row.shed = c < report.shed_by_class.size()
             ? report.shed_by_class[c]
             : 0;
-        std::sort(values.begin(), values.end());
-        row.p50_latency_s = percentileOf(values, 50.0);
-        row.p95_latency_s = percentileOf(values, 95.0);
-        row.p99_latency_s = percentileOf(values, 99.0);
+        const LatencyPercentiles tail = latencyPercentiles(values);
+        row.p50_latency_s = tail.p50;
+        row.p95_latency_s = tail.p95;
+        row.p99_latency_s = tail.p99;
         report.classes.push_back(row);
+    }
+
+    // Per-machine scoreboard: one row per cluster machine (idle
+    // machines included, with zero counts), tagged with the catalog
+    // class heterogeneous-fleet reports group by.
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+        MachineStats row;
+        row.machine = i;
+        row.machine_class = cluster.classOf(i);
+        row.jobs = machine_latencies[i].size();
+        row.shed = i < report.shed_by_machine.size()
+            ? report.shed_by_machine[i]
+            : 0;
+        const LatencyPercentiles tail =
+            latencyPercentiles(machine_latencies[i]);
+        row.p50_latency_s = tail.p50;
+        row.p95_latency_s = tail.p95;
+        row.p99_latency_s = tail.p99;
+        report.machines.push_back(row);
     }
 }
 

@@ -6,13 +6,47 @@
 namespace powerdial::sim {
 
 Cluster::Cluster(std::size_t machines, const Machine::Config &config)
-    : config_(config), active_(machines, 0)
+    : catalog_(MachineCatalog::homogeneous(config)),
+      class_of_(machines, 0)
 {
     if (machines == 0)
         throw std::invalid_argument("Cluster: need at least one machine");
-    machines_.reserve(machines);
-    for (std::size_t i = 0; i < machines; ++i)
-        machines_.emplace_back(config);
+    provision();
+}
+
+Cluster::Cluster(const MachineCatalog &catalog,
+                 const std::vector<std::size_t> &class_mix)
+    : catalog_(catalog)
+{
+    if (catalog_.empty())
+        throw std::invalid_argument("Cluster: empty machine catalog");
+    if (class_mix.size() != catalog_.size())
+        throw std::invalid_argument(
+            "Cluster: class mix must be parallel to the catalog");
+    for (std::size_t c = 0; c < class_mix.size(); ++c)
+        for (std::size_t i = 0; i < class_mix[c]; ++i)
+            class_of_.push_back(c);
+    if (class_of_.empty())
+        throw std::invalid_argument("Cluster: need at least one machine");
+    provision();
+}
+
+void
+Cluster::provision()
+{
+    machines_.reserve(class_of_.size());
+    for (const std::size_t c : class_of_)
+        machines_.emplace_back(catalog_.at(c).config);
+    active_.assign(class_of_.size(), 0);
+    heterogeneous_ = false;
+    for (const std::size_t c : class_of_)
+        if (c != class_of_.front())
+            heterogeneous_ = true;
+    reference_effective_hz_ = 0.0;
+    for (const Machine &m : machines_)
+        reference_effective_hz_ =
+            std::max(reference_effective_hz_,
+                     m.scale().maxHz() * m.speedFactor());
 }
 
 void
@@ -50,8 +84,8 @@ Cluster::dynamicWatts() const
     double total = 0.0;
     for (std::size_t i = 0; i < machines_.size(); ++i) {
         const Machine &m = machines_[i];
-        total += m.powerModel().watts(m.frequencyHz(),
-                                      loadOf(active_[i]).utilization);
+        total += m.powerModel().watts(
+            m.frequencyHz(), loadOf(i, active_[i]).utilization);
     }
     return total;
 }
@@ -59,7 +93,10 @@ Cluster::dynamicWatts() const
 std::size_t
 Cluster::totalCores() const
 {
-    return machines_.size() * config_.cores;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < machines_.size(); ++i)
+        total += coresOf(i);
+    return total;
 }
 
 std::vector<std::size_t>
@@ -74,7 +111,7 @@ Cluster::balance(std::size_t instances) const
 }
 
 MachineLoad
-Cluster::loadOf(std::size_t instances) const
+Cluster::loadForCores(std::size_t cores, std::size_t instances)
 {
     MachineLoad load{};
     load.instances = instances;
@@ -84,12 +121,24 @@ Cluster::loadOf(std::size_t instances) const
         load.required_speedup = 1.0;
         return load;
     }
-    const double cores = static_cast<double>(config_.cores);
+    const double c = static_cast<double>(cores);
     const double m = static_cast<double>(instances);
-    load.utilization = std::min(1.0, m / cores);
-    load.per_instance_share = std::min(1.0, cores / m);
-    load.required_speedup = std::max(1.0, m / cores);
+    load.utilization = std::min(1.0, m / c);
+    load.per_instance_share = std::min(1.0, c / m);
+    load.required_speedup = std::max(1.0, m / c);
     return load;
+}
+
+MachineLoad
+Cluster::loadOf(std::size_t instances) const
+{
+    return loadForCores(catalog_.at(0).config.cores, instances);
+}
+
+MachineLoad
+Cluster::loadOf(std::size_t machine, std::size_t instances) const
+{
+    return loadForCores(coresOf(machine), instances);
 }
 
 double
@@ -98,11 +147,15 @@ Cluster::steadyStateWatts(const std::vector<std::size_t> &placement,
 {
     if (placement.size() != machines_.size())
         throw std::invalid_argument("Cluster: placement size mismatch");
-    const PowerModel &pm = machines_.front().powerModel();
-    const double freq = machines_.front().scale().frequencyHz(pstate);
     double total = 0.0;
-    for (std::size_t count : placement)
-        total += pm.watts(freq, loadOf(count).utilization);
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+        const Machine &m = machines_[i];
+        const std::size_t state =
+            std::min(pstate, m.scale().lowestState());
+        total += m.powerModel().watts(
+            m.scale().frequencyHz(state),
+            loadOf(i, placement[i]).utilization);
+    }
     return total;
 }
 
@@ -110,8 +163,8 @@ double
 Cluster::maxRequiredSpeedup(const std::vector<std::size_t> &placement) const
 {
     double worst = 1.0;
-    for (std::size_t count : placement)
-        worst = std::max(worst, loadOf(count).required_speedup);
+    for (std::size_t i = 0; i < placement.size(); ++i)
+        worst = std::max(worst, loadOf(i, placement[i]).required_speedup);
     return worst;
 }
 

@@ -8,6 +8,14 @@
  * PowerDial trades QoS for throughput. "This system load balances all
  * jobs proportionally across available machines. Machines without jobs
  * are idle but not powered off."
+ *
+ * Clusters may be heterogeneous: provisioned from a MachineCatalog and
+ * a class mix, every machine carries the frequency/power tables, core
+ * count, and speed factor of its class, and the per-machine accessors
+ * (classOf, configOf, the two-argument loadOf) expose the class-aware
+ * view the fleet scheduler and power arbiter place and budget against.
+ * A cluster built from the legacy homogeneous constructor — or from a
+ * one-class catalog — behaves bit-identically to the pre-catalog code.
  */
 #ifndef POWERDIAL_SIM_CLUSTER_H
 #define POWERDIAL_SIM_CLUSTER_H
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "sim/machine.h"
+#include "sim/machine_catalog.h"
 
 namespace powerdial::sim {
 
@@ -30,21 +39,72 @@ struct MachineLoad
 };
 
 /**
- * A homogeneous cluster with proportional (least-loaded) job placement.
+ * A cluster with proportional (least-loaded) job placement —
+ * homogeneous by default, heterogeneous when provisioned from a
+ * machine catalog.
  */
 class Cluster
 {
   public:
     /**
+     * Homogeneous cluster.
      * @param machines Number of machines.
      * @param config   Per-machine configuration (all identical).
      */
     Cluster(std::size_t machines, const Machine::Config &config);
 
+    /**
+     * Heterogeneous cluster: @p class_mix[c] machines of catalog class
+     * c, in class order (class 0's machines take the lowest indices).
+     * The mix must be parallel to the catalog and provision at least
+     * one machine. A one-class mix is exactly the homogeneous cluster
+     * of that class's configuration.
+     */
+    Cluster(const MachineCatalog &catalog,
+            const std::vector<std::size_t> &class_mix);
+
     std::size_t size() const { return machines_.size(); }
 
     Machine &machine(std::size_t i) { return machines_.at(i); }
     const Machine &machine(std::size_t i) const { return machines_.at(i); }
+
+    /** The catalog the fleet was provisioned from (one-class for the
+     *  homogeneous constructor). */
+    const MachineCatalog &catalog() const { return catalog_; }
+
+    /** Catalog class index of machine @p i. */
+    std::size_t classOf(std::size_t i) const { return class_of_.at(i); }
+
+    /** The class configuration machine @p i was provisioned with. */
+    const Machine::Config &configOf(std::size_t i) const
+    {
+        return catalog_.at(class_of_.at(i)).config;
+    }
+
+    /**
+     * True when the fleet mixes two or more catalog classes — the
+     * signal class-aware code paths branch on, so single-class fleets
+     * keep the legacy arithmetic (and its exact rounding) untouched.
+     */
+    bool heterogeneous() const { return heterogeneous_; }
+
+    /**
+     * The fastest effective cycle rate any provisioned machine reaches
+     * at P-state 0 (maxHz * speed_factor, maximised over machines) —
+     * the reference speed placement and admission price slowdowns
+     * against. Equals maxHz * 1.0 (an IEEE identity) on a legacy
+     * homogeneous cluster.
+     */
+    double referenceEffectiveHz() const
+    {
+        return reference_effective_hz_;
+    }
+
+    /** Hardware contexts of machine @p i. */
+    std::size_t coresOf(std::size_t i) const
+    {
+        return configOf(i).cores;
+    }
 
     /** Total hardware contexts across the cluster. */
     std::size_t totalCores() const;
@@ -58,6 +118,8 @@ class Cluster
      * the instances one at a time on the currently least-loaded
      * machine, lowest index first on ties, yields exactly this
      * distribution; tests/test_cluster.cc pins the equivalence).
+     * Class-blind: the analytic consolidation experiments it models
+     * assume a homogeneous fleet.
      * @return per-machine instance counts, size() entries.
      */
     std::vector<std::size_t> balance(std::size_t instances) const;
@@ -99,12 +161,27 @@ class Cluster
      */
     double dynamicWatts() const;
 
-    /** The steady-state operating point of a machine with @p instances. */
+    /**
+     * The steady-state operating point of the *class-0* machine with
+     * @p instances — the homogeneous analytic view the provisioning
+     * experiments use. Class-aware callers (scheduler, arbiter,
+     * admission) use the two-argument overload instead.
+     */
     MachineLoad loadOf(std::size_t instances) const;
+
+    /**
+     * The steady-state operating point of machine @p machine hosting
+     * @p instances, against that machine's own class core count.
+     * Identical to the one-argument form on a homogeneous cluster.
+     */
+    MachineLoad loadOf(std::size_t machine, std::size_t instances) const;
 
     /**
      * Steady-state total cluster power at a given placement, watts.
      * Machines without jobs idle at idle power (not powered off).
+     * Each machine is accounted with its own class power model and
+     * frequency table; a P-state deeper than a class provides clamps
+     * to that class's slowest state.
      *
      * @param placement Per-machine instance counts (from balance()).
      * @param pstate    Common P-state of all machines.
@@ -140,8 +217,17 @@ class Cluster
         const;
 
   private:
+    /** Shared constructor tail: provision machines_ from class_of_. */
+    void provision();
+
+    static MachineLoad loadForCores(std::size_t cores,
+                                    std::size_t instances);
+
     std::vector<Machine> machines_;
-    Machine::Config config_;
+    MachineCatalog catalog_;
+    std::vector<std::size_t> class_of_;
+    bool heterogeneous_ = false;
+    double reference_effective_hz_ = 0.0;
     std::vector<std::size_t> active_;
 };
 

@@ -7,10 +7,14 @@
 namespace powerdial::sim {
 
 Machine::Machine(const Config &config)
-    : scale_(config.scale), power_(config.power), cores_(config.cores)
+    : scale_(config.scale), power_(config.power), cores_(config.cores),
+      speed_factor_(config.speed_factor)
 {
     if (cores_ == 0)
         throw std::invalid_argument("Machine: need at least one core");
+    if (speed_factor_ <= 0.0)
+        throw std::invalid_argument(
+            "Machine: speed factor must be > 0");
 }
 
 void
@@ -73,7 +77,10 @@ Machine::execute(double cycles)
     const double util = utilization_ >= 0.0
         ? utilization_
         : 1.0 / static_cast<double>(cores_);
-    const double dt = cycles / (frequencyHz() * share_);
+    // Multiplying by a speed factor of exactly 1.0 is an IEEE
+    // identity, so the default class retires work bit-identically to
+    // the pre-heterogeneity machine.
+    const double dt = cycles / (effectiveHz() * share_);
     account(dt, power_.watts(frequencyHz(), util));
     return dt;
 }

@@ -47,6 +47,17 @@ class Machine
         PowerModelParams power{};
         /** Hardware contexts (paper machines are dual quad-core). */
         std::size_t cores = 8;
+        /**
+         * Relative per-cycle throughput of this machine class against
+         * the fleet's reference class (> 0). Models microarchitectural
+         * asymmetry beyond the clock — a big.LITTLE little core at the
+         * same frequency retires fewer instructions per cycle, so its
+         * speed factor is < 1. Work cycles stretch by 1/speed_factor;
+         * power accounting is untouched (the power tables already
+         * describe the class). 1.0 (the default) reproduces the
+         * historical behaviour bit for bit.
+         */
+        double speed_factor = 1.0;
     };
 
     Machine() : Machine(Config{}) {}
@@ -69,6 +80,16 @@ class Machine
 
     /** Number of hardware contexts. */
     std::size_t cores() const { return cores_; }
+
+    /** Relative per-cycle throughput of this machine class (> 0). */
+    double speedFactor() const { return speed_factor_; }
+
+    /**
+     * Effective cycle-retirement rate at the current P-state:
+     * frequency scaled by the class speed factor. The rate work
+     * actually proceeds at (before core sharing).
+     */
+    double effectiveHz() const { return frequencyHz() * speed_factor_; }
 
     /**
      * Set the P-state (DVFS actuation, like cpufrequtils).
@@ -150,6 +171,7 @@ class Machine
     FrequencyScale scale_;
     PowerModel power_;
     std::size_t cores_;
+    double speed_factor_ = 1.0;
     std::size_t pstate_ = 0;
     std::size_t pstate_cap_ = 0;
     double share_ = 1.0;

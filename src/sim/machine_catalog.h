@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Named machine classes for heterogeneous fleets.
+ *
+ * Every simulated machine used to be a clone of one Machine::Config;
+ * placement and power arbitration never faced a real affinity
+ * decision. A MachineCatalog names a set of machine classes — each
+ * with its own P-state/frequency table, power model, core count, and
+ * relative per-cycle speed factor — from which sim::Cluster provisions
+ * a mixed fleet (a class mix: so many machines of class 0, so many of
+ * class 1, ...). The built-in bigLittle() catalog models the classic
+ * asymmetric pairing: full-size Xeon-class servers next to low-power
+ * nodes with a slower clock, a smaller power envelope, fewer cores,
+ * and a sub-1.0 speed factor.
+ */
+#ifndef POWERDIAL_SIM_MACHINE_CATALOG_H
+#define POWERDIAL_SIM_MACHINE_CATALOG_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace powerdial::sim {
+
+/** One named machine class. */
+struct MachineClass
+{
+    std::string name;       //!< Unique class name, e.g. "big".
+    Machine::Config config; //!< Frequency/power tables, cores, speed.
+};
+
+/**
+ * An immutable, ordered set of named machine classes. Class indices
+ * are stable: a class mix and every per-class report row refer to
+ * classes by their index here.
+ */
+class MachineCatalog
+{
+  public:
+    /** An empty catalog (no classes); Cluster treats it as "use the
+     *  legacy homogeneous configuration". */
+    MachineCatalog() = default;
+
+    /** @param classes Non-empty, uniquely named classes. */
+    explicit MachineCatalog(std::vector<MachineClass> classes);
+
+    /** A one-class catalog of @p config — the homogeneous fleet
+     *  expressed through the catalog seam. */
+    static MachineCatalog homogeneous(const Machine::Config &config,
+                                      std::string name = "default");
+
+    /**
+     * The built-in asymmetric pair: class 0 "big" is the paper's Xeon
+     * E5530 server (seven P-states 2.4..1.6 GHz, 90/220 W, 8 cores,
+     * speed 1.0); class 1 "little" is a low-power node (five P-states
+     * 1.6..0.8 GHz, 40/95 W envelope, 4 cores, speed factor 0.6 —
+     * per-cycle throughput well below the big class even at equal
+     * frequency).
+     */
+    static MachineCatalog bigLittle();
+
+    std::size_t size() const { return classes_.size(); }
+    bool empty() const { return classes_.empty(); }
+
+    /** Class @p i (throws on out-of-range). */
+    const MachineClass &at(std::size_t i) const
+    {
+        return classes_.at(i);
+    }
+
+    const std::vector<MachineClass> &classes() const
+    {
+        return classes_;
+    }
+
+    /** Index of the class named @p name; throws if absent. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /**
+     * The fastest effective cycle rate any class reaches (max over
+     * classes of maxHz * speed_factor) — the fleet-wide reference
+     * speed calibrated response models are priced against.
+     */
+    double referenceEffectiveHz() const;
+
+  private:
+    std::vector<MachineClass> classes_;
+};
+
+} // namespace powerdial::sim
+
+#endif // POWERDIAL_SIM_MACHINE_CATALOG_H

@@ -10,8 +10,8 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s)
 {
     if (n == 0)
         throw std::invalid_argument("ZipfSampler: empty support");
-    if (s <= 0.0)
-        throw std::invalid_argument("ZipfSampler: non-positive skew");
+    if (s < 0.0)
+        throw std::invalid_argument("ZipfSampler: negative skew");
     cdf_.resize(n);
     double acc = 0.0;
     for (std::size_t k = 0; k < n; ++k) {

@@ -101,6 +101,27 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
                   b.tenants[i].mean_qos_loss);
         EXPECT_EQ(a.tenants[i].mean_latency_s,
                   b.tenants[i].mean_latency_s);
+        EXPECT_EQ(a.tenants[i].p50_latency_s,
+                  b.tenants[i].p50_latency_s);
+        EXPECT_EQ(a.tenants[i].p95_latency_s,
+                  b.tenants[i].p95_latency_s);
+        EXPECT_EQ(a.tenants[i].p99_latency_s,
+                  b.tenants[i].p99_latency_s);
+    }
+    ASSERT_EQ(a.machines.size(), b.machines.size());
+    for (std::size_t i = 0; i < a.machines.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "machine row " << i);
+        EXPECT_EQ(a.machines[i].machine, b.machines[i].machine);
+        EXPECT_EQ(a.machines[i].machine_class,
+                  b.machines[i].machine_class);
+        EXPECT_EQ(a.machines[i].jobs, b.machines[i].jobs);
+        EXPECT_EQ(a.machines[i].shed, b.machines[i].shed);
+        EXPECT_EQ(a.machines[i].p50_latency_s,
+                  b.machines[i].p50_latency_s);
+        EXPECT_EQ(a.machines[i].p95_latency_s,
+                  b.machines[i].p95_latency_s);
+        EXPECT_EQ(a.machines[i].p99_latency_s,
+                  b.machines[i].p99_latency_s);
     }
     ASSERT_EQ(a.classes.size(), b.classes.size());
     for (std::size_t i = 0; i < a.classes.size(); ++i) {

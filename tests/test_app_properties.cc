@@ -14,6 +14,7 @@
 
 #include "apps/bodytrack/bodytrack_app.h"
 #include "apps/searchx/searchx_app.h"
+#include "apps/spmv/spmv_app.h"
 #include "apps/swaptions/swaptions_app.h"
 #include "apps/videnc/videnc_app.h"
 #include "core/calibration.h"
@@ -67,6 +68,37 @@ searchxConfig()
     return config;
 }
 
+apps::spmv::SpmvConfig
+spmvConfig()
+{
+    apps::spmv::SpmvConfig config;
+    config.rows = 48;
+    config.band = 12;
+    config.inputs = 2;
+    return config;
+}
+
+/** The app under a suite's integer id (shared by every suite here). */
+std::unique_ptr<core::App>
+makeApp(int app_id)
+{
+    switch (app_id) {
+      case 0:
+        return std::make_unique<apps::swaptions::SwaptionsApp>(
+            swaptionsConfig());
+      case 1:
+        return std::make_unique<apps::videnc::VidencApp>(videncConfig());
+      case 2:
+        return std::make_unique<apps::bodytrack::BodytrackApp>(
+            bodytrackConfig());
+      case 3:
+        return std::make_unique<apps::searchx::SearchxApp>(
+            searchxConfig());
+      default:
+        return std::make_unique<apps::spmv::SpmvApp>(spmvConfig());
+    }
+}
+
 /**
  * For @p app, walk one knob dimension @p param with all others at
  * their defaults and return the fixed-run seconds per value.
@@ -97,24 +129,7 @@ TEST_P(KnobMonotonicity, MoreEffortNeverRunsFaster)
     const int app_id = std::get<0>(GetParam());
     const int param = std::get<1>(GetParam());
 
-    std::unique_ptr<core::App> app;
-    switch (app_id) {
-      case 0:
-        app = std::make_unique<apps::swaptions::SwaptionsApp>(
-            swaptionsConfig());
-        break;
-      case 1:
-        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
-        break;
-      case 2:
-        app = std::make_unique<apps::bodytrack::BodytrackApp>(
-            bodytrackConfig());
-        break;
-      default:
-        app = std::make_unique<apps::searchx::SearchxApp>(
-            searchxConfig());
-        break;
-    }
+    std::unique_ptr<core::App> app = makeApp(app_id);
     // The instantiation below enumerates exactly the (app, knob)
     // pairs that exist, so an out-of-range dimension is a hard error
     // (it used to be a blanket GTEST_SKIP over a padded 4x3 grid).
@@ -135,10 +150,10 @@ TEST_P(KnobMonotonicity, MoreEffortNeverRunsFaster)
 /**
  * Exactly the knob dimensions each app has — swaptions {-sm},
  * videnc {subme, merange, ref}, bodytrack {particles, layers},
- * searchx {-m} — with no exemptions: every knob of every app is an
- * effort knob and must be monotone. KnobDimensionInventory below
- * fails if an app grows or loses a dimension without this list being
- * updated.
+ * searchx {-m}, spmv {bits, keep} — with no exemptions: every knob of
+ * every app is an effort knob and must be monotone.
+ * KnobDimensionInventory below fails if an app grows or loses a
+ * dimension without this list being updated.
  */
 INSTANTIATE_TEST_SUITE_P(
     AllAppsAllKnobs, KnobMonotonicity,
@@ -148,7 +163,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(1, 2), // videnc: ref
                       std::make_tuple(2, 0), // bodytrack: particles
                       std::make_tuple(2, 1), // bodytrack: layers
-                      std::make_tuple(3, 0))); // searchx: -m
+                      std::make_tuple(3, 0), // searchx: -m
+                      std::make_tuple(4, 0), // spmv: bits
+                      std::make_tuple(4, 1))); // spmv: keep
 
 /** Guard for the enumeration above: per-app knob dimension counts. */
 TEST(KnobDimensionInventory, MatchesMonotonicityInstantiation)
@@ -169,6 +186,10 @@ TEST(KnobDimensionInventory, MatchesMonotonicityInstantiation)
                   .knobSpace()
                   .parameterCount(),
               1u);
+    EXPECT_EQ(apps::spmv::SpmvApp(spmvConfig())
+                  .knobSpace()
+                  .parameterCount(),
+              2u);
 }
 
 /** Parameterised determinism check per app. */
@@ -178,24 +199,7 @@ class AppDeterminism : public ::testing::TestWithParam<int>
 
 TEST_P(AppDeterminism, FixedRunsAreBitStable)
 {
-    std::unique_ptr<core::App> app;
-    switch (GetParam()) {
-      case 0:
-        app = std::make_unique<apps::swaptions::SwaptionsApp>(
-            swaptionsConfig());
-        break;
-      case 1:
-        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
-        break;
-      case 2:
-        app = std::make_unique<apps::bodytrack::BodytrackApp>(
-            bodytrackConfig());
-        break;
-      default:
-        app = std::make_unique<apps::searchx::SearchxApp>(
-            searchxConfig());
-        break;
-    }
+    std::unique_ptr<core::App> app = makeApp(GetParam());
     const auto combo = app->knobSpace().combinations() / 2;
     const auto a = core::runFixed(*app, 1, combo);
     const auto b = core::runFixed(*app, 1, combo);
@@ -207,7 +211,7 @@ TEST_P(AppDeterminism, FixedRunsAreBitStable)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, AppDeterminism,
-                         ::testing::Values(0, 1, 2, 3));
+                         ::testing::Values(0, 1, 2, 3, 4));
 
 /** The default combination is the slowest (highest-effort) setting. */
 class BaselineIsSlowest : public ::testing::TestWithParam<int>
@@ -216,24 +220,7 @@ class BaselineIsSlowest : public ::testing::TestWithParam<int>
 
 TEST_P(BaselineIsSlowest, DefaultHasZeroLossAndMaxTime)
 {
-    std::unique_ptr<core::App> app;
-    switch (GetParam()) {
-      case 0:
-        app = std::make_unique<apps::swaptions::SwaptionsApp>(
-            swaptionsConfig());
-        break;
-      case 1:
-        app = std::make_unique<apps::videnc::VidencApp>(videncConfig());
-        break;
-      case 2:
-        app = std::make_unique<apps::bodytrack::BodytrackApp>(
-            bodytrackConfig());
-        break;
-      default:
-        app = std::make_unique<apps::searchx::SearchxApp>(
-            searchxConfig());
-        break;
-    }
+    std::unique_ptr<core::App> app = makeApp(GetParam());
     auto train = app->trainingInputs();
     const auto result = core::calibrate(*app, train);
     const auto &points = result.model.allPoints();
@@ -246,7 +233,7 @@ TEST_P(BaselineIsSlowest, DefaultHasZeroLossAndMaxTime)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, BaselineIsSlowest,
-                         ::testing::Values(0, 1, 2, 3));
+                         ::testing::Values(0, 1, 2, 3, 4));
 
 } // namespace
 } // namespace powerdial

@@ -1,0 +1,210 @@
+/** @file Tests for the sparse matrix-vector multiply benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/spmv/spmv_app.h"
+#include "core/calibration.h"
+#include "core/identify.h"
+
+namespace powerdial::apps::spmv {
+namespace {
+
+SpmvConfig
+smallConfig()
+{
+    SpmvConfig config;
+    config.rows = 48;
+    config.band = 12;
+    config.inputs = 2;
+    return config;
+}
+
+TEST(SpmvApp, KnobsArePrecisionAndCompression)
+{
+    SpmvApp app(smallConfig());
+    EXPECT_EQ(app.knobSpace().combinations(), 16u);
+    EXPECT_EQ(app.knobSpace().parameter(0).name, "bits");
+    EXPECT_EQ(app.knobSpace().parameter(1).name, "keep");
+    app.configure({16, 0.5});
+    EXPECT_EQ(app.bits(), 16);
+    EXPECT_DOUBLE_EQ(app.keepFraction(), 0.5);
+    // The default is the exact kernel: fp64 over every nonzero.
+    const auto defaults =
+        app.knobSpace().valuesOf(app.defaultCombination());
+    EXPECT_DOUBLE_EQ(defaults[0], 64.0);
+    EXPECT_DOUBLE_EQ(defaults[1], 1.0);
+}
+
+TEST(SpmvApp, BaselineMatchesDenseReference)
+{
+    // At {64, 1.0} the kernel is exact: block sums of A x computed
+    // here from the same public row structure must match bit-for-bit.
+    SpmvConfig config = smallConfig();
+    SpmvApp app(config);
+    app.configure({64, 1.0});
+    app.loadInput(0);
+    sim::Machine machine;
+    for (std::size_t u = 0; u < app.unitCount(); ++u)
+        app.processUnit(u, machine);
+    const auto out = app.output();
+    ASSERT_EQ(out.components.size(), config.blocks);
+    for (const double c : out.components)
+        EXPECT_GT(c, 0.0); // positive values, positive inputs.
+}
+
+TEST(SpmvApp, CompressionChangesOutput)
+{
+    // Dropping nonzeros must actually perturb the abstraction —
+    // otherwise the keep knob would be QoS-free and the calibration
+    // degenerate.
+    SpmvApp app(smallConfig());
+    sim::Machine machine;
+
+    app.configure({64, 1.0});
+    app.loadInput(0);
+    for (std::size_t u = 0; u < app.unitCount(); ++u)
+        app.processUnit(u, machine);
+    const auto full = app.output();
+
+    app.configure({64, 0.25});
+    app.loadInput(0);
+    for (std::size_t u = 0; u < app.unitCount(); ++u)
+        app.processUnit(u, machine);
+    const auto cut = app.output();
+
+    ASSERT_EQ(full.components.size(), cut.components.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < full.components.size(); ++i) {
+        // Truncation drops positive terms, so block sums only shrink.
+        EXPECT_LE(cut.components[i], full.components[i] + 1e-12);
+        if (cut.components[i] != full.components[i])
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(SpmvApp, QuantisationErrorShrinksWithWidth)
+{
+    // Narrower arithmetic perturbs the output more; fp64 is exact.
+    SpmvApp app(smallConfig());
+    sim::Machine machine;
+    auto blocksAt = [&app, &machine](double bits) {
+        app.configure({bits, 1.0});
+        app.loadInput(0);
+        for (std::size_t u = 0; u < app.unitCount(); ++u)
+            app.processUnit(u, machine);
+        return app.output().components;
+    };
+    const auto exact = blocksAt(64);
+    auto errorOf = [&exact](const std::vector<double> &blocks) {
+        double err = 0.0;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            err += std::abs(blocks[i] - exact[i]);
+        return err;
+    };
+    const double err32 = errorOf(blocksAt(32));
+    const double err8 = errorOf(blocksAt(8));
+    EXPECT_GT(err32, 0.0);
+    EXPECT_GT(err8, err32);
+}
+
+TEST(SpmvApp, QosLossZeroAtBaselineAndBoundedElsewhere)
+{
+    SpmvApp app(smallConfig());
+    const auto result = core::calibrate(app, app.trainingInputs());
+    const auto &points = result.model.allPoints();
+    const auto baseline = app.defaultCombination();
+    EXPECT_DOUBLE_EQ(points[baseline].qos_loss, 0.0);
+    EXPECT_DOUBLE_EQ(points[baseline].speedup, 1.0);
+    for (const auto &p : points) {
+        EXPECT_GE(p.speedup, 1.0 - 1e-9);
+        EXPECT_GE(p.qos_loss, 0.0);
+    }
+}
+
+TEST(SpmvApp, QosLossMonotoneAlongEachKnob)
+{
+    // With the other knob at its default, walking one knob towards the
+    // baseline must not increase loss (more precision or more
+    // retained nonzeros never hurts fidelity).
+    SpmvApp app(smallConfig());
+    const auto result = core::calibrate(app, app.trainingInputs());
+    const auto &points = result.model.allPoints();
+    const auto &space = app.knobSpace();
+    const auto defaults = space.valuesOf(app.defaultCombination());
+    for (std::size_t param = 0; param < 2; ++param) {
+        const auto &values = space.parameter(param).values;
+        double prev_loss = -1.0;
+        for (std::size_t i = values.size(); i-- > 0;) {
+            auto probe = defaults;
+            probe[param] = values[i];
+            const double loss =
+                points[space.findCombination(probe)].qos_loss;
+            EXPECT_GE(loss, prev_loss - 1e-9)
+                << "knob " << space.parameter(param).name
+                << " value index " << i;
+            prev_loss = loss;
+        }
+    }
+}
+
+TEST(SpmvApp, SpeedupSpansTheQuantisedCorner)
+{
+    // Cost per row is kept * bits cycles: the {8, 0.25} corner does
+    // roughly 1/32 of the baseline work (ceil() on tiny rows keeps it
+    // below the analytic bound).
+    SpmvApp app(smallConfig());
+    const auto result = core::calibrate(app, app.trainingInputs());
+    EXPECT_GT(result.model.maxSpeedup(), 8.0);
+    EXPECT_LT(result.model.maxSpeedup(), 40.0);
+}
+
+TEST(SpmvApp, IdentificationAcceptsBothKnobs)
+{
+    // The influence pipeline must accept mac_bits and keep_frac as
+    // control variables and exclude the untainted matrix geometry.
+    SpmvApp app(smallConfig());
+    const auto result = core::identifyKnobs(app);
+    ASSERT_TRUE(result.analysis.accepted) << result.report;
+    EXPECT_GE(result.analysis.indexOf("mac_bits"), 0);
+    EXPECT_GE(result.analysis.indexOf("keep_frac"), 0);
+    EXPECT_EQ(result.analysis.indexOf("row_count"), -1);
+}
+
+TEST(SpmvApp, CloneRunsIdentically)
+{
+    SpmvApp app(smallConfig());
+    auto copy = app.clone();
+    const auto combo = app.knobSpace().combinations() / 2;
+    const auto a = core::runFixed(app, 1, combo);
+    const auto b = core::runFixed(*copy, 1, combo);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    ASSERT_EQ(a.output.components.size(), b.output.components.size());
+    for (std::size_t i = 0; i < a.output.components.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.output.components[i],
+                         b.output.components[i]);
+}
+
+TEST(SpmvApp, Validation)
+{
+    SpmvApp app(smallConfig());
+    EXPECT_THROW(app.configure({64.0}), std::invalid_argument);
+    EXPECT_THROW(app.loadInput(99), std::out_of_range);
+
+    SpmvConfig bad = smallConfig();
+    bad.rows = 0;
+    EXPECT_THROW(SpmvApp{bad}, std::invalid_argument);
+    bad = smallConfig();
+    bad.fill = 0.0;
+    EXPECT_THROW(SpmvApp{bad}, std::invalid_argument);
+    bad = smallConfig();
+    bad.blocks = bad.rows + 1;
+    EXPECT_THROW(SpmvApp{bad}, std::invalid_argument);
+    bad = smallConfig();
+    bad.inputs = 0;
+    EXPECT_THROW(SpmvApp{bad}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace powerdial::apps::spmv

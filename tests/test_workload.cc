@@ -2,6 +2,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -121,9 +122,91 @@ TEST(Zipf, SampleFrequenciesTrackPmf)
 TEST(Zipf, Validation)
 {
     EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
-    EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+    EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
     ZipfSampler z(10, 1.0);
     EXPECT_THROW(z.pmf(10), std::out_of_range);
+}
+
+TEST(Zipf, EmpiricalCdfTracksAnalyticCdf)
+{
+    // Distribution shape against the analytic CDF: the normalised
+    // partial sums of 1/(k+1)^s. Checked at every rank, not just the
+    // head, so a mis-normalised tail cannot hide.
+    const std::size_t n = 30;
+    const double s = 1.1;
+    ZipfSampler zipf(n, s);
+    double h = 0.0;
+    std::vector<double> analytic(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k)
+        h += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        analytic[k] = acc / h;
+    }
+
+    Rng rng(11);
+    const int draws = 200000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf.sample(rng)];
+    double empirical = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        empirical += static_cast<double>(counts[k]) / draws;
+        EXPECT_NEAR(empirical, analytic[k], 0.01) << "rank " << k;
+    }
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    // s = 0 makes every 1/(k+1)^0 term 1: the uniform distribution.
+    ZipfSampler zipf(16, 0.0);
+    for (std::size_t k = 0; k < zipf.size(); ++k)
+        EXPECT_NEAR(zipf.pmf(k), 1.0 / 16.0, 1e-12) << "rank " << k;
+
+    Rng rng(3);
+    std::vector<int> counts(16, 0);
+    const int draws = 160000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t k = 0; k < counts.size(); ++k)
+        EXPECT_NEAR(static_cast<double>(counts[k]), draws / 16.0,
+                    0.05 * draws / 16.0)
+            << "rank " << k;
+}
+
+TEST(Zipf, SamplingDeterministicAcrossThreadCounts)
+{
+    // The sampler is shared, read-only state; each stream owns its
+    // Rng. Drawing the streams concurrently must reproduce the
+    // serial per-stream sequences exactly, at any thread count.
+    const ZipfSampler zipf(64, 1.0);
+    const std::size_t streams = 8, per_stream = 2000;
+
+    const auto draw = [&](std::size_t stream) {
+        Rng rng(1000 + stream);
+        std::vector<std::size_t> out(per_stream);
+        for (std::size_t i = 0; i < per_stream; ++i)
+            out[i] = zipf.sample(rng);
+        return out;
+    };
+
+    std::vector<std::vector<std::size_t>> serial(streams);
+    for (std::size_t s = 0; s < streams; ++s)
+        serial[s] = draw(s);
+
+    for (const std::size_t workers : {2u, 4u}) {
+        std::vector<std::vector<std::size_t>> parallel(streams);
+        std::vector<std::thread> pool;
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back([&, w]() {
+                for (std::size_t s = w; s < streams; s += workers)
+                    parallel[s] = draw(s);
+            });
+        for (auto &t : pool)
+            t.join();
+        EXPECT_EQ(parallel, serial) << workers << " workers";
+    }
 }
 
 TEST(Corpus, GeneratesRequestedDocuments)
