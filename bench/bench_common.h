@@ -14,8 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/bodytrack/bodytrack_app.h"
 #include "apps/searchx/searchx_app.h"
@@ -24,6 +27,10 @@
 #include "core/calibration.h"
 #include "core/identify.h"
 #include "core/session.h"
+#include "fleet/observability.h"
+#include "obs/metrics.h"
+#include "obs/trace_json.h"
+#include "obs/trace_sink.h"
 #include "sim/energy_meter.h"
 
 namespace powerdial::bench {
@@ -184,6 +191,156 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * Observability flags shared by the fleet benches. All optional: when
+ * none are given the bench runs untraced and its stdout stays
+ * byte-identical to the goldens (the sink is simply never created).
+ */
+struct ObsOptions
+{
+    std::string trace_path;       //!< --trace=FILE (Chrome trace JSON).
+    std::string trace_jsonl_path; //!< --trace-jsonl=FILE (one event/line).
+    std::string metrics_path;     //!< --metrics=FILE (Prometheus text).
+    /**
+     * Default traces every decision plane but skips the per-beat
+     * firehose; --trace-categories=all (or beat,...) turns it on.
+     */
+    unsigned categories = obs::kCatAll & ~obs::kCatBeat;
+    std::size_t ring = 0; //!< --trace-ring=N keeps only the last N.
+
+    bool enabled() const
+    {
+        return !trace_path.empty() || !trace_jsonl_path.empty() ||
+               !metrics_path.empty();
+    }
+};
+
+/**
+ * Try to consume one observability argument. Returns false when the
+ * argument is not an observability flag (so the caller's own parser
+ * handles it); prints and exits on a malformed value.
+ */
+inline bool
+parseObsArg(ObsOptions &options, const char *arg)
+{
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+        options.trace_path = arg + 8;
+        return true;
+    }
+    if (std::strncmp(arg, "--trace-jsonl=", 14) == 0) {
+        options.trace_jsonl_path = arg + 14;
+        return true;
+    }
+    if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        options.metrics_path = arg + 10;
+        return true;
+    }
+    if (std::strncmp(arg, "--trace-categories=", 19) == 0) {
+        const auto parsed = obs::parseCategories(arg + 19);
+        if (!parsed.has_value()) {
+            std::fprintf(stderr,
+                         "bad --trace-categories value '%s' (names: "
+                         "lifecycle,control,beat,admission,placement,"
+                         "arbitration,fleet,all,none)\n",
+                         arg + 19);
+            std::exit(2);
+        }
+        options.categories = *parsed;
+        return true;
+    }
+    if (std::strncmp(arg, "--trace-ring=", 13) == 0) {
+        const char *text = arg + 13;
+        if (*text == '\0')
+            std::exit(2);
+        for (const char *p = text; *p != '\0'; ++p)
+            if (*p < '0' || *p > '9') {
+                std::fprintf(stderr,
+                             "bad --trace-ring value '%s'\n", text);
+                std::exit(2);
+            }
+        options.ring = static_cast<std::size_t>(
+            std::strtoul(text, nullptr, 10));
+        return true;
+    }
+    return false;
+}
+
+/** Extend a usage string: the observability flags every fleet bench
+ *  accepts (kept in one place so the benches stay in sync). */
+inline const char *
+obsUsage()
+{
+    return "          [--trace=FILE] [--trace-jsonl=FILE] "
+           "[--metrics=FILE]\n"
+           "          [--trace-categories=LIST] [--trace-ring=N]\n"
+           "  trace       write a Chrome trace-event JSON "
+           "(chrome://tracing, Perfetto)\n"
+           "  trace-jsonl write the same records as one JSON object "
+           "per line\n"
+           "  metrics     write Prometheus text-format counters and "
+           "histograms\n"
+           "  trace-categories  comma list of lifecycle,control,beat,"
+           "admission,placement,\n"
+           "              arbitration (aliases: fleet, all, none; "
+           "default all minus beat)\n"
+           "  trace-ring  flight-recorder mode: keep only the last N "
+           "records\n";
+}
+
+/**
+ * Build the trace sink the parsed flags ask for — or nothing, so the
+ * untraced path never constructs one. Attach via
+ * `server_options.trace = obs_sink ? &*obs_sink : nullptr;`.
+ */
+inline std::optional<obs::TraceSink>
+makeObsSink(const ObsOptions &options)
+{
+    if (!options.enabled())
+        return std::nullopt;
+    obs::TraceConfig config;
+    config.categories = options.categories;
+    config.ring_capacity = options.ring;
+    return std::make_optional<obs::TraceSink>(config);
+}
+
+/**
+ * Drain the sink once and write whichever outputs were requested.
+ * The sink holds the records of the *last* serve it was attached to
+ * (TraceSink::beginServe resets at each serve), so benches that run a
+ * comparison matrix trace their final configuration.
+ */
+inline void
+writeObsOutputs(const ObsOptions &options, obs::TraceSink *sink,
+                const fleet::FleetReport &report)
+{
+    const auto open = [](const std::string &path) {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            std::exit(1);
+        }
+        return out;
+    };
+    if (sink != nullptr && (!options.trace_path.empty() ||
+                            !options.trace_jsonl_path.empty())) {
+        const std::vector<obs::TraceRecord> records = sink->drain();
+        if (!options.trace_path.empty()) {
+            auto out = open(options.trace_path);
+            obs::writeChromeTrace(out, records);
+        }
+        if (!options.trace_jsonl_path.empty()) {
+            auto out = open(options.trace_jsonl_path);
+            obs::writeJsonl(out, records);
+        }
+    }
+    if (!options.metrics_path.empty()) {
+        obs::MetricsRegistry registry;
+        fleet::recordFleetMetrics(registry, report);
+        auto out = open(options.metrics_path);
+        registry.writePrometheus(out);
+    }
 }
 
 } // namespace powerdial::bench

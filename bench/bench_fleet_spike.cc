@@ -83,6 +83,7 @@ struct FleetBenchOptions
     /** Heterogeneous fleet spec, e.g. "big:2,little:2" (empty =
      *  homogeneous default; overrides the per-case machine counts). */
     std::string class_mix;
+    ObsOptions obs; //!< --trace / --trace-jsonl / --metrics outputs.
 };
 
 const char *
@@ -126,8 +127,8 @@ parseFleetOptions(int argc, char **argv)
                      "  class-mix   heterogeneous fleet from the "
                      "big.LITTLE catalog, e.g. big:2,little:2\n"
                      "              (overrides the machine counts; "
-                     "absent = homogeneous default)\n",
-                     argv[0]);
+                     "absent = homogeneous default)\n%s",
+                     argv[0], obsUsage());
         std::exit(2);
     };
     const auto parseCount = [&usage](const char *text) {
@@ -170,6 +171,8 @@ parseFleetOptions(int argc, char **argv)
             options.peak_rate = parseCount(arg + 12);
         } else if (std::strncmp(arg, "--class-mix=", 12) == 0) {
             options.class_mix = arg + 12;
+        } else if (parseObsArg(options.obs, arg)) {
+            // Consumed by the shared observability parser.
         } else if (std::strcmp(arg, "-t") == 0 && i + 1 < argc) {
             options.threads = parseCount(argv[++i]);
         } else {
@@ -291,10 +294,13 @@ runScaleFleet(const FleetBenchOptions &options)
     applyEngine(server_options, options);
     if (!applyClassMix(server_options, options.class_mix))
         return 2;
+    auto obs_sink = makeObsSink(options.obs);
+    server_options.trace = obs_sink ? &*obs_sink : nullptr;
 
     fleet::Server server(app, cal.ident.table, model, server_options);
     const auto report = timedServe(server, arrivals, "scale", options);
     printEpochs(report);
+    writeObsOutputs(options.obs, server_options.trace, report);
 
     banner("scale summary");
     std::printf("machines %zu, epochs %zu, offered %zu jobs\n",
@@ -354,6 +360,10 @@ main(int argc, char **argv)
          fleet::ArbiterPolicy::QosFeedback, true},
     };
 
+    // One sink across the matrix: beginServe resets it at each serve,
+    // so the outputs describe the final case (2m cap340 qos-fb).
+    auto obs_sink = makeObsSink(options.obs);
+
     std::vector<fleet::FleetReport> reports;
     reports.reserve(cases.size());
     for (const FleetCase &fleet_case : cases) {
@@ -380,12 +390,15 @@ main(int argc, char **argv)
         applyEngine(server_options, options);
         if (!applyClassMix(server_options, options.class_mix))
             return 2;
+        server_options.trace = obs_sink ? &*obs_sink : nullptr;
         fleet::Server server(app, cal.ident.table, model,
                              server_options);
         reports.push_back(
             timedServe(server, arrivals, fleet_case.label, options));
         printEpochs(reports.back());
     }
+    writeObsOutputs(options.obs, obs_sink ? &*obs_sink : nullptr,
+                    reports.back());
 
     banner("summary");
     std::printf("%-22s %6s %6s %10s %12s %10s %10s %10s\n", "fleet",

@@ -53,6 +53,7 @@ struct HeteroBenchOptions
     std::size_t steps = 48;  //!< Arrival-trace length, epochs.
     std::size_t threads = 0; //!< Tenant-session workers (0 = all).
     std::string engine = "both"; //!< "epoch", "event", or "both".
+    ObsOptions obs; //!< --trace / --trace-jsonl / --metrics outputs.
 };
 
 HeteroBenchOptions
@@ -67,8 +68,9 @@ parseHeteroOptions(int argc, char **argv)
             "  steps    arrival-trace epochs (default 48)\n"
             "  threads  tenant-session workers "
             "(0 = all hardware contexts, 1 = serial)\n"
-            "  engine   which serve engine(s) to run (default both)\n",
-            argv[0]);
+            "  engine   which serve engine(s) to run (default both)\n"
+            "%s",
+            argv[0], obsUsage());
         std::exit(2);
     };
     const auto parseCount = [&usage](const char *text) {
@@ -93,6 +95,8 @@ parseHeteroOptions(int argc, char **argv)
             if (options.engine != "epoch" && options.engine != "event" &&
                 options.engine != "both")
                 usage();
+        } else if (parseObsArg(options.obs, arg)) {
+            // Consumed by the shared observability parser.
         } else {
             usage();
         }
@@ -216,6 +220,11 @@ main(int argc, char **argv)
         apps.push_back(std::move(spmv));
     }
 
+    // One sink across the matrix: beginServe resets it at each serve,
+    // so the outputs describe the final cell (spmv / 1big3little /
+    // last engine / affinity-aware).
+    auto obs_sink = makeObsSink(options.obs);
+
     std::vector<HeteroCase> cases;
     for (const auto &app_case : apps) {
         auto cal = calibrateOnTraining(*app_case.app, -1.0,
@@ -242,6 +251,8 @@ main(int argc, char **argv)
                     // Epoch-compat keeps the two engines' reports
                     // byte-identical, so the golden pins both at once.
                     server_options.event.epoch_compat = true;
+                    server_options.trace =
+                        obs_sink ? &*obs_sink : nullptr;
 
                     std::string label = std::string(app_case.label) +
                         " / " + mix.label + " / " + engine.label +
@@ -268,6 +279,9 @@ main(int argc, char **argv)
             }
         }
     }
+
+    writeObsOutputs(options.obs, obs_sink ? &*obs_sink : nullptr,
+                    cases.back().report);
 
     banner("hetero summary");
     std::printf("%-8s %-12s %-6s %-14s %6s %6s %10s %10s %9s %9s\n",

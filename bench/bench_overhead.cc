@@ -20,6 +20,9 @@
 #include "vendor/microbench.h"
 #endif
 
+#include <algorithm>
+#include <chrono>
+
 #include "apps/swaptions/pricer.h"
 #include "core/actuation_strategy.h"
 #include "core/control_policy.h"
@@ -27,6 +30,7 @@
 #include "core/knob.h"
 #include "core/session.h"
 #include "heartbeats/heartbeat.h"
+#include "obs/trace_sink.h"
 
 using namespace powerdial;
 
@@ -259,6 +263,152 @@ BM_Session256Beats_TraceRecorder(benchmark::State &state)
 }
 BENCHMARK(BM_Session256Beats_TraceRecorder);
 
+// ---------------------------------------------------------------------------
+// Structured trace sink (obs/trace_sink.h): the per-beat cost of the
+// fleet tracing layer in its three modes. With every category masked
+// off, each would-be event must cost one branch in TraceSink::wants —
+// the ceiling check below (vendored harness only) fails the binary if
+// the masked-off probe regresses past a pinned per-beat budget.
+// ---------------------------------------------------------------------------
+
+/** Categories all masked off: the tracing-disabled fast path. */
+static void
+BM_Session256Beats_TraceProbeOff(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    obs::TraceConfig config;
+    config.categories = 0;
+    obs::TraceSink sink(config);
+    obs::TraceProbe probe(sink, obs::TraceProbe::Identity{0});
+    session.observe(probe);
+    for (auto _ : state) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_TraceProbeOff);
+
+/** Every category on (including the per-beat firehose), unbounded
+ *  shards; beginServe resets the shard per run to bound memory. */
+static void
+BM_Session256Beats_TraceProbeAll(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    obs::TraceSink sink;
+    for (auto _ : state) {
+        sink.beginServe(1);
+        obs::TraceProbe probe(sink, obs::TraceProbe::Identity{0});
+        session.observe(probe);
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_TraceProbeAll);
+
+/** Flight-recorder mode: everything on, last 64 records kept. */
+static void
+BM_Session256Beats_TraceProbeRing(benchmark::State &state)
+{
+    SessionFixture f;
+    core::Session session(f.app, f.table, f.model);
+    obs::TraceConfig config;
+    config.ring_capacity = 64;
+    obs::TraceSink sink(config);
+    obs::TraceProbe probe(sink, obs::TraceProbe::Identity{0});
+    session.observe(probe);
+    for (auto _ : state) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+}
+BENCHMARK(BM_Session256Beats_TraceProbeRing);
+
 } // namespace
 
+#if defined(POWERDIAL_HAVE_GOOGLE_BENCHMARK)
+
 BENCHMARK_MAIN();
+
+#else
+
+namespace {
+
+/** Wall-clock seconds for @p batch back-to-back 256-beat runs. */
+double
+timeSessionBatch(core::Session &session, std::size_t batch)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch; ++i) {
+        sim::Machine machine;
+        benchmark::DoNotOptimize(session.run(1, machine));
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The pinned overhead ceiling: a session run with a trace probe whose
+ * categories are all masked off may cost at most 25% + 150 ns/beat
+ * over the no-observer baseline (best of 5 batches each, interleaved
+ * to share thermal conditions). Generous against timer noise on
+ * shared CI runners, yet tight enough that any per-beat allocation or
+ * record construction sneaking into the disabled path trips it.
+ */
+int
+checkTracingOverheadCeiling()
+{
+    constexpr std::size_t kBatch = 2000;
+    constexpr int kRounds = 5;
+    constexpr double kRelativeSlack = 0.25;
+    constexpr double kAbsoluteSlackNsPerBeat = 150.0;
+
+    SessionFixture f;
+    core::Session plain(f.app, f.table, f.model);
+    core::Session probed(f.app, f.table, f.model);
+    obs::TraceConfig config;
+    config.categories = 0;
+    obs::TraceSink sink(config);
+    obs::TraceProbe probe(sink, obs::TraceProbe::Identity{0});
+    probed.observe(probe);
+
+    // Warm up both paths, then interleave the timed rounds.
+    timeSessionBatch(plain, kBatch / 4);
+    timeSessionBatch(probed, kBatch / 4);
+    double best_plain = 1e300;
+    double best_probed = 1e300;
+    for (int round = 0; round < kRounds; ++round) {
+        best_plain = std::min(best_plain,
+                              timeSessionBatch(plain, kBatch));
+        best_probed = std::min(best_probed,
+                               timeSessionBatch(probed, kBatch));
+    }
+
+    const double beats =
+        static_cast<double>(kBatch) *
+        static_cast<double>(kSessionUnits);
+    const double delta_ns_per_beat =
+        1e9 * (best_probed - best_plain) / beats;
+    const double ceiling = best_plain * (1.0 + kRelativeSlack) +
+        kAbsoluteSlackNsPerBeat * 1e-9 * beats;
+    const bool ok = best_probed <= ceiling;
+    std::printf("\ntracing-disabled overhead: %.1f ns/beat over the "
+                "no-observer baseline (ceiling: 25%% + %.0f ns/beat) "
+                "-- %s\n",
+                delta_ns_per_beat, kAbsoluteSlackNsPerBeat,
+                ok ? "ok" : "REGRESSED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    powerdial::microbench::RunAll();
+    return checkTracingOverheadCeiling();
+}
+
+#endif // POWERDIAL_HAVE_GOOGLE_BENCHMARK

@@ -53,6 +53,7 @@ struct SloBenchOptions
     /** Heterogeneous fleet spec, e.g. "big:1,little:2" (empty =
      *  the homogeneous two-single-core-machine default). */
     std::string class_mix;
+    ObsOptions obs; //!< --trace / --trace-jsonl / --metrics outputs.
 };
 
 SloBenchOptions
@@ -69,8 +70,8 @@ parseSloOptions(int argc, char **argv)
                      "(0 = all hardware contexts, 1 = serial)\n"
                      "  class-mix  heterogeneous fleet from the "
                      "big.LITTLE catalog, e.g. big:1,little:2\n"
-                     "             (absent = homogeneous default)\n",
-                     argv[0]);
+                     "             (absent = homogeneous default)\n%s",
+                     argv[0], obsUsage());
         std::exit(2);
     };
     const auto parseCount = [&usage](const char *text) {
@@ -92,6 +93,8 @@ parseSloOptions(int argc, char **argv)
             options.threads = parseCount(argv[++i]);
         } else if (std::strncmp(arg, "--class-mix=", 12) == 0) {
             options.class_mix = arg + 12;
+        } else if (parseObsArg(options.obs, arg)) {
+            // Consumed by the shared observability parser.
         } else {
             usage();
         }
@@ -240,6 +243,10 @@ main(int argc, char **argv)
         {"predictive", fleet::makePredictiveAdmission()},
     };
 
+    // One sink across the matrix: beginServe resets it at each serve,
+    // so the outputs describe the final cell (flash/event/predictive).
+    auto obs_sink = makeObsSink(options.obs);
+
     std::vector<SloCase> cases;
     for (const auto &shape : shapes) {
         for (const auto &engine : engines) {
@@ -261,6 +268,8 @@ main(int argc, char **argv)
                 if (!applyClassMix(server_options,
                                    options.class_mix))
                     return 2;
+                server_options.trace =
+                    obs_sink ? &*obs_sink : nullptr;
 
                 std::string label = std::string(shape.label) + " / " +
                     engine.label + " / " + admission.label;
@@ -283,6 +292,9 @@ main(int argc, char **argv)
             }
         }
     }
+
+    writeObsOutputs(options.obs, obs_sink ? &*obs_sink : nullptr,
+                    cases.back().report);
 
     banner("slo summary");
     std::printf("%-8s %-6s %-12s %6s %6s %8s %10s %10s %8s\n", "trace",

@@ -48,6 +48,15 @@ struct ControlledRun
     double mean_qos_loss_estimate = 0.0; //!< Work-weighted calibrated
                                          //!< QoS loss of installed combos.
     std::size_t beat_count = 0; //!< Heartbeats (units) processed.
+
+    // Where `seconds` went, additively (up to FP rounding):
+    // seconds ~= service_s + queue_share_s + class_deficit_s + pause_s.
+    double service_s = 0.0;  //!< Work at nominal frequency, full share.
+    double queue_share_s = 0.0;  //!< Waiting on co-tenants (share < 1).
+    double class_deficit_s = 0.0; //!< Running below nominal speed
+                                  //!< (DVFS throttle, slow class).
+    double pause_s = 0.0;    //!< Explicit idling: race-to-idle slack,
+                             //!< duty-cycle gates, arbiter pauses.
 };
 
 /** Context delivered at run start. */
@@ -67,6 +76,7 @@ struct QuantumEvent
     double window_rate;        //!< Observed sliding-window rate.
     double commanded_speedup;  //!< Fresh policy command.
     const ActuationPlan &plan; //!< Plan installed for the quantum.
+    double time_s = 0.0;       //!< Virtual time of the re-plan.
 };
 
 /** Context delivered at each heartbeat. */

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -261,8 +262,10 @@ Session::advanceUntil(double deadline_s)
         if (options_.gate) {
             BeatGateContext gate_ctx{u, machine};
             options_.gate(gate_ctx);
-            if (gate_ctx.pause_seconds > 0.0)
+            if (gate_ctx.pause_seconds > 0.0) {
                 machine.idleFor(gate_ctx.pause_seconds);
+                state.result.pause_s += gate_ctx.pause_seconds;
+            }
             gate_pause_per_busy = gate_ctx.pause_per_busy;
         }
 
@@ -275,7 +278,8 @@ Session::advanceUntil(double deadline_s)
                 state.plan = strategy_->plan(state.commanded);
                 if (!observers_.empty()) {
                     const QuantumEvent event{u, rate, state.commanded,
-                                             state.plan};
+                                             state.plan,
+                                             machine.now()};
                     for (RunObserver *observer : observers_)
                         observer->onQuantum(event);
                 }
@@ -296,15 +300,36 @@ Session::advanceUntil(double deadline_s)
         app_->processUnit(u, machine);
         const double busy = machine.now() - before;
 
+        // Latency-breakdown bookkeeping: split the unit's wall time
+        // into co-tenancy queueing (the share the machine gave away),
+        // sub-nominal-speed deficit (running below the machine's
+        // nominal P-state-0 effective rate), and pure service.
+        {
+            const double share = machine.share();
+            state.result.queue_share_s += busy * (1.0 - share);
+            const double effective = busy * share;
+            const double nominal = machine.scale().frequencyHz(0);
+            const double speed_ratio = nominal > 0.0
+                ? std::min(1.0, machine.effectiveHz() / nominal)
+                : 1.0;
+            state.result.service_s += effective * speed_ratio;
+            state.result.class_deficit_s +=
+                effective * (1.0 - speed_ratio);
+        }
+
         // Race-to-idle: insert the plan's idle slack after the work,
         // then any externally imposed duty-cycle slack from the gate.
         const double idle_ratio = options_.knobs_enabled
             ? state.plan.idlePerBusySecond()
             : 0.0;
-        if (idle_ratio > 0.0)
+        if (idle_ratio > 0.0) {
             machine.idleFor(idle_ratio * busy);
-        if (gate_pause_per_busy > 0.0)
+            state.result.pause_s += idle_ratio * busy;
+        }
+        if (gate_pause_per_busy > 0.0) {
             machine.idleFor(gate_pause_per_busy * busy);
+            state.result.pause_s += gate_pause_per_busy * busy;
+        }
 
         // Account the calibrated QoS loss of the installed setting,
         // weighted by the work (one unit) it produced.

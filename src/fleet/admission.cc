@@ -34,8 +34,10 @@ pickWithRoom(const AdmissionContext &context)
         for (std::size_t i = 0; i < context.cluster.size(); ++i)
             if (context.cluster.activeOn(i) < depth)
                 room.push_back(i);
-        if (room.empty())
+        if (room.empty()) {
+            verdict.shed_cause = "capacity";
             return verdict; // Cluster full: shed.
+        }
         machine = context.placement.pickAmong(context.cluster, room);
     }
     verdict.machine = machine;
@@ -78,13 +80,17 @@ class PredictiveAdmission final : public AdmissionPolicy
             return verdict; // Capacity shed, like queue-depth.
         verdict.predicted_s =
             predictLatency(context, *verdict.machine);
+        verdict.margin = margin_;
         if (job.deadline_s > 0.0 && verdict.predicted_s > 0.0) {
             const double headroom = 1.0 +
                 options_.class_headroom *
                     static_cast<double>(job.job_class);
+            verdict.class_factor = headroom;
             if (verdict.predicted_s * margin_ * headroom >
-                job.deadline_s)
+                job.deadline_s) {
                 verdict.machine.reset(); // Predicted SLO violation.
+                verdict.shed_cause = "slo";
+            }
         }
         return verdict;
     }

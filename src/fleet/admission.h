@@ -91,6 +91,14 @@ struct AdmissionVerdict
     std::optional<std::size_t> machine;
     /** Predicted completion latency, seconds (0 = no prediction). */
     double predicted_s = 0.0;
+    /** Margin multiplier in force at the decision (0 = none used). */
+    double margin = 0.0;
+    /** Class headroom factor 1 + class_headroom * class (0 = unused). */
+    double class_factor = 0.0;
+    /** Why a shed was shed: "capacity" (cluster full) or "slo"
+     *  (predicted deadline violation); null on admits. Static
+     *  storage — safe to copy into trace records. */
+    const char *shed_cause = nullptr;
 };
 
 /**

@@ -62,7 +62,7 @@ class EventServe
                                       options.queue_depth,
                                       options.admission, &model}),
           arbiter_(options.arbiter), engine_(options.threads),
-          hub_(engine_.workers()),
+          hub_(engine_.workers()), tracer_(options.trace),
           qos_feedback_(cluster_.size(), 0.0)
     {
         epoch_s_ = options_.epoch_seconds > 0.0
@@ -76,6 +76,8 @@ class EventServe
     FleetReport
     run()
     {
+        if (options_.trace != nullptr)
+            options_.trace->beginServe(engine_.workers());
         if (options_.event.epoch_compat)
             runCompat();
         else
@@ -171,8 +173,10 @@ class EventServe
             options_.arbitration_probe(ArbitrationSample{
                 static_cast<double>(e) * epoch_s_, generation,
                 last_decision_});
+        tracer_.arbitration(generation, last_decision_);
         for (auto &tenant : active_) {
-            writeLease(*tenant, generation, e, last_decision_);
+            detail::writeLease(cluster_, *tenant, generation, e,
+                               last_decision_, tracer_);
             // The legacy float expression, tenant-local: NOT
             // t(e+1) - arrival_time, which rounds differently.
             tenant->slice_deadline_s =
@@ -292,12 +296,12 @@ class EventServe
     void
     arrivalsAt(std::size_t e)
     {
+        // makeTenant stamps arrival_time_s = t(e), which is bitwise
+        // clock_.now() here (advanceTo installs the event time
+        // exactly).
         const std::size_t admitted = admit(offers_[e], e, window_);
         if (admitted == 0)
             return;
-        for (std::size_t i = active_.size() - admitted;
-             i < active_.size(); ++i)
-            active_[i]->arrival_time_s = clock_.now();
         requestArbitration();
         scheduleQuantum();
     }
@@ -353,9 +357,12 @@ class EventServe
         if (options_.arbitration_probe)
             options_.arbitration_probe(ArbitrationSample{
                 clock_.now(), generation_, last_decision_});
+        tracer_.at(clock_.now());
+        tracer_.arbitration(generation_, last_decision_);
         const std::size_t epoch = epochOf(clock_.now());
         for (auto &tenant : active_)
-            writeLease(*tenant, generation_, epoch, last_decision_);
+            detail::writeLease(cluster_, *tenant, generation_, epoch,
+                               last_decision_, tracer_);
     }
 
     /** Close stats window @p w covering [w*stride, w*stride+stride). */
@@ -465,15 +472,10 @@ class EventServe
     admit(const std::vector<workload::OfferedJob> &offered,
           std::size_t e, EpochStats &stats)
     {
+        tracer_.at(static_cast<double>(e) * epoch_s_);
         const std::size_t shed_before = scheduler_.shedCount();
-        std::vector<std::pair<Admission, const workload::OfferedJob *>>
-            placements;
-        placements.reserve(offered.size());
-        for (const workload::OfferedJob &job : offered) {
-            const auto admission = scheduler_.tryAdmit(job);
-            if (admission.has_value())
-                placements.emplace_back(*admission, &job);
-        }
+        const auto placements = detail::admitOffers(
+            scheduler_, offered, next_job_, next_offer_, tracer_);
         stats.arrivals += placements.size();
         const std::size_t shed = scheduler_.shedCount() - shed_before;
         stats.shed += shed;
@@ -486,29 +488,12 @@ class EventServe
                 options_, model_, hub_,
                 cluster_.configOf(placements[i].first.machine),
                 next_job_, placements[i].first.machine, e,
+                static_cast<double>(e) * epoch_s_,
                 *placements[i].second, placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job_;
         }
         return placements.size();
-    }
-
-    /** Install one arbitration round's terms in a tenant's lease. */
-    void
-    writeLease(Tenant &tenant, std::size_t generation,
-               std::size_t epoch, const ArbitrationDecision &decision)
-    {
-        const auto load = cluster_.loadOf(
-            tenant.machine_index,
-            cluster_.activeOn(tenant.machine_index));
-        tenant.lease.generation = generation;
-        tenant.lease.epoch = epoch;
-        tenant.lease.share = load.per_instance_share;
-        tenant.lease.utilization = load.utilization;
-        tenant.lease.pstate_cap =
-            decision.pstate_cap[tenant.machine_index];
-        tenant.lease.pause_ratio =
-            decision.pause_ratio[tenant.machine_index];
     }
 
     /**
@@ -525,8 +510,12 @@ class EventServe
                         Tenant &t = *active_[i];
                         if (t.done)
                             return; // Awaiting release.
+                        if (t.trace)
+                            t.trace->beginSlice(worker);
                         if (!t.started) {
                             t.session->observe(*t.probe);
+                            if (t.trace)
+                                t.session->observe(*t.trace);
                             t.session->start(t.input, t.machine);
                             t.started = true;
                         }
@@ -550,6 +539,7 @@ class EventServe
     PowerArbiter arbiter_;
     core::FanoutEngine engine_;
     MetricsHub hub_;
+    FleetTracer tracer_;
 
     sim::VirtualClock clock_;
     EventQueue<Event> queue_;
@@ -558,6 +548,7 @@ class EventServe
     std::vector<std::unique_ptr<Tenant>> active_; // In job order.
     FleetReport report_;
     std::size_t next_job_ = 0;
+    std::size_t next_offer_ = 0;
     double epoch_s_ = 0.0;
 
     // Compat-mode state.

@@ -26,6 +26,10 @@ MetricsHub::Probe::onRunEnd(const core::ControlledRun &run)
 {
     record_.latency_s = run.seconds;
     record_.qos_loss = run.mean_qos_loss_estimate;
+    record_.service_s = run.service_s;
+    record_.queue_share_s = run.queue_share_s;
+    record_.class_deficit_s = run.class_deficit_s;
+    record_.pause_s = run.pause_s;
     record_.mean_rate = record_.beats > 0
         ? rate_sum_ / static_cast<double>(record_.beats)
         : 0.0;

@@ -42,6 +42,13 @@ struct JobRecord
     double qos_loss = 0.0;   //!< Work-weighted calibrated QoS loss.
     double energy_j = 0.0;   //!< Energy of the job's machine share.
     std::size_t beats = 0;   //!< Heartbeats the job emitted.
+    // Latency breakdown (see core::ControlledRun): where latency_s
+    // went — service_s + queue_share_s + class_deficit_s + pause_s
+    // ~= latency_s up to FP rounding.
+    double service_s = 0.0;       //!< Nominal-speed, full-share work.
+    double queue_share_s = 0.0;   //!< Waiting on co-tenants.
+    double class_deficit_s = 0.0; //!< Running below nominal speed.
+    double pause_s = 0.0;         //!< Explicit idling (gates, slack).
     /**
      * Arbitration-lease generation the job last observed (0 = it
      * never saw a lease) and how many distinct lease terms its beat

@@ -1,0 +1,189 @@
+#include "fleet/observability.h"
+
+#include <string>
+
+namespace powerdial::fleet {
+
+namespace {
+
+obs::TraceRecord
+fleetRecord(double now_s, obs::TraceKind kind, obs::Severity severity)
+{
+    obs::TraceRecord record;
+    record.time_s = now_s;
+    record.kind = kind;
+    record.severity = severity;
+    return record;
+}
+
+} // namespace
+
+void
+FleetTracer::placement(std::size_t offer,
+                       const std::vector<double> &costs)
+{
+    if (sink_ == nullptr ||
+        !sink_->wants(obs::kCatPlacement, obs::Severity::Info))
+        return;
+    for (std::size_t machine = 0; machine < costs.size(); ++machine) {
+        obs::TraceRecord record = fleetRecord(
+            now_s_, obs::TraceKind::Placement, obs::Severity::Info);
+        record.offer = offer;
+        record.machine = machine;
+        record.cost = costs[machine];
+        sink_->emitFleet(record);
+    }
+}
+
+void
+FleetTracer::admit(std::size_t offer, const workload::OfferedJob &job,
+                   const AdmissionVerdict &verdict, std::size_t job_id)
+{
+    if (sink_ == nullptr ||
+        !sink_->wants(obs::kCatAdmission, obs::Severity::Info))
+        return;
+    obs::TraceRecord record = fleetRecord(
+        now_s_, obs::TraceKind::Admit, obs::Severity::Info);
+    record.job = job_id;
+    record.offer = offer;
+    record.tenant = job.tenant; // kRoundRobinTenant renders as absent.
+    record.machine = verdict.machine.value_or(obs::kNoIndex);
+    record.job_class = job.job_class;
+    record.predicted_s = verdict.predicted_s;
+    record.deadline_s = job.deadline_s;
+    record.margin = verdict.margin;
+    record.class_factor = verdict.class_factor;
+    sink_->emitFleet(record);
+}
+
+void
+FleetTracer::shed(std::size_t offer, const workload::OfferedJob &job,
+                  const AdmissionVerdict &verdict)
+{
+    if (sink_ == nullptr ||
+        !sink_->wants(obs::kCatAdmission, obs::Severity::Warn))
+        return;
+    obs::TraceRecord record = fleetRecord(
+        now_s_, obs::TraceKind::Shed, obs::Severity::Warn);
+    record.offer = offer;
+    record.tenant = job.tenant;
+    record.machine = verdict.policy_pick; // Where the shed is charged.
+    record.job_class = job.job_class;
+    record.predicted_s = verdict.predicted_s;
+    record.deadline_s = job.deadline_s;
+    record.margin = verdict.margin;
+    record.class_factor = verdict.class_factor;
+    record.cause = verdict.shed_cause;
+    sink_->emitFleet(record);
+}
+
+void
+FleetTracer::arbitration(std::size_t generation,
+                         const ArbitrationDecision &decision)
+{
+    if (sink_ == nullptr ||
+        !sink_->wants(obs::kCatArbitration, obs::Severity::Info))
+        return;
+    for (std::size_t machine = 0;
+         machine < decision.budget_watts.size(); ++machine) {
+        obs::TraceRecord record = fleetRecord(
+            now_s_, obs::TraceKind::Arbitration, obs::Severity::Info);
+        record.machine = machine;
+        record.generation = generation;
+        record.budget_watts = decision.budget_watts[machine];
+        record.pstate_cap = decision.pstate_cap[machine];
+        record.pause_ratio = decision.pause_ratio[machine];
+        sink_->emitFleet(record);
+    }
+}
+
+void
+FleetTracer::lease(std::size_t job, std::size_t tenant,
+                   std::size_t machine, const ArbitrationLease &lease)
+{
+    if (sink_ == nullptr ||
+        !sink_->wants(obs::kCatArbitration, obs::Severity::Info))
+        return;
+    obs::TraceRecord record = fleetRecord(
+        now_s_, obs::TraceKind::Lease, obs::Severity::Info);
+    record.job = job;
+    record.tenant = tenant;
+    record.machine = machine;
+    record.generation = lease.generation;
+    record.share = lease.share;
+    record.pstate_cap = lease.pstate_cap;
+    record.pause_ratio = lease.pause_ratio;
+    sink_->emitFleet(record);
+}
+
+void
+recordFleetMetrics(obs::MetricsRegistry &registry,
+                   const FleetReport &report)
+{
+    registry
+        .counter("powerdial_jobs_total",
+                 "Jobs admitted and served over the serve")
+        .add(static_cast<double>(report.total_jobs));
+    registry
+        .counter("powerdial_jobs_drained_total",
+                 "Jobs still in flight at the horizon, finished in "
+                 "the drain")
+        .add(static_cast<double>(report.drained_jobs));
+    registry
+        .counter("powerdial_jobs_shed_total",
+                 "Jobs turned away by admission control")
+        .add(static_cast<double>(report.total_shed));
+    for (std::size_t c = 0; c < report.shed_by_class.size(); ++c)
+        registry
+            .counter("powerdial_jobs_shed_by_class_total",
+                     "Jobs shed per priority class (0 = highest)",
+                     "job_class=\"" + std::to_string(c) + "\"")
+            .add(static_cast<double>(report.shed_by_class[c]));
+
+    obs::Histogram &latency = registry.histogram(
+        "powerdial_job_latency_seconds",
+        "Completion latency of served jobs",
+        obs::HistogramSpec{1e-3, 3, 6});
+    obs::Histogram &qos = registry.histogram(
+        "powerdial_job_qos_loss",
+        "Work-weighted calibrated QoS loss of served jobs",
+        obs::HistogramSpec{1e-4, 3, 4});
+    obs::Counter &service = registry.counter(
+        "powerdial_latency_breakdown_seconds_total",
+        "Summed completion latency by component",
+        "component=\"service\"");
+    obs::Counter &queue_share = registry.counter(
+        "powerdial_latency_breakdown_seconds_total",
+        "Summed completion latency by component",
+        "component=\"queue_share\"");
+    obs::Counter &class_deficit = registry.counter(
+        "powerdial_latency_breakdown_seconds_total",
+        "Summed completion latency by component",
+        "component=\"class_deficit\"");
+    obs::Counter &pause = registry.counter(
+        "powerdial_latency_breakdown_seconds_total",
+        "Summed completion latency by component",
+        "component=\"pause\"");
+    for (const JobRecord &job : report.jobs) {
+        latency.observe(job.latency_s);
+        qos.observe(job.qos_loss);
+        service.add(job.service_s);
+        queue_share.add(job.queue_share_s);
+        class_deficit.add(job.class_deficit_s);
+        pause.add(job.pause_s);
+    }
+
+    obs::Histogram &watts = registry.histogram(
+        "powerdial_epoch_watts", "Cluster power per epoch sample",
+        obs::HistogramSpec{1.0, 3, 5});
+    obs::Histogram &depth = registry.histogram(
+        "powerdial_epoch_active_jobs",
+        "In-flight jobs (cluster queue depth) per epoch sample",
+        obs::HistogramSpec{1.0, 3, 4});
+    for (const EpochStats &epoch : report.epochs) {
+        watts.observe(epoch.watts);
+        depth.observe(static_cast<double>(epoch.active));
+    }
+}
+
+} // namespace powerdial::fleet

@@ -26,6 +26,15 @@ class LeastLoadedPolicy final : public PlacementPolicy
     }
 
     // The base-class pickAmong is already least-loaded-among.
+
+    std::vector<double>
+    candidateCosts(const sim::Cluster &cluster) const override
+    {
+        std::vector<double> costs(cluster.size(), 0.0);
+        for (std::size_t i = 0; i < cluster.size(); ++i)
+            costs[i] = static_cast<double>(cluster.activeOn(i));
+        return costs;
+    }
 };
 
 class PowerAwarePolicy final : public PlacementPolicy
@@ -62,6 +71,15 @@ class PowerAwarePolicy final : public PlacementPolicy
             }
         }
         return best;
+    }
+
+    std::vector<double>
+    candidateCosts(const sim::Cluster &cluster) const override
+    {
+        std::vector<double> costs(cluster.size(), 0.0);
+        for (std::size_t i = 0; i < cluster.size(); ++i)
+            costs[i] = marginalWatts(cluster, i);
+        return costs;
     }
 
   private:
@@ -121,6 +139,15 @@ class AffinityAwarePolicy final : public PlacementPolicy
             }
         }
         return best;
+    }
+
+    std::vector<double>
+    candidateCosts(const sim::Cluster &cluster) const override
+    {
+        std::vector<double> costs(cluster.size(), 0.0);
+        for (std::size_t i = 0; i < cluster.size(); ++i)
+            costs[i] = predictedCost(cluster, i);
+        return costs;
     }
 
   private:
@@ -236,6 +263,7 @@ std::optional<Admission>
 Scheduler::tryAdmit(const OfferedJob &job)
 {
     const AdmissionVerdict verdict = decideWith(job);
+    last_verdict_ = verdict;
     if (!verdict.machine.has_value()) {
         // Shed: charge the job to the host the policy chose for it
         // and to its priority class.
@@ -267,6 +295,7 @@ Scheduler::admit()
     // counters only track tryAdmit()-path admission control.
     const AdmissionVerdict verdict =
         decideWith(OfferedJob{kRoundRobinTenant, 0, 0.0});
+    last_verdict_ = verdict;
     if (!verdict.machine.has_value())
         throw std::logic_error(
             "Scheduler: admit() shed a job; use tryAdmit() with a "

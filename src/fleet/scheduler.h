@@ -76,6 +76,20 @@ class PlacementPolicy
     {
         (void)model;
     }
+
+    /**
+     * The policy's per-machine cost vector for the next placement —
+     * the quantity pick() minimizes, one entry per cluster machine —
+     * for decision-attribution tracing. Policies with no numeric cost
+     * (the default) return an empty vector and the tracer emits no
+     * placement records for them.
+     */
+    virtual std::vector<double>
+    candidateCosts(const sim::Cluster &cluster) const
+    {
+        (void)cluster;
+        return {};
+    }
 };
 
 /** Mint a fresh placement policy per scheduler. */
@@ -223,6 +237,14 @@ class Scheduler
     /** The placement policy in use. */
     const PlacementPolicy &policy() const { return *policy_; }
 
+    /**
+     * The full verdict behind the most recent tryAdmit()/admit() —
+     * pricing (prediction, margin, class factor) and, for sheds, the
+     * attributed cause. For decision tracing; valid until the next
+     * admission call on this scheduler.
+     */
+    const AdmissionVerdict &lastVerdict() const { return last_verdict_; }
+
     /** The admission policy in use. */
     const AdmissionPolicy &admissionPolicy() const { return *admission_; }
 
@@ -240,6 +262,7 @@ class Scheduler
     std::unique_ptr<AdmissionPolicy> admission_;
     ArbitrationDecision last_decision_;
     bool have_decision_ = false;
+    AdmissionVerdict last_verdict_;
     std::size_t shed_ = 0;
     std::vector<std::size_t> shed_by_machine_;
     std::vector<std::size_t> shed_by_class_;

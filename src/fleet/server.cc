@@ -63,9 +63,13 @@ Server::serve(const std::vector<std::size_t> &arrivals)
     // the serve below reproduces the historical behaviour exactly.
     std::vector<std::vector<workload::OfferedJob>> offers(
         arrivals.size());
-    for (std::size_t e = 0; e < arrivals.size(); ++e)
+    std::size_t next_offer = 0;
+    for (std::size_t e = 0; e < arrivals.size(); ++e) {
         offers[e].assign(arrivals[e],
                          workload::OfferedJob{kRoundRobinTenant, 0, 0.0});
+        for (workload::OfferedJob &job : offers[e])
+            job.offer = next_offer++;
+    }
     return serve(offers);
 }
 
@@ -94,6 +98,9 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
     // its workers.
     core::FanoutEngine engine(options_.threads);
     MetricsHub hub(engine.workers());
+    if (options_.trace != nullptr)
+        options_.trace->beginServe(engine.workers());
+    FleetTracer tracer(options_.trace);
 
     std::vector<double> qos_feedback(cluster.size(), 0.0);
     std::vector<std::unique_ptr<Tenant>> active; // In job order.
@@ -101,6 +108,7 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
     FleetReport report;
     report.epochs.reserve(offers.size());
     std::size_t next_job = 0;
+    std::size_t next_offer = 0;
 
     // Advance every active tenant to its current slice deadline
     // (+inf for the final drain); the slice that completes a run
@@ -111,8 +119,12 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
                        Tenant &t = *active[i];
                        if (t.done)
                            return; // Awaiting release at the epoch top.
+                       if (t.trace)
+                           t.trace->beginSlice(worker);
                        if (!t.started) {
                            t.session->observe(*t.probe);
+                           if (t.trace)
+                               t.session->observe(*t.trace);
                            t.session->start(t.input, t.machine);
                            t.started = true;
                        }
@@ -148,15 +160,10 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
 
         // Admission: serial and deterministic, one arrival at a time.
         // The admission policy decides who runs and who is shed.
+        tracer.at(static_cast<double>(e) * epoch_s);
         const std::size_t shed_before = scheduler.shedCount();
-        std::vector<std::pair<Admission, const workload::OfferedJob *>>
-            placements;
-        placements.reserve(offers[e].size());
-        for (const workload::OfferedJob &job : offers[e]) {
-            const auto admission = scheduler.tryAdmit(job);
-            if (admission.has_value())
-                placements.emplace_back(*admission, &job);
-        }
+        const auto placements = detail::admitOffers(
+            scheduler, offers[e], next_job, next_offer, tracer);
         stats.arrivals = placements.size();
         stats.shed = scheduler.shedCount() - shed_before;
         report.total_shed += stats.shed;
@@ -169,8 +176,9 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
             active.push_back(detail::makeTenant(
                 options_, *model_, hub,
                 cluster.configOf(placements[i].first.machine), next_job,
-                placements[i].first.machine, e, *placements[i].second,
-                placements[i].first.predicted_s,
+                placements[i].first.machine, e,
+                static_cast<double>(e) * epoch_s,
+                *placements[i].second, placements[i].first.predicted_s,
                 std::move(bound.apps[i]), std::move(bound.tables[i])));
             ++next_job;
         }
@@ -188,18 +196,10 @@ Server::serve(const std::vector<std::vector<workload::OfferedJob>> &offers)
         if (options_.arbitration_probe)
             options_.arbitration_probe(ArbitrationSample{
                 static_cast<double>(e) * epoch_s, generation, decision});
+        tracer.arbitration(generation, decision);
         for (auto &tenant : active) {
-            const auto load = cluster.loadOf(
-                tenant->machine_index,
-                cluster.activeOn(tenant->machine_index));
-            tenant->lease.generation = generation;
-            tenant->lease.epoch = e;
-            tenant->lease.share = load.per_instance_share;
-            tenant->lease.utilization = load.utilization;
-            tenant->lease.pstate_cap =
-                decision.pstate_cap[tenant->machine_index];
-            tenant->lease.pause_ratio =
-                decision.pause_ratio[tenant->machine_index];
+            detail::writeLease(cluster, *tenant, generation, e,
+                               decision, tracer);
             tenant->slice_deadline_s =
                 static_cast<double>(e - tenant->arrival_epoch + 1) *
                 epoch_s;

@@ -53,6 +53,10 @@
 #include "fleet/scheduler.h"
 #include "sim/cluster.h"
 
+namespace powerdial::obs {
+class TraceSink;
+}
+
 namespace powerdial::fleet {
 
 /**
@@ -202,6 +206,14 @@ struct ServerOptions
     EventEngineOptions event{};
     /** Optional observer invoked after every arbitration round. */
     ArbitrationProbe arbitration_probe;
+    /**
+     * Structured trace sink (obs/trace_sink.h); null (default) records
+     * nothing and costs one branch per would-be event. Borrowed — must
+     * outlive the server. Both engines call TraceSink::beginServe at
+     * the top of every serve, so a sink attached across several serves
+     * holds the last serve's trace.
+     */
+    obs::TraceSink *trace = nullptr;
 };
 
 /** Aggregate fleet state over one epoch. */

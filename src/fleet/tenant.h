@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "fleet/observability.h"
 #include "fleet/server.h"
 
 namespace powerdial::fleet::detail {
@@ -71,6 +72,9 @@ struct Tenant
     }
 
     std::optional<MetricsHub::Probe> probe;
+    /** Structured trace stream of this job (present when the serve
+     *  has a TraceSink attached). */
+    std::optional<obs::TraceProbe> trace;
     std::optional<core::Session> session;
     bool started = false;
     bool done = false;
@@ -94,8 +98,9 @@ makeTenant(const ServerOptions &options,
            const core::ResponseModel &model, MetricsHub &hub,
            const sim::Machine::Config &host_config, std::size_t job,
            std::size_t machine_index, std::size_t arrival_epoch,
-           const workload::OfferedJob &offer, double predicted_s,
-           std::unique_ptr<core::App> app, core::KnobTable table)
+           double arrival_time_s, const workload::OfferedJob &offer,
+           double predicted_s, std::unique_ptr<core::App> app,
+           core::KnobTable table)
 {
     auto tenant = std::make_unique<Tenant>(host_config);
     Tenant *t = tenant.get();
@@ -105,6 +110,7 @@ makeTenant(const ServerOptions &options,
         : offer.tenant;
     t->machine_index = machine_index;
     t->arrival_epoch = arrival_epoch;
+    t->arrival_time_s = arrival_time_s;
     t->app = std::move(app);
     t->table = std::move(table);
 
@@ -117,6 +123,12 @@ makeTenant(const ServerOptions &options,
     seed.deadline_s = offer.deadline_s;
     seed.predicted_s = predicted_s;
     t->probe.emplace(hub.probe(0, seed));
+
+    if (options.trace != nullptr)
+        t->trace.emplace(*options.trace,
+                         obs::TraceProbe::Identity{
+                             t->job, t->input, t->machine_index,
+                             offer.job_class, arrival_time_s});
 
     // The tenant's gate: the caller's gate first, then the lease
     // re-read (terms applied within one beat of the rewrite), then
@@ -138,6 +150,71 @@ makeTenant(const ServerOptions &options,
     t->session.emplace(*t->app, t->table, model,
                        std::move(session_options));
     return tenant;
+}
+
+/**
+ * Serial admission of one batch of offered jobs, the way both engines
+ * must run it: every offer goes through Scheduler::tryAdmit in arrival
+ * order, and each decision is attributed through the tracer —
+ * per-candidate placement costs (computed against the pre-placement
+ * occupancy the policy actually ranked), then the admit (with the
+ * prospective fleet job id) or shed record. Offers the composer never
+ * numbered get a serial id from @p next_offer; numbered offers keep
+ * theirs (@p next_offer still advances, staying a pure arrival
+ * counter either way).
+ *
+ * @return The admissions, paired with their offers, in arrival order.
+ */
+inline std::vector<std::pair<Admission, const workload::OfferedJob *>>
+admitOffers(Scheduler &scheduler,
+            const std::vector<workload::OfferedJob> &offered,
+            std::size_t next_job, std::size_t &next_offer,
+            FleetTracer &tracer)
+{
+    std::vector<std::pair<Admission, const workload::OfferedJob *>>
+        placements;
+    placements.reserve(offered.size());
+    for (const workload::OfferedJob &job : offered) {
+        const std::size_t offer =
+            job.offer != workload::kUnnumberedOffer ? job.offer
+                                                    : next_offer;
+        ++next_offer;
+        if (tracer.wantsPlacement())
+            tracer.placement(offer, scheduler.policy().candidateCosts(
+                                        scheduler.cluster()));
+        const auto admission = scheduler.tryAdmit(job);
+        if (admission.has_value()) {
+            placements.emplace_back(*admission, &job);
+            tracer.admit(offer, job, scheduler.lastVerdict(),
+                         next_job + placements.size() - 1);
+        } else {
+            tracer.shed(offer, job, scheduler.lastVerdict());
+        }
+    }
+    return placements;
+}
+
+/**
+ * Install one arbitration round's terms in a tenant's lease — the one
+ * lease-rewrite path both engines share — and attribute the rewrite
+ * through the tracer.
+ */
+inline void
+writeLease(const sim::Cluster &cluster, Tenant &tenant,
+           std::size_t generation, std::size_t epoch,
+           const ArbitrationDecision &decision, FleetTracer &tracer)
+{
+    const auto load = cluster.loadOf(
+        tenant.machine_index, cluster.activeOn(tenant.machine_index));
+    tenant.lease.generation = generation;
+    tenant.lease.epoch = epoch;
+    tenant.lease.share = load.per_instance_share;
+    tenant.lease.utilization = load.utilization;
+    tenant.lease.pstate_cap = decision.pstate_cap[tenant.machine_index];
+    tenant.lease.pause_ratio =
+        decision.pause_ratio[tenant.machine_index];
+    tracer.lease(tenant.job, tenant.input, tenant.machine_index,
+                 tenant.lease);
 }
 
 /**

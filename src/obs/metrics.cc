@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/format.h"
+
+namespace powerdial::obs {
+
+Histogram::Histogram(const HistogramSpec &spec)
+{
+    if (!(spec.min > 0.0))
+        throw std::invalid_argument("Histogram: min must be positive");
+    if (spec.buckets_per_decade == 0)
+        throw std::invalid_argument(
+            "Histogram: need at least one bucket per decade");
+    const std::size_t n = spec.buckets_per_decade * spec.decades;
+    bounds_.reserve(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        bounds_.push_back(
+            spec.min *
+            std::pow(10.0, static_cast<double>(i) /
+                               static_cast<double>(
+                                   spec.buckets_per_decade)));
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double value)
+{
+    // First bound >= value; le semantics make the edge inclusive.
+    // Everything past the last bound lands in the +Inf slot.
+    const std::size_t index = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    ++counts_[index];
+    sum_ += value;
+    ++total_;
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::family(const std::string &name, const std::string &help,
+                        const char *type)
+{
+    Family &family = families_[name];
+    if (family.type == nullptr) {
+        family.help = help;
+        family.type = type;
+    } else if (std::string(family.type) != type) {
+        throw std::logic_error("MetricsRegistry: metric '" + name +
+                               "' registered as both " + family.type +
+                               " and " + type);
+    }
+    return family;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help,
+                         const std::string &labels)
+{
+    return family(name, help, "counter").counters[labels];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help,
+                           const HistogramSpec &spec,
+                           const std::string &labels)
+{
+    Family &fam = family(name, help, "histogram");
+    auto it = fam.histograms.find(labels);
+    if (it == fam.histograms.end())
+        it = fam.histograms.emplace(labels, Histogram(spec)).first;
+    return it->second;
+}
+
+namespace {
+
+/** `name{labels,extra}` with empty pieces elided. */
+std::string
+labeled(const std::string &name, const std::string &labels,
+        const std::string &extra = std::string())
+{
+    std::string joined = labels;
+    if (!extra.empty())
+        joined += joined.empty() ? extra : "," + extra;
+    if (joined.empty())
+        return name;
+    return name + "{" + joined + "}";
+}
+
+} // namespace
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, family] : families_) {
+        os << "# HELP " << name << " " << family.help << "\n";
+        os << "# TYPE " << name << " " << family.type << "\n";
+        for (const auto &[labels, counter] : family.counters)
+            os << labeled(name, labels) << " "
+               << formatDouble(counter.value()) << "\n";
+        for (const auto &[labels, histogram] : family.histograms) {
+            std::size_t cumulative = 0;
+            const auto &bounds = histogram.bounds();
+            const auto &counts = histogram.counts();
+            for (std::size_t i = 0; i < bounds.size(); ++i) {
+                cumulative += counts[i];
+                os << labeled(name + "_bucket", labels,
+                              "le=\"" + formatDouble(bounds[i]) + "\"")
+                   << " " << cumulative << "\n";
+            }
+            os << labeled(name + "_bucket", labels, "le=\"+Inf\"")
+               << " " << histogram.total() << "\n";
+            os << labeled(name + "_sum", labels) << " "
+               << formatDouble(histogram.sum()) << "\n";
+            os << labeled(name + "_count", labels) << " "
+               << histogram.total() << "\n";
+        }
+    }
+}
+
+} // namespace powerdial::obs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic metrics registry: named counters and fixed-bucket
+ * log-scale histograms with Prometheus text exposition.
+ *
+ * Everything about the registry is value-deterministic: families and
+ * labeled instances live in ordered maps, bucket bounds are a pure
+ * function of the spec, and writePrometheus renders through the same
+ * shortest-round-trip double formatting as the trace exporters — so
+ * two runs that observe the same values emit byte-identical text,
+ * which is what lets CI diff a metrics dump like any other golden.
+ *
+ * Histograms use Prometheus "le" (cumulative, inclusive upper bound)
+ * semantics: bucket le=B counts every observation <= B, the implicit
+ * +Inf bucket counts everything. Bounds are log-spaced — bounds[i] =
+ * min * 10^(i / buckets_per_decade) — because the quantities worth
+ * histogramming here (latency, QoS loss, watts, queue depth) span
+ * decades.
+ */
+#ifndef POWERDIAL_OBS_METRICS_H
+#define POWERDIAL_OBS_METRICS_H
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace powerdial::obs {
+
+/** A monotone counter (Prometheus "counter" type). */
+class Counter
+{
+  public:
+    void
+    add(double delta)
+    {
+        value_ += delta;
+    }
+
+    void
+    increment()
+    {
+        value_ += 1.0;
+    }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Log-scale bucket layout: bounds span @p decades decades up from
+ *  @p min with @p buckets_per_decade bounds per decade. */
+struct HistogramSpec
+{
+    double min = 1e-3;
+    std::size_t buckets_per_decade = 3;
+    std::size_t decades = 6;
+};
+
+/** A fixed-bucket histogram (Prometheus "histogram" type). */
+class Histogram
+{
+  public:
+    explicit Histogram(const HistogramSpec &spec);
+
+    void observe(double value);
+
+    /** Finite bucket upper bounds, ascending. */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /**
+     * Per-bucket (non-cumulative) counts; counts()[i] covers
+     * (bounds()[i-1], bounds()[i]], counts().back() is the +Inf
+     * overflow bucket. Size = bounds().size() + 1.
+     */
+    const std::vector<std::size_t> &counts() const { return counts_; }
+
+    double sum() const { return sum_; }
+    std::size_t total() const { return total_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::size_t> counts_;
+    double sum_ = 0.0;
+    std::size_t total_ = 0;
+};
+
+/**
+ * A registry of metric families. A family is one metric name with one
+ * help string and one type; instances within a family are
+ * distinguished by a pre-rendered Prometheus label string (e.g.
+ * `job_class="1"`, empty for the unlabeled instance). Lookup creates
+ * on first use and returns a stable reference thereafter; asking for
+ * the same name with a different type throws.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name, const std::string &help,
+                     const std::string &labels = std::string());
+
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const HistogramSpec &spec,
+                         const std::string &labels = std::string());
+
+    /** Prometheus text exposition format, deterministically ordered
+     *  (families by name, instances by label string). */
+    void writePrometheus(std::ostream &os) const;
+
+  private:
+    struct Family
+    {
+        std::string help;
+        const char *type = nullptr; // "counter" or "histogram"
+        std::map<std::string, Counter> counters;
+        std::map<std::string, Histogram> histograms;
+    };
+
+    Family &family(const std::string &name, const std::string &help,
+                   const char *type);
+
+    std::map<std::string, Family> families_;
+};
+
+} // namespace powerdial::obs
+
+#endif // POWERDIAL_OBS_METRICS_H

@@ -1,0 +1,266 @@
+#include "obs/trace_json.h"
+
+#include <set>
+#include <string>
+
+#include "obs/format.h"
+
+namespace powerdial::obs {
+namespace {
+
+constexpr const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::Debug:
+        return "debug";
+    case Severity::Info:
+        return "info";
+    case Severity::Warn:
+        return "warn";
+    }
+    return "?";
+}
+
+/** Tiny deterministic JSON object builder: fields render in call
+ *  order, numbers through formatDouble, no whitespace. */
+class Obj
+{
+  public:
+    Obj &
+    raw(const char *key, const std::string &value)
+    {
+        body_ += first_ ? "\"" : ",\"";
+        first_ = false;
+        body_ += key;
+        body_ += "\":";
+        body_ += value;
+        return *this;
+    }
+
+    Obj &
+    num(const char *key, double value)
+    {
+        return raw(key, formatDouble(value));
+    }
+
+    Obj &
+    count(const char *key, std::size_t value)
+    {
+        return raw(key, std::to_string(value));
+    }
+
+    /** A size_t identity field; kNoIndex means absent. */
+    Obj &
+    index(const char *key, std::size_t value)
+    {
+        if (value != kNoIndex)
+            count(key, value);
+        return *this;
+    }
+
+    /** A static, escape-free string (kind names, shed causes). */
+    Obj &
+    str(const char *key, const char *value)
+    {
+        return raw(key, "\"" + std::string(value) + "\"");
+    }
+
+    std::string
+    done() const
+    {
+        return body_ + "}";
+    }
+
+  private:
+    std::string body_ = "{";
+    bool first_ = true;
+};
+
+/** The kind-specific payload fields, shared by both exporters. */
+void
+appendPayload(Obj &obj, const TraceRecord &r)
+{
+    switch (r.kind) {
+    case TraceKind::JobStart:
+        obj.count("beats", r.beats);
+        break;
+    case TraceKind::JobEnd:
+        obj.num("latency_s", r.latency_s)
+            .num("qos_loss", r.qos_loss)
+            .num("service_s", r.service_s)
+            .num("queue_share_s", r.queue_share_s)
+            .num("class_deficit_s", r.class_deficit_s)
+            .num("pause_s", r.pause_s)
+            .count("beats", r.beats);
+        break;
+    case TraceKind::Control:
+        obj.index("beat", r.beat)
+            .num("window_rate", r.window_rate)
+            .num("error", r.error)
+            .num("commanded", r.commanded)
+            .num("knob_gain", r.knob_gain)
+            .index("combination", r.combination);
+        break;
+    case TraceKind::Beat:
+        obj.index("beat", r.beat)
+            .num("window_rate", r.window_rate)
+            .num("error", r.error)
+            .num("commanded", r.commanded)
+            .num("knob_gain", r.knob_gain)
+            .index("combination", r.combination)
+            .index("pstate", r.pstate);
+        break;
+    case TraceKind::Admit:
+        obj.num("predicted_s", r.predicted_s)
+            .num("deadline_s", r.deadline_s)
+            .num("margin", r.margin)
+            .num("class_factor", r.class_factor);
+        break;
+    case TraceKind::Shed:
+        obj.str("cause", r.cause != nullptr ? r.cause : "?")
+            .num("predicted_s", r.predicted_s)
+            .num("deadline_s", r.deadline_s)
+            .num("margin", r.margin)
+            .num("class_factor", r.class_factor);
+        break;
+    case TraceKind::Placement:
+        obj.num("cost", r.cost);
+        break;
+    case TraceKind::Arbitration:
+        obj.count("generation", r.generation)
+            .num("budget_watts", r.budget_watts)
+            .count("pstate_cap", r.pstate_cap)
+            .num("pause_ratio", r.pause_ratio);
+        break;
+    case TraceKind::Lease:
+        obj.count("generation", r.generation)
+            .num("share", r.share)
+            .count("pstate_cap", r.pstate_cap)
+            .num("pause_ratio", r.pause_ratio);
+        break;
+    }
+}
+
+/** Whether a record renders on the fleet process (pid 1) rather than
+ *  the tenants process (pid 2). */
+bool
+onFleetTrack(const TraceRecord &r)
+{
+    return (categoryOf(r.kind) &
+            (kCatAdmission | kCatPlacement | kCatArbitration)) != 0;
+}
+
+std::string
+chromeTs(double time_s)
+{
+    return formatDouble(time_s * 1e6);
+}
+
+std::string
+chromeEvent(const TraceRecord &r)
+{
+    Obj obj;
+    if (r.kind == TraceKind::JobStart || r.kind == TraceKind::JobEnd) {
+        // One nestable async span per job: overlapping jobs of one
+        // tenant render as overlapping slices on the tenant track.
+        obj.str("name", ("job " + std::to_string(r.job)).c_str())
+            .str("ph", r.kind == TraceKind::JobStart ? "b" : "e")
+            .str("cat", "job")
+            .count("id", r.job)
+            .count("pid", 2)
+            .count("tid", r.tenant == kNoIndex ? 0 : r.tenant + 1)
+            .raw("ts", chromeTs(r.time_s));
+    } else {
+        const bool fleet = onFleetTrack(r);
+        obj.str("name", kindName(r.kind))
+            .str("ph", "i")
+            .str("s", "t")
+            .count("pid", fleet ? 1 : 2)
+            .count("tid",
+                   fleet ? (r.machine == kNoIndex ? 0 : r.machine + 1)
+                         : (r.tenant == kNoIndex ? 0 : r.tenant + 1))
+            .raw("ts", chromeTs(r.time_s));
+    }
+    Obj args;
+    args.index("job", r.job)
+        .index("offer", r.offer)
+        .index("class", r.job_class);
+    if (onFleetTrack(r))
+        args.index("tenant", r.tenant).index("machine", r.machine);
+    appendPayload(args, r);
+    obj.raw("args", args.done());
+    return obj.done();
+}
+
+std::string
+chromeMeta(const char *what, std::size_t pid, std::size_t tid,
+           const std::string &name)
+{
+    Obj obj;
+    obj.str("name", what).str("ph", "M").count("pid", pid);
+    if (tid != kNoIndex)
+        obj.count("tid", tid);
+    Obj args;
+    args.str("name", name.c_str());
+    obj.raw("args", args.done());
+    return obj.done();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceRecord> &records)
+{
+    // Deterministic track naming: the sorted sets of machine and
+    // tenant ids that actually appear.
+    std::set<std::size_t> machines;
+    std::set<std::size_t> tenants;
+    for (const TraceRecord &r : records) {
+        if (r.machine != kNoIndex)
+            machines.insert(r.machine);
+        if (r.tenant != kNoIndex)
+            tenants.insert(r.tenant);
+    }
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    const char *separator = "\n";
+    auto put = [&](const std::string &event) {
+        os << separator << event;
+        separator = ",\n";
+    };
+    put(chromeMeta("process_name", 1, kNoIndex, "fleet"));
+    put(chromeMeta("process_name", 2, kNoIndex, "tenants"));
+    for (std::size_t machine : machines)
+        put(chromeMeta("thread_name", 1, machine + 1,
+                       "machine " + std::to_string(machine)));
+    for (std::size_t tenant : tenants)
+        put(chromeMeta("thread_name", 2, tenant + 1,
+                       "tenant " + std::to_string(tenant)));
+    for (const TraceRecord &record : records)
+        put(chromeEvent(record));
+    os << "\n]}\n";
+}
+
+void
+writeJsonl(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    for (const TraceRecord &r : records) {
+        Obj obj;
+        obj.num("t", r.time_s)
+            .str("kind", kindName(r.kind))
+            .str("sev", severityName(r.severity))
+            .count("stream", r.stream)
+            .count("seq", r.seq)
+            .index("job", r.job)
+            .index("offer", r.offer)
+            .index("tenant", r.tenant)
+            .index("machine", r.machine)
+            .index("class", r.job_class);
+        appendPayload(obj, r);
+        os << obj.done() << "\n";
+    }
+}
+
+} // namespace powerdial::obs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and a
+ * line-delimited JSON stream.
+ *
+ * Both exporters are pure functions of a drained record sequence —
+ * field order, number formatting (obs/format.h), and track layout are
+ * all fixed — so identical records produce byte-identical files. The
+ * Chrome export lays the fleet out as two processes: pid 1 ("fleet")
+ * with one thread (track) per machine carrying admission, placement,
+ * arbitration, and lease instants; pid 2 ("tenants") with one thread
+ * per tenant input carrying control/beat instants plus a nestable
+ * async span per job (begin at job_start, end at job_end), so
+ * overlapping jobs of one tenant render as overlapping slices. Load
+ * the file at https://ui.perfetto.dev ("Open trace file") or
+ * chrome://tracing.
+ */
+#ifndef POWERDIAL_OBS_TRACE_JSON_H
+#define POWERDIAL_OBS_TRACE_JSON_H
+
+#include <ostream>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace powerdial::obs {
+
+/** Write @p records as one Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceRecord> &records);
+
+/** Write @p records as JSONL: one compact JSON object per line. */
+void writeJsonl(std::ostream &os,
+                const std::vector<TraceRecord> &records);
+
+} // namespace powerdial::obs
+
+#endif // POWERDIAL_OBS_TRACE_JSON_H

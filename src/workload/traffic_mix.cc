@@ -40,6 +40,9 @@ makeTrafficMix(const TrafficMixParams &params,
                 job = {profile.input, profile.job_class,
                        profile.deadline_s};
             }
+            // Number the offer by schedule-wide arrival order (after
+            // the assignment above, which resets the field).
+            job.offer = mix.total_offered + offered.size();
             offered.push_back(job);
         }
         mix.total_offered += offered.size();

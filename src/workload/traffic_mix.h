@@ -34,11 +34,24 @@ namespace powerdial::workload {
  * classes are shed first under overload), and its completion deadline
  * relative to arrival (0 = no deadline, never shed for SLO reasons).
  */
+/** Sentinel OfferedJob::offer: the offer was never numbered (ad-hoc
+ *  construction); engines assign a serial id at admission time. */
+inline constexpr std::size_t kUnnumberedOffer =
+    static_cast<std::size_t>(-1);
+
 struct OfferedJob
 {
     std::size_t tenant = 0;    //!< Application input index served.
     std::size_t job_class = 0; //!< Priority class, 0 = highest.
     double deadline_s = 0.0;   //!< Relative deadline (0 = none).
+    /**
+     * Schedule-wide offer id (arrival order across all steps), the
+     * identity a shed job keeps when it never becomes a fleet job —
+     * what lets a trace answer "what happened to arrival N". Last
+     * member on purpose: existing three-field aggregate initializers
+     * keep compiling and leave the offer unnumbered.
+     */
+    std::size_t offer = kUnnumberedOffer;
 };
 
 /**

@@ -91,6 +91,11 @@ expectReportsIdentical(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.jobs[i].lease_generation,
                   b.jobs[i].lease_generation);
         EXPECT_EQ(a.jobs[i].lease_updates, b.jobs[i].lease_updates);
+        EXPECT_EQ(a.jobs[i].service_s, b.jobs[i].service_s);
+        EXPECT_EQ(a.jobs[i].queue_share_s, b.jobs[i].queue_share_s);
+        EXPECT_EQ(a.jobs[i].class_deficit_s,
+                  b.jobs[i].class_deficit_s);
+        EXPECT_EQ(a.jobs[i].pause_s, b.jobs[i].pause_s);
     }
     ASSERT_EQ(a.tenants.size(), b.tenants.size());
     for (std::size_t i = 0; i < a.tenants.size(); ++i) {

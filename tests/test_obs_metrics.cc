@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The deterministic metrics registry (obs/metrics.h): counter and
+ * histogram semantics — log-scale bucket boundaries with inclusive
+ * (Prometheus `le`) edges, under/overflow routing — plus registry
+ * dedup, type-mismatch rejection, and a byte-exact golden of the
+ * Prometheus text exposition.
+ */
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace powerdial::obs {
+namespace {
+
+TEST(Counter, AddsAndIncrements)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0.0);
+    counter.increment();
+    counter.add(2.5);
+    EXPECT_EQ(counter.value(), 3.5);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsIsTheSameCounter)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("jobs_total", "jobs");
+    Counter &b = registry.counter("jobs_total", "jobs");
+    EXPECT_EQ(&a, &b);
+    Counter &labeled =
+        registry.counter("jobs_total", "jobs", "class=\"0\"");
+    EXPECT_NE(&a, &labeled);
+    a.increment();
+    EXPECT_EQ(b.value(), 1.0);
+    EXPECT_EQ(labeled.value(), 0.0);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows)
+{
+    MetricsRegistry registry;
+    registry.counter("latency", "latency");
+    EXPECT_THROW(registry.histogram("latency", "latency", {}),
+                 std::logic_error);
+    registry.histogram("watts", "watts", {});
+    EXPECT_THROW(registry.counter("watts", "watts"),
+                 std::logic_error);
+}
+
+TEST(Histogram, RejectsDegenerateSpecs)
+{
+    EXPECT_THROW(Histogram(HistogramSpec{0.0, 3, 6}),
+                 std::invalid_argument);
+    EXPECT_THROW(Histogram(HistogramSpec{-1.0, 3, 6}),
+                 std::invalid_argument);
+    EXPECT_THROW(Histogram(HistogramSpec{1e-3, 0, 6}),
+                 std::invalid_argument);
+}
+
+TEST(Histogram, LogScaleBounds)
+{
+    const Histogram histogram(HistogramSpec{1e-3, 3, 6});
+    const auto &bounds = histogram.bounds();
+    ASSERT_EQ(bounds.size(), 19u); // 3 per decade * 6 decades + 1.
+    EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+    EXPECT_DOUBLE_EQ(bounds.back(), 1e3);
+    // One decade apart every buckets_per_decade steps.
+    for (std::size_t i = 3; i < bounds.size(); ++i)
+        EXPECT_NEAR(bounds[i] / bounds[i - 3], 10.0, 1e-9);
+    // Counts: one slot per bound plus the +Inf overflow.
+    EXPECT_EQ(histogram.counts().size(), bounds.size() + 1);
+}
+
+TEST(Histogram, ExactEdgeIsInclusive)
+{
+    Histogram histogram(HistogramSpec{1.0, 1, 3});
+    const auto &bounds = histogram.bounds(); // 1, 10, 100, 1000.
+    ASSERT_EQ(bounds.size(), 4u);
+
+    // A value exactly on a bound lands in that bound's bucket
+    // (le="10" counts values <= 10), and the next representable
+    // value above it lands in the next.
+    histogram.observe(bounds[1]);
+    EXPECT_EQ(histogram.counts()[1], 1u);
+    histogram.observe(std::nextafter(bounds[1], 1e300));
+    EXPECT_EQ(histogram.counts()[2], 1u);
+    histogram.observe(std::nextafter(bounds[1], 0.0));
+    EXPECT_EQ(histogram.counts()[1], 2u);
+}
+
+TEST(Histogram, UnderflowAndOverflow)
+{
+    Histogram histogram(HistogramSpec{1.0, 1, 3});
+    // Below the smallest bound: the first bucket (le="1").
+    histogram.observe(0.0);
+    histogram.observe(1e-12);
+    EXPECT_EQ(histogram.counts().front(), 2u);
+    // Above the largest bound: the +Inf overflow slot.
+    histogram.observe(1000.0); // Exactly the last bound: still in.
+    EXPECT_EQ(histogram.counts()[3], 1u);
+    histogram.observe(1001.0);
+    EXPECT_EQ(histogram.counts().back(), 1u);
+    EXPECT_EQ(histogram.total(), 4u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 1e-12 + 1000.0 + 1001.0);
+}
+
+TEST(MetricsRegistry, PrometheusGolden)
+{
+    MetricsRegistry registry;
+    registry.counter("powerdial_jobs_total", "Jobs served").add(7.0);
+    registry
+        .counter("powerdial_sheds_total", "Jobs shed per class",
+                 "job_class=\"0\"")
+        .add(2.0);
+    registry
+        .counter("powerdial_sheds_total", "Jobs shed per class",
+                 "job_class=\"1\"")
+        .add(3.0);
+    Histogram &latency = registry.histogram(
+        "powerdial_latency_seconds", "Job latency",
+        HistogramSpec{0.1, 1, 2});
+    latency.observe(0.05); // le="0.1"
+    latency.observe(1.0);  // le="1" (exact edge, inclusive).
+    latency.observe(25.0); // +Inf overflow.
+
+    std::ostringstream out;
+    registry.writePrometheus(out);
+    const std::string expected =
+        "# HELP powerdial_jobs_total Jobs served\n"
+        "# TYPE powerdial_jobs_total counter\n"
+        "powerdial_jobs_total 7\n"
+        "# HELP powerdial_latency_seconds Job latency\n"
+        "# TYPE powerdial_latency_seconds histogram\n"
+        "powerdial_latency_seconds_bucket{le=\"0.1\"} 1\n"
+        "powerdial_latency_seconds_bucket{le=\"1\"} 2\n"
+        "powerdial_latency_seconds_bucket{le=\"10\"} 2\n"
+        "powerdial_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+        "powerdial_latency_seconds_sum 26.05\n"
+        "powerdial_latency_seconds_count 3\n"
+        "# HELP powerdial_sheds_total Jobs shed per class\n"
+        "# TYPE powerdial_sheds_total counter\n"
+        "powerdial_sheds_total{job_class=\"0\"} 2\n"
+        "powerdial_sheds_total{job_class=\"1\"} 3\n";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(MetricsRegistry, ExpositionIsDeterministic)
+{
+    // Registration order must not leak into the output: families are
+    // emitted in name order, series in label order.
+    const auto render = [](bool reversed) {
+        MetricsRegistry registry;
+        if (reversed) {
+            registry.counter("b_total", "b", "x=\"1\"").add(1.0);
+            registry.counter("b_total", "b", "x=\"0\"").add(2.0);
+            registry.counter("a_total", "a").add(3.0);
+        } else {
+            registry.counter("a_total", "a").add(3.0);
+            registry.counter("b_total", "b", "x=\"0\"").add(2.0);
+            registry.counter("b_total", "b", "x=\"1\"").add(1.0);
+        }
+        std::ostringstream out;
+        registry.writePrometheus(out);
+        return out.str();
+    };
+    EXPECT_EQ(render(false), render(true));
+}
+
+} // namespace
+} // namespace powerdial::obs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Edge cases of the CSV beat-trace exporters (core/trace_export.h):
+ * decimation strides past the beat count, empty series, and streamed
+ * vs batch equivalence while a DVFS governor changes the P-state
+ * mid-run (so the decimated rows straddle a pstate column change).
+ */
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/identify.h"
+#include "core/session.h"
+#include "core/trace_export.h"
+#include "sim/dvfs_governor.h"
+#include "toy_app.h"
+
+namespace powerdial::core {
+namespace {
+
+using tests::ToyApp;
+
+std::size_t
+countLines(const std::string &text)
+{
+    return static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(TraceExportEdges, DecimateBeyondBeatCountKeepsOnlyBeatZero)
+{
+    std::vector<BeatTrace> beats(5);
+    for (std::size_t i = 0; i < beats.size(); ++i)
+        beats[i].time_s = static_cast<double>(i);
+    std::ostringstream os;
+    writeBeatsCsv(os, beats, 100);
+    // Beat 0 is always on the decimation grid; nothing else is.
+    EXPECT_EQ(countLines(os.str()), 2u);
+    EXPECT_NE(os.str().find("\n0,0,"), std::string::npos);
+}
+
+TEST(TraceExportEdges, EmptySeriesIsHeaderOnly)
+{
+    std::ostringstream os;
+    writeBeatsCsv(os, {}, 7);
+    EXPECT_EQ(countLines(os.str()), 1u);
+    EXPECT_EQ(os.str().rfind("beat,time_s,", 0), 0u);
+}
+
+struct GovernedRun
+{
+    std::vector<BeatTrace> beats;
+    std::string streamed_csv;
+};
+
+/**
+ * One controlled run whose machine drops to the deepest P-state
+ * mid-run and recovers near the end, recorded and streamed at
+ * @p decimate simultaneously.
+ */
+GovernedRun
+governedRun(std::size_t decimate)
+{
+    ToyApp::Config config;
+    config.units = 60;
+    ToyApp app(config);
+    auto ident = identifyKnobs(app);
+    EXPECT_TRUE(ident.analysis.accepted);
+    const auto cal = calibrate(app, app.trainingInputs());
+
+    sim::Machine probe;
+    const double baseline_s = cal.model.baselineSeconds();
+    SessionOptions options;
+    options.governor = sim::DvfsGovernor::powerCap(
+        probe, baseline_s * 0.3, baseline_s * 0.8);
+
+    Session session(app, ident.table, cal.model, options);
+    auto &recorder = session.attach<BeatTraceRecorder>();
+    std::ostringstream stream;
+    session.attach<CsvTraceObserver>(stream, decimate);
+    sim::Machine machine;
+    session.run(0, machine);
+    return {recorder.beats(), stream.str()};
+}
+
+TEST(TraceExportEdges, MidRunPStateChangeSurvivesDecimation)
+{
+    const auto run = governedRun(7);
+
+    // The scenario did change P-state mid-run (else this test pins
+    // nothing): some beat ran capped, some uncapped.
+    std::vector<std::size_t> pstates;
+    for (const auto &beat : run.beats)
+        pstates.push_back(beat.pstate);
+    EXPECT_GT(*std::max_element(pstates.begin(), pstates.end()), 0u);
+    EXPECT_EQ(*std::min_element(pstates.begin(), pstates.end()), 0u);
+
+    // Streamed-at-decimate-7 equals batch-at-decimate-7: the stride
+    // counter does not reset or slip when the pstate column changes
+    // between kept rows.
+    std::ostringstream batch;
+    writeBeatsCsv(batch, run.beats, 7);
+    EXPECT_EQ(run.streamed_csv, batch.str());
+
+    // And the decimated rows still expose the change: both a capped
+    // and an uncapped pstate value appear among the kept rows.
+    bool saw_capped = false;
+    bool saw_uncapped = false;
+    for (std::size_t i = 0; i < run.beats.size(); i += 7) {
+        saw_capped = saw_capped || run.beats[i].pstate > 0;
+        saw_uncapped = saw_uncapped || run.beats[i].pstate == 0;
+    }
+    EXPECT_TRUE(saw_capped);
+    EXPECT_TRUE(saw_uncapped);
+}
+
+TEST(TraceExportEdges, DecimateBeyondRunLengthStreamsOneRow)
+{
+    const auto run = governedRun(1000);
+    EXPECT_EQ(run.beats.size(), 60u);
+    // Header plus the single on-grid row (beat 0).
+    EXPECT_EQ(countLines(run.streamed_csv), 2u);
+    std::ostringstream batch;
+    writeBeatsCsv(batch, run.beats, 1000);
+    EXPECT_EQ(run.streamed_csv, batch.str());
+}
+
+} // namespace
+} // namespace powerdial::core
