@@ -60,6 +60,27 @@ AnnealedParticleFilter::error(const workload::BodyPose &pose,
 }
 
 void
+systematicResampleInto(const std::vector<Particle> &in, std::size_t count,
+                       double total, double u01,
+                       std::vector<Particle> &out)
+{
+    out.clear();
+    out.reserve(count);
+    const double step = total / static_cast<double>(count);
+    const double u = u01 * step;
+    double acc = in.front().weight;
+    std::size_t i = 0;
+    for (std::size_t n = 0; n < count; ++n) {
+        const double target = u + step * static_cast<double>(n);
+        while (acc < target && i + 1 < in.size()) {
+            ++i;
+            acc += in[i].weight;
+        }
+        out.push_back({in[i].pose, 1.0});
+    }
+}
+
+void
 AnnealedParticleFilter::resample(std::size_t count)
 {
     double total = 0.0;
@@ -71,22 +92,12 @@ AnnealedParticleFilter::resample(std::size_t count)
             p.weight = 1.0;
         return;
     }
-    // Systematic (low-variance) resampling.
-    std::vector<Particle> next;
-    next.reserve(count);
-    const double step = total / static_cast<double>(count);
-    double u = rng_.uniform() * step;
-    double acc = particles_.front().weight;
-    std::size_t i = 0;
-    for (std::size_t n = 0; n < count; ++n) {
-        const double target = u + step * static_cast<double>(n);
-        while (acc < target && i + 1 < particles_.size()) {
-            ++i;
-            acc += particles_[i].weight;
-        }
-        next.push_back({particles_[i].pose, 1.0});
-    }
-    particles_ = std::move(next);
+    // Resample into the retained scratch buffer, then swap: after the
+    // first frame the filter runs allocation-free, where it previously
+    // built (and freed) a fresh `count`-particle vector per layer.
+    systematicResampleInto(particles_, count, total, rng_.uniform(),
+                           resample_scratch_);
+    particles_.swap(resample_scratch_);
 }
 
 TrackResult

@@ -49,6 +49,31 @@ struct FilterParams
 void makeSchedules(std::size_t layers, std::vector<double> &betas,
                    std::vector<double> &sigmas);
 
+/**
+ * Systematic (low-variance) resampling of @p in into @p count
+ * uniform-weight particles, written into the caller-owned @p out
+ * (cleared, then filled; capacity is reused across calls, which is the
+ * point — the filter resamples every annealing layer of every frame
+ * and used to reallocate the whole cloud each time).
+ *
+ * @param total Sum of input weights (must be > 0).
+ * @param u01   Uniform draw in [0, 1) seeding the comb offset.
+ */
+void systematicResampleInto(const std::vector<Particle> &in,
+                            std::size_t count, double total, double u01,
+                            std::vector<Particle> &out);
+
+/**
+ * Retained naive resampling (particle_filter_ref.cc): allocates and
+ * returns a fresh cloud per call, kept verbatim as the bit-exactness
+ * oracle for systematicResampleInto.
+ */
+namespace reference {
+std::vector<Particle> systematicResample(const std::vector<Particle> &in,
+                                         std::size_t count, double total,
+                                         double u01);
+} // namespace reference
+
 /** Result of tracking one frame. */
 struct TrackResult
 {
@@ -91,6 +116,8 @@ class AnnealedParticleFilter
     workload::BodyDimensions dims_;
     workload::Rng rng_;
     std::vector<Particle> particles_;
+    /** Resampling scratch, swapped with particles_ each resample. */
+    std::vector<Particle> resample_scratch_;
 };
 
 } // namespace powerdial::apps::bodytrack

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Retained naive systematic resampling — the pre-optimization
+ * implementation (fresh allocation per call), kept verbatim as the
+ * bit-exactness oracle for systematicResampleInto (differential sweep
+ * in tests/test_kernel_equivalence.cc) and as the "before" column of
+ * bench_roofline.
+ */
+#include "apps/bodytrack/particle_filter.h"
+
+namespace powerdial::apps::bodytrack::reference {
+
+std::vector<Particle>
+systematicResample(const std::vector<Particle> &in, std::size_t count,
+                   double total, double u01)
+{
+    std::vector<Particle> next;
+    next.reserve(count);
+    const double step = total / static_cast<double>(count);
+    double u = u01 * step;
+    double acc = in.front().weight;
+    std::size_t i = 0;
+    for (std::size_t n = 0; n < count; ++n) {
+        const double target = u + step * static_cast<double>(n);
+        while (acc < target && i + 1 < in.size()) {
+            ++i;
+            acc += in[i].weight;
+        }
+        next.push_back({in[i].pose, 1.0});
+    }
+    return next;
+}
+
+} // namespace powerdial::apps::bodytrack::reference

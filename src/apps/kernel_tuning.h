@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Opt-in tuning switches for the per-beat application kernels.
+ *
+ * Every kernel optimization in src/apps/ lands bit-exact by default:
+ * the optimized implementations reorder memory traffic and hoist
+ * allocations but never reassociate floating-point arithmetic, so
+ * every golden, calibration table, and differential test stays
+ * byte-identical (pinned by tests/test_kernel_equivalence.cc).
+ *
+ * Transformations that *do* reassociate — e.g. the two-way unrolled
+ * DCT accumulation — are gated behind `KernelTuning::fast_math`. No
+ * bench golden and no default code path enables it; callers that opt
+ * in accept the documented relative-error bound (see the
+ * "Kernel performance & roofline" section of docs/ARCHITECTURE.md and
+ * the FastMath property tests).
+ */
+#ifndef POWERDIAL_APPS_KERNEL_TUNING_H
+#define POWERDIAL_APPS_KERNEL_TUNING_H
+
+namespace powerdial::apps {
+
+/** Kernel-transformation policy. Default-constructed = bit-exact. */
+struct KernelTuning
+{
+    /**
+     * Allow floating-point reassociation (e.g. multi-accumulator
+     * reductions). Off by default: results are then bit-identical to
+     * the retained naive reference kernels. When on, results may
+     * differ from the reference by at most the per-kernel relative
+     * error bound documented in docs/ARCHITECTURE.md (currently
+     * 1e-12 of the output's L-infinity norm for the DCT).
+     */
+    bool fast_math = false;
+};
+
+} // namespace powerdial::apps
+
+#endif // POWERDIAL_APPS_KERNEL_TUNING_H

@@ -26,6 +26,11 @@ InvertedIndex::InvertedIndex(const std::vector<workload::Document> &docs)
                   });
         index_.emplace(word, std::move(postings));
     }
+    qos::DocId max_doc = 0;
+    for (const auto &doc : docs)
+        max_doc = std::max(max_doc, doc.id);
+    score_of_.assign(docs.empty() ? 0 : static_cast<std::size_t>(max_doc) + 1,
+                     0.0);
 }
 
 const std::vector<Posting> &
@@ -43,8 +48,14 @@ InvertedIndex::search(const workload::Query &query,
     if (max_results == 0)
         return out;
 
-    // Score accumulation: tf-idf over the query terms.
-    std::unordered_map<qos::DocId, double> scores;
+    // Score accumulation: tf-idf over the query terms, into the dense
+    // per-document scratch. idf > 0 (df <= N < N+1) and the tf factor
+    // is >= 1, so every contribution is strictly positive and a zero
+    // score means "not yet touched" — no separate mark array needed.
+    // Per-document accumulation order matches the hash-map reference
+    // (terms in query order, postings in doc order), so each final
+    // score is bit-identical.
+    touched_.clear();
     for (const auto term : query.terms) {
         const auto &plist = postings(term);
         if (plist.empty())
@@ -53,35 +64,41 @@ InvertedIndex::search(const workload::Query &query,
             std::log(static_cast<double>(doc_count_ + 1) /
                      static_cast<double>(plist.size()));
         for (const auto &posting : plist) {
-            scores[posting.doc] +=
-                (1.0 + std::log(1.0 + posting.tf)) * idf;
+            double &score = score_of_[posting.doc];
+            if (score == 0.0)
+                touched_.push_back(posting.doc);
+            score += (1.0 + std::log(1.0 + posting.tf)) * idf;
             out.work_ops += 6; // Accumulate one posting.
         }
     }
 
     // Bounded selection of the top max_results (heap of size m, the
-    // work swish++'s max-results flag bounds).
-    std::vector<SearchResult> ranked;
-    ranked.reserve(scores.size());
-    for (const auto &[doc, score] : scores)
-        ranked.push_back({doc, score});
-    const std::size_t m = std::min(max_results, ranked.size());
+    // work swish++'s max-results flag bounds). The comparator is a
+    // strict total order (distinct docs always order), so the selected
+    // prefix is independent of the candidate traversal order.
+    ranked_.clear();
+    ranked_.reserve(touched_.size());
+    for (const auto doc : touched_) {
+        ranked_.push_back({doc, score_of_[doc]});
+        score_of_[doc] = 0.0; // Leave the scratch clean for next query.
+    }
+    const std::size_t m = std::min(max_results, ranked_.size());
     const double logm =
         std::max(1.0, std::log2(static_cast<double>(m + 1)));
     out.work_ops +=
-        static_cast<std::uint64_t>(ranked.size() * logm);
-    std::partial_sort(ranked.begin(), ranked.begin() + m, ranked.end(),
+        static_cast<std::uint64_t>(ranked_.size() * logm);
+    std::partial_sort(ranked_.begin(), ranked_.begin() + m, ranked_.end(),
                       [](const SearchResult &a, const SearchResult &b) {
                           if (a.score != b.score)
                               return a.score > b.score;
                           return a.doc < b.doc; // Deterministic ties.
                       });
-    ranked.resize(m);
 
     // Result serialisation (snippet extraction, formatting, I/O) —
     // linear in the returned count.
     out.work_ops += m * kSerializeOpsPerResult;
-    out.results = std::move(ranked);
+    out.results.assign(ranked_.begin(),
+                       ranked_.begin() + static_cast<std::ptrdiff_t>(m));
     return out;
 }
 

@@ -59,6 +59,17 @@ class InvertedIndex
      * @p max_results. Work accounting: one op per posting scored, a
      * log2(max_results) factor per heap update, and a fixed
      * serialisation cost per returned result.
+     *
+     * Scoring accumulates into a dense per-document scratch array
+     * retained across queries (every tf-idf contribution is strictly
+     * positive, so "score == 0" doubles as the touched mark), replacing
+     * the previous per-query hash map. Results and work_ops are
+     * bit-identical: per-document accumulation order is unchanged and
+     * the ranking comparator is a strict total order, so the ranked
+     * prefix never depended on hash traversal order. The scratch makes
+     * search() not safe to call concurrently on one instance; every
+     * engine in this repo clones the app per worker (FanoutEngine), so
+     * no caller does.
      */
     QueryOutcome search(const workload::Query &query,
                         std::size_t max_results) const;
@@ -70,7 +81,22 @@ class InvertedIndex
     std::unordered_map<workload::WordId, std::vector<Posting>> index_;
     std::vector<Posting> empty_;
     std::size_t doc_count_ = 0;
+    // Query-scoring scratch (see search()). score_of_ is zero outside
+    // a search() call; touched_/ranked_ keep their capacity warm.
+    mutable std::vector<double> score_of_;
+    mutable std::vector<qos::DocId> touched_;
+    mutable std::vector<SearchResult> ranked_;
 };
+
+/**
+ * Retained naive query scoring (index_ref.cc): the pre-optimization
+ * hash-map implementation over the same public index, kept verbatim as
+ * the bit-exactness oracle for InvertedIndex::search.
+ */
+namespace reference {
+QueryOutcome search(const InvertedIndex &index,
+                    const workload::Query &query, std::size_t max_results);
+} // namespace reference
 
 } // namespace powerdial::apps::searchx
 

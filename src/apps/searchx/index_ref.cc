@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Retained naive query scoring — the pre-optimization per-query
+ * hash-map implementation, kept verbatim (over the public index API)
+ * as the bit-exactness oracle for InvertedIndex::search (differential
+ * sweep in tests/test_kernel_equivalence.cc) and as the "before"
+ * column of bench_roofline.
+ */
+#include "apps/searchx/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerdial::apps::searchx::reference {
+
+QueryOutcome
+search(const InvertedIndex &index, const workload::Query &query,
+       std::size_t max_results)
+{
+    QueryOutcome out;
+    if (max_results == 0)
+        return out;
+
+    // Score accumulation: tf-idf over the query terms.
+    std::unordered_map<qos::DocId, double> scores;
+    for (const auto term : query.terms) {
+        const auto &plist = index.postings(term);
+        if (plist.empty())
+            continue;
+        const double idf =
+            std::log(static_cast<double>(index.documentCount() + 1) /
+                     static_cast<double>(plist.size()));
+        for (const auto &posting : plist) {
+            scores[posting.doc] +=
+                (1.0 + std::log(1.0 + posting.tf)) * idf;
+            out.work_ops += 6; // Accumulate one posting.
+        }
+    }
+
+    // Bounded selection of the top max_results (heap of size m, the
+    // work swish++'s max-results flag bounds).
+    std::vector<SearchResult> ranked;
+    ranked.reserve(scores.size());
+    for (const auto &[doc, score] : scores)
+        ranked.push_back({doc, score});
+    const std::size_t m = std::min(max_results, ranked.size());
+    const double logm =
+        std::max(1.0, std::log2(static_cast<double>(m + 1)));
+    out.work_ops +=
+        static_cast<std::uint64_t>(ranked.size() * logm);
+    std::partial_sort(ranked.begin(), ranked.begin() + m, ranked.end(),
+                      [](const SearchResult &a, const SearchResult &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.doc < b.doc; // Deterministic ties.
+                      });
+    ranked.resize(m);
+
+    // Result serialisation (snippet extraction, formatting, I/O) —
+    // linear in the returned count.
+    out.work_ops += m * InvertedIndex::kSerializeOpsPerResult;
+    out.results = std::move(ranked);
+    return out;
+}
+
+} // namespace powerdial::apps::searchx::reference

@@ -24,19 +24,6 @@ makeSpace(const SpmvConfig &config)
  */
 constexpr double kCyclesPerMacBit = 150.0;
 
-/** Round @p v to @p bits of precision; 64 is exact, 32 is IEEE
- *  single, narrower widths snap to a fixed-point grid. */
-double
-quantize(double v, int bits)
-{
-    if (bits >= 64)
-        return v;
-    if (bits == 32)
-        return static_cast<double>(static_cast<float>(v));
-    const double scale = std::ldexp(1.0, bits - 1);
-    return std::round(v * scale) / scale;
-}
-
 } // namespace
 
 SpmvApp::SpmvApp(const SpmvConfig &config)
@@ -54,32 +41,10 @@ SpmvApp::SpmvApp(const SpmvConfig &config)
 
     // Banded sparsity with the diagonal always present, positive
     // values bounded away from zero so block sums (and thus the QoS
-    // denominators) stay well conditioned.
-    workload::Rng rng(config_.seed);
-    matrix_.resize(config_.rows);
-    for (std::size_t r = 0; r < config_.rows; ++r) {
-        SpmvRow &row = matrix_[r];
-        const std::size_t lo = r >= config_.band ? r - config_.band : 0;
-        const std::size_t hi =
-            std::min(config_.rows - 1, r + config_.band);
-        for (std::size_t c = lo; c <= hi; ++c) {
-            if (c != r && rng.uniform() >= config_.fill)
-                continue;
-            row.cols.push_back(c);
-            row.values.push_back(0.1 + 0.9 * rng.uniform());
-        }
-        row.by_magnitude.resize(row.values.size());
-        for (std::size_t i = 0; i < row.values.size(); ++i)
-            row.by_magnitude[i] = i;
-        std::sort(row.by_magnitude.begin(), row.by_magnitude.end(),
-                  [&row](std::size_t a, std::size_t b) {
-                      const double ma = std::abs(row.values[a]);
-                      const double mb = std::abs(row.values[b]);
-                      if (ma != mb)
-                          return ma > mb;
-                      return a < b;
-                  });
-    }
+    // denominators) stay well conditioned. Built row-by-row, then
+    // flattened into the SoA compute representation.
+    matrix_ = CsrMatrix::fromRows(makeBandedRows(
+        config_.rows, config_.band, config_.fill, config_.seed));
 
     vectors_.reserve(config_.inputs);
     for (std::size_t i = 0; i < config_.inputs; ++i) {
@@ -186,13 +151,13 @@ SpmvApp::loadInput(std::size_t index)
 std::size_t
 SpmvApp::unitCount() const
 {
-    return matrix_.size();
+    return matrix_.rowCount();
 }
 
 std::size_t
 SpmvApp::keptOf(std::size_t row) const
 {
-    const std::size_t nnz = matrix_[row].values.size();
+    const std::size_t nnz = matrix_.nnzOf(row);
     const auto kept = static_cast<std::size_t>(
         std::ceil(keep_ * static_cast<double>(nnz)));
     return std::min(std::max<std::size_t>(kept, 1), nnz);
@@ -201,16 +166,11 @@ SpmvApp::keptOf(std::size_t row) const
 void
 SpmvApp::processUnit(std::size_t unit, sim::Machine &machine)
 {
-    const SpmvRow &row = matrix_.at(unit);
-    const std::vector<double> &x = vectors_[current_input_];
+    if (unit >= matrix_.rowCount())
+        throw std::out_of_range("SpmvApp: bad unit index");
     const std::size_t kept = keptOf(unit);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < kept; ++i) {
-        const std::size_t e = row.by_magnitude[i];
-        acc += quantize(row.values[e], bits_) *
-            quantize(x[row.cols[e]], bits_);
-    }
-    result_[unit] = acc;
+    result_[unit] =
+        rowDot(matrix_, unit, vectors_[current_input_], kept, bits_);
     machine.execute(static_cast<double>(kept) * kCyclesPerMacBit *
                     static_cast<double>(bits_));
 }

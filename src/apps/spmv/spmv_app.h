@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/spmv/spmv_kernel.h"
 #include "core/app.h"
 
 namespace powerdial::apps::spmv {
@@ -35,17 +36,6 @@ struct SpmvConfig
     std::size_t inputs = 8;      //!< Dense input vectors to synthesise.
     std::size_t blocks = 4;      //!< Output-abstraction block sums.
     std::uint64_t seed = 0x5937C001;
-};
-
-/** One CSR row: column indices and values, plus the magnitude order
- *  the keep knob truncates along. */
-struct SpmvRow
-{
-    std::vector<std::size_t> cols;
-    std::vector<double> values;
-    /** Entry positions ordered by |value| descending (index ascending
-     *  on ties) — the first ceil(keep * nnz) survive compression. */
-    std::vector<std::size_t> by_magnitude;
 };
 
 /** PowerDial App implementation for the SpMV kernel. */
@@ -81,7 +71,7 @@ class SpmvApp final : public core::App
 
     SpmvConfig config_;
     core::KnobSpace space_;
-    std::vector<SpmvRow> matrix_;            //!< One entry per row.
+    CsrMatrix matrix_; //!< Flattened SoA, rows in magnitude order.
     std::vector<std::vector<double>> vectors_; //!< Input vectors.
 
     // Control variables, derived from {bits, keep} at init.

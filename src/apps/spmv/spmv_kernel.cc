@@ -1,0 +1,102 @@
+#include "apps/spmv/spmv_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/rng.h"
+
+namespace powerdial::apps::spmv {
+
+std::vector<SpmvRow>
+makeBandedRows(std::size_t rows, std::size_t band, double fill,
+               std::uint64_t seed)
+{
+    workload::Rng rng(seed);
+    std::vector<SpmvRow> matrix(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        SpmvRow &row = matrix[r];
+        const std::size_t lo = r >= band ? r - band : 0;
+        const std::size_t hi = std::min(rows - 1, r + band);
+        for (std::size_t c = lo; c <= hi; ++c) {
+            if (c != r && rng.uniform() >= fill)
+                continue;
+            row.cols.push_back(c);
+            row.values.push_back(0.1 + 0.9 * rng.uniform());
+        }
+        row.by_magnitude.resize(row.values.size());
+        for (std::size_t i = 0; i < row.values.size(); ++i)
+            row.by_magnitude[i] = i;
+        std::sort(row.by_magnitude.begin(), row.by_magnitude.end(),
+                  [&row](std::size_t a, std::size_t b) {
+                      const double ma = std::abs(row.values[a]);
+                      const double mb = std::abs(row.values[b]);
+                      if (ma != mb)
+                          return ma > mb;
+                      return a < b;
+                  });
+    }
+    return matrix;
+}
+
+CsrMatrix
+CsrMatrix::fromRows(const std::vector<SpmvRow> &rows)
+{
+    CsrMatrix m;
+    std::size_t nnz = 0;
+    for (const auto &row : rows)
+        nnz += row.values.size();
+    m.row_ptr.reserve(rows.size() + 1);
+    m.cols.reserve(nnz);
+    m.values.reserve(nnz);
+    m.row_ptr.push_back(0);
+    for (const auto &row : rows) {
+        for (const std::size_t e : row.by_magnitude) {
+            m.cols.push_back(static_cast<std::uint32_t>(row.cols[e]));
+            m.values.push_back(row.values[e]);
+        }
+        m.row_ptr.push_back(m.values.size());
+    }
+    return m;
+}
+
+double
+quantizeValue(double v, int bits)
+{
+    if (bits >= 64)
+        return v;
+    if (bits == 32)
+        return static_cast<double>(static_cast<float>(v));
+    const double scale = std::ldexp(1.0, bits - 1);
+    return std::round(v * scale) / scale;
+}
+
+double
+rowDot(const CsrMatrix &m, std::size_t row, const std::vector<double> &x,
+       std::size_t kept, int bits)
+{
+    const std::size_t begin = m.row_ptr[row];
+    const std::size_t end = begin + kept;
+    const std::uint32_t *cols = m.cols.data();
+    const double *vals = m.values.data();
+    const double *xv = x.data();
+    double acc = 0.0;
+    // Each branch performs exactly the reference's per-entry rounding
+    // and the same accumulation order; only the dispatch on the
+    // precision class and the fixed-point scale are hoisted.
+    if (bits >= 64) {
+        for (std::size_t k = begin; k < end; ++k)
+            acc += vals[k] * xv[cols[k]];
+    } else if (bits == 32) {
+        for (std::size_t k = begin; k < end; ++k)
+            acc += static_cast<double>(static_cast<float>(vals[k])) *
+                static_cast<double>(static_cast<float>(xv[cols[k]]));
+    } else {
+        const double scale = std::ldexp(1.0, bits - 1);
+        for (std::size_t k = begin; k < end; ++k)
+            acc += (std::round(vals[k] * scale) / scale) *
+                (std::round(xv[cols[k]] * scale) / scale);
+    }
+    return acc;
+}
+
+} // namespace powerdial::apps::spmv

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SpMV kernel layer: matrix construction, precision quantisation, and
+ * the per-row dot product, separated from the App plumbing so the
+ * kernel can be benchmarked and differentially tested on its own.
+ *
+ * The app's compute representation is a single flattened CSR-style
+ * structure-of-arrays (CsrMatrix) instead of a vector of per-row
+ * AoS rows: one row_ptr array plus contiguous cols/values streams,
+ * with each row's entries pre-permuted into the keep knob's magnitude
+ * order so compression is a prefix truncation with no per-entry
+ * indirection. rowDot specialises its inner loop per precision class
+ * (fp64 passthrough / fp32 round-trip / fixed-point grid with the
+ * scale hoisted); every specialisation performs the reference's
+ * floating-point operations in the reference's order, so results are
+ * bit-exact (pinned by tests/test_kernel_equivalence.cc).
+ */
+#ifndef POWERDIAL_APPS_SPMV_SPMV_KERNEL_H
+#define POWERDIAL_APPS_SPMV_SPMV_KERNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace powerdial::apps::spmv {
+
+/** One CSR row: column indices and values, plus the magnitude order
+ *  the keep knob truncates along. The build-time representation; the
+ *  compute path flattens a row set into a CsrMatrix. */
+struct SpmvRow
+{
+    std::vector<std::size_t> cols;
+    std::vector<double> values;
+    /** Entry positions ordered by |value| descending (index ascending
+     *  on ties) — the first ceil(keep * nnz) survive compression. */
+    std::vector<std::size_t> by_magnitude;
+};
+
+/**
+ * Synthesise the banded sparse matrix rows: diagonal always present,
+ * off-band entries kept with probability @p fill, positive values
+ * bounded away from zero. Deterministic in @p seed.
+ */
+std::vector<SpmvRow> makeBandedRows(std::size_t rows, std::size_t band,
+                                    double fill, std::uint64_t seed);
+
+/**
+ * Flattened structure-of-arrays sparse matrix. Within each row the
+ * entries are stored in by_magnitude order, so "the kept prefix" of a
+ * row is a contiguous slice of cols/values.
+ */
+struct CsrMatrix
+{
+    std::vector<std::size_t> row_ptr;  //!< Size rows+1; row r spans
+                                       //!< [row_ptr[r], row_ptr[r+1]).
+    std::vector<std::uint32_t> cols;
+    std::vector<double> values;
+
+    std::size_t rowCount() const { return row_ptr.size() - 1; }
+    std::size_t nnzOf(std::size_t row) const
+    {
+        return row_ptr[row + 1] - row_ptr[row];
+    }
+
+    /** Flatten @p rows, permuting each row into magnitude order. */
+    static CsrMatrix fromRows(const std::vector<SpmvRow> &rows);
+};
+
+/** Round @p v to @p bits of precision; 64 is exact, 32 is IEEE
+ *  single, narrower widths snap to a fixed-point grid. */
+double quantizeValue(double v, int bits);
+
+/**
+ * Dot product of row @p row's kept prefix (@p kept entries, magnitude
+ * order) with @p x, both operands quantised to @p bits.
+ */
+double rowDot(const CsrMatrix &m, std::size_t row,
+              const std::vector<double> &x, std::size_t kept, int bits);
+
+/**
+ * Retained naive row kernel (spmv_kernel_ref.cc): per-entry
+ * by_magnitude indirection with a quantize call per operand, kept
+ * verbatim as the bit-exactness oracle for rowDot and the "before"
+ * column of bench_roofline.
+ */
+namespace reference {
+double rowDot(const SpmvRow &row, const std::vector<double> &x,
+              std::size_t kept, int bits);
+} // namespace reference
+
+} // namespace powerdial::apps::spmv
+
+#endif // POWERDIAL_APPS_SPMV_SPMV_KERNEL_H

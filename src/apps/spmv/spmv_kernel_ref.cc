@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Retained naive SpMV row kernel — the pre-optimization per-entry
+ * implementation (by_magnitude indirection, a quantize call per
+ * operand), kept verbatim as the bit-exactness oracle for rowDot
+ * (differential sweep in tests/test_kernel_equivalence.cc) and as the
+ * "before" column of bench_roofline.
+ */
+#include "apps/spmv/spmv_kernel.h"
+
+namespace powerdial::apps::spmv::reference {
+
+double
+rowDot(const SpmvRow &row, const std::vector<double> &x, std::size_t kept,
+       int bits)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kept; ++i) {
+        const std::size_t e = row.by_magnitude[i];
+        acc += quantizeValue(row.values[e], bits) *
+            quantizeValue(x[row.cols[e]], bits);
+    }
+    return acc;
+}
+
+} // namespace powerdial::apps::spmv::reference

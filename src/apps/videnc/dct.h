@@ -8,6 +8,19 @@
  * magnitude cost per non-zero coefficient) gives the encoder a real
  * rate/distortion behaviour: better motion prediction produces smaller
  * residuals, fewer coded bits, and higher reconstruction PSNR.
+ *
+ * The transforms are two separable 1-D passes over a precomputed
+ * cosine basis. The default path keeps the retained naive nest
+ * (namespace reference) verbatim: roofline measurements on the
+ * project's baseline build showed the compiler already vectorizes it
+ * optimally, and every bit-exact reshaping tried (broadcast-multiply
+ * lane accumulators, transposed intermediates) measured slower — see
+ * dct.cc and docs/ARCHITECTURE.md. Default results are therefore
+ * bit-exact by construction, pinned by
+ * tests/test_kernel_equivalence.cc and regression-guarded at parity by
+ * bench_roofline. Passing a KernelTuning with fast_math switches to
+ * two-accumulator 8-tap dot products, which reassociate the sums and
+ * are bounded by the documented relative error instead.
  */
 #ifndef POWERDIAL_APPS_VIDENC_DCT_H
 #define POWERDIAL_APPS_VIDENC_DCT_H
@@ -15,7 +28,11 @@
 #include <array>
 #include <cstdint>
 
+#include "apps/kernel_tuning.h"
+
 namespace powerdial::apps::videnc {
+
+using apps::KernelTuning;
 
 /** Transform block edge length. */
 inline constexpr int kBlock = 8;
@@ -27,10 +44,12 @@ using ResidualBlock = std::array<double, kBlock * kBlock>;
 using CoeffBlock = std::array<int, kBlock * kBlock>;
 
 /** Forward 8x8 DCT-II (orthonormal). */
-ResidualBlock forwardDct(const ResidualBlock &spatial);
+ResidualBlock forwardDct(const ResidualBlock &spatial,
+                         const KernelTuning &tuning = {});
 
 /** Inverse 8x8 DCT-II. */
-ResidualBlock inverseDct(const ResidualBlock &freq);
+ResidualBlock inverseDct(const ResidualBlock &freq,
+                         const KernelTuning &tuning = {});
 
 /** Uniform quantisation with step @p qstep (> 0). */
 CoeffBlock quantize(const ResidualBlock &freq, double qstep);
@@ -48,6 +67,16 @@ std::uint64_t bitCost(const CoeffBlock &coeffs);
 /** Arithmetic-operation estimate of one forward+inverse transform. */
 inline constexpr std::uint64_t kDctOps =
     2ULL * kBlock * kBlock * kBlock * 2ULL; // Two 1-D passes, fwd + inv.
+
+/**
+ * Retained naive transforms (dct_ref.cc): the pre-optimization
+ * implementations, kept verbatim as the bit-exactness oracle for the
+ * differential tests and the roofline bench's "before" column.
+ */
+namespace reference {
+ResidualBlock forwardDct(const ResidualBlock &spatial);
+ResidualBlock inverseDct(const ResidualBlock &freq);
+} // namespace reference
 
 } // namespace powerdial::apps::videnc
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Retained naive 8x8 DCT — the pre-optimization implementation, kept
+ * verbatim as the bit-exactness oracle for the optimized transforms in
+ * dct.cc (differential sweep in tests/test_kernel_equivalence.cc) and
+ * as the "before" column of bench_roofline.
+ */
+#include "apps/videnc/dct.h"
+
+#include <cmath>
+
+namespace powerdial::apps::videnc::reference {
+namespace {
+
+/** Cosine basis, computed once. basis[k][n] = c_k cos((2n+1)k pi / 16). */
+const std::array<std::array<double, kBlock>, kBlock> &
+dctBasis()
+{
+    static const auto basis = [] {
+        std::array<std::array<double, kBlock>, kBlock> b{};
+        for (int k = 0; k < kBlock; ++k) {
+            const double ck = k == 0 ? std::sqrt(1.0 / kBlock)
+                                     : std::sqrt(2.0 / kBlock);
+            for (int n = 0; n < kBlock; ++n) {
+                b[k][n] = ck * std::cos((2.0 * n + 1.0) * k * M_PI /
+                                        (2.0 * kBlock));
+            }
+        }
+        return b;
+    }();
+    return basis;
+}
+
+} // namespace
+
+ResidualBlock
+forwardDct(const ResidualBlock &spatial)
+{
+    const auto &basis = dctBasis();
+    ResidualBlock rows{};
+    // 1-D DCT along rows.
+    for (int y = 0; y < kBlock; ++y) {
+        for (int k = 0; k < kBlock; ++k) {
+            double acc = 0.0;
+            for (int x = 0; x < kBlock; ++x)
+                acc += basis[k][x] * spatial[y * kBlock + x];
+            rows[y * kBlock + k] = acc;
+        }
+    }
+    // 1-D DCT along columns.
+    ResidualBlock out{};
+    for (int k = 0; k < kBlock; ++k) {
+        for (int x = 0; x < kBlock; ++x) {
+            double acc = 0.0;
+            for (int y = 0; y < kBlock; ++y)
+                acc += basis[k][y] * rows[y * kBlock + x];
+            out[k * kBlock + x] = acc;
+        }
+    }
+    return out;
+}
+
+ResidualBlock
+inverseDct(const ResidualBlock &freq)
+{
+    const auto &basis = dctBasis();
+    ResidualBlock cols{};
+    for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+            double acc = 0.0;
+            for (int k = 0; k < kBlock; ++k)
+                acc += basis[k][y] * freq[k * kBlock + x];
+            cols[y * kBlock + x] = acc;
+        }
+    }
+    ResidualBlock out{};
+    for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+            double acc = 0.0;
+            for (int k = 0; k < kBlock; ++k)
+                acc += basis[k][x] * cols[y * kBlock + k];
+            out[y * kBlock + x] = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace powerdial::apps::videnc::reference

@@ -34,17 +34,21 @@ Encoder::encodeFrame(const workload::Frame &frame,
     const std::vector<workload::Frame> refs(refs_.begin(), refs_.end());
     const bool intra = refs.empty();
 
+    // One prediction buffer for the whole frame; every macroblock
+    // overwrites all 256 entries (flat DC for intra, predictBlockInto
+    // for inter), so reuse is safe and saves an allocation per block.
+    std::vector<double> pred(kMacroblock * kMacroblock);
+
     for (int by = 0; by < frame.height; by += kMacroblock) {
         for (int bx = 0; bx < frame.width; bx += kMacroblock) {
             // Prediction.
-            std::vector<double> pred;
             if (intra) {
-                pred.assign(kMacroblock * kMacroblock, 128.0);
+                std::fill(pred.begin(), pred.end(), 128.0);
             } else {
                 const MotionResult mr =
                     searchMotion(frame, bx, by, refs, effort);
                 stats.work_ops += mr.work_ops;
-                pred = predictBlock(refs[mr.reference], bx, by, mr.mv);
+                predictBlockInto(refs[mr.reference], bx, by, mr.mv, pred);
                 stats.bits += 12; // MV + reference signalling estimate.
             }
 

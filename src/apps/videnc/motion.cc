@@ -23,6 +23,34 @@ pixelAt(const workload::Frame &ref, int x, int y)
     return static_cast<double>(ref.at(x, y));
 }
 
+/** True when the w x h window at (x0, y0) lies entirely inside @p f. */
+bool
+windowInside(const workload::Frame &f, int x0, int y0, int w, int h)
+{
+    return x0 >= 0 && y0 >= 0 && x0 + w <= f.width && y0 + h <= f.height;
+}
+
+/**
+ * The four bilinear weights of a quarter-pel phase (fxq, fyq), each
+ * computed with exactly the products reference::blockSad evaluates per
+ * pixel — (1-fx)*(1-fy), fx*(1-fy), (1-fx)*fy, fx*fy — so hoisting
+ * them out of the pixel loop changes no floating-point operation.
+ */
+struct BilinearWeights
+{
+    double w00, w10, w01, w11;
+
+    BilinearWeights(int fxq, int fyq)
+    {
+        const double fx = static_cast<double>(fxq) / kSubpelScale;
+        const double fy = static_cast<double>(fyq) / kSubpelScale;
+        w00 = (1.0 - fx) * (1.0 - fy);
+        w10 = fx * (1.0 - fy);
+        w01 = (1.0 - fx) * fy;
+        w11 = fx * fy;
+    }
+};
+
 } // namespace
 
 double
@@ -41,20 +69,115 @@ samplePlane(const workload::Frame &ref, int qx, int qy)
 }
 
 std::uint64_t
-blockSad(const workload::Frame &cur, int bx, int by,
-         const workload::Frame &ref, MotionVector mv)
+blockSadBounded(const workload::Frame &cur, int bx, int by,
+                const workload::Frame &ref, MotionVector mv,
+                std::uint64_t limit)
 {
+    // (bx+x)*4 + mv.x has integer part bx + x + (mv.x >> 2) and
+    // constant quarter-pel phase mv.x & 3 (likewise for y), so the
+    // reference's per-pixel >>2 / &3 decomposition is hoisted here.
+    const int ix0 = bx + (mv.x >> 2);
+    const int iy0 = by + (mv.y >> 2);
+    const int fxq = mv.x & 3;
+    const int fyq = mv.y & 3;
+    const bool cur_in = windowInside(cur, bx, by, kMacroblock, kMacroblock);
+
+    if (fxq == 0 && fyq == 0) {
+        // Integer-pel: bilinear interpolation degenerates to p00 and
+        // every |c - r| is a small integer, so the reference's double
+        // accumulator is exact and equal to this integer sum.
+        std::uint64_t sad = 0;
+        if (cur_in && windowInside(ref, ix0, iy0, kMacroblock, kMacroblock)) {
+            for (int y = 0; y < kMacroblock; ++y) {
+                const std::uint8_t *c =
+                    &cur.pixels[static_cast<std::size_t>(by + y) *
+                                    static_cast<std::size_t>(cur.width) +
+                                static_cast<std::size_t>(bx)];
+                const std::uint8_t *r =
+                    &ref.pixels[static_cast<std::size_t>(iy0 + y) *
+                                    static_cast<std::size_t>(ref.width) +
+                                static_cast<std::size_t>(ix0)];
+                unsigned row = 0;
+                for (int x = 0; x < kMacroblock; ++x)
+                    row += static_cast<unsigned>(
+                        std::abs(static_cast<int>(c[x]) -
+                                 static_cast<int>(r[x])));
+                sad += row;
+                if (sad >= limit)
+                    return sad;
+            }
+        } else {
+            for (int y = 0; y < kMacroblock; ++y) {
+                unsigned row = 0;
+                for (int x = 0; x < kMacroblock; ++x) {
+                    const int c = static_cast<int>(
+                        pixelAt(cur, bx + x, by + y));
+                    const int r = static_cast<int>(
+                        pixelAt(ref, ix0 + x, iy0 + y));
+                    row += static_cast<unsigned>(std::abs(c - r));
+                }
+                sad += row;
+                if (sad >= limit)
+                    return sad;
+            }
+        }
+        return sad;
+    }
+
+    // Fractional phase: the four bilinear weights are constant across
+    // the block; each pixel's interpolation below performs the same
+    // multiplies and additions, in the same order, as samplePlane.
+    const BilinearWeights w(fxq, fyq);
     double sad = 0.0;
-    for (int y = 0; y < kMacroblock; ++y) {
-        for (int x = 0; x < kMacroblock; ++x) {
-            const double c = pixelAt(cur, bx + x, by + y);
-            const double r = samplePlane(
-                ref, (bx + x) * kSubpelScale + mv.x,
-                (by + y) * kSubpelScale + mv.y);
-            sad += std::abs(c - r);
+    if (cur_in &&
+        windowInside(ref, ix0, iy0, kMacroblock + 1, kMacroblock + 1)) {
+        for (int y = 0; y < kMacroblock; ++y) {
+            const std::uint8_t *c =
+                &cur.pixels[static_cast<std::size_t>(by + y) *
+                                static_cast<std::size_t>(cur.width) +
+                            static_cast<std::size_t>(bx)];
+            const std::uint8_t *r0 =
+                &ref.pixels[static_cast<std::size_t>(iy0 + y) *
+                                static_cast<std::size_t>(ref.width) +
+                            static_cast<std::size_t>(ix0)];
+            const std::uint8_t *r1 = r0 + ref.width;
+            for (int x = 0; x < kMacroblock; ++x) {
+                const double p00 = static_cast<double>(r0[x]);
+                const double p10 = static_cast<double>(r0[x + 1]);
+                const double p01 = static_cast<double>(r1[x]);
+                const double p11 = static_cast<double>(r1[x + 1]);
+                const double pr = w.w00 * p00 + w.w10 * p10 +
+                                  w.w01 * p01 + w.w11 * p11;
+                sad += std::abs(static_cast<double>(c[x]) - pr);
+            }
+            if (static_cast<std::uint64_t>(sad) >= limit)
+                return static_cast<std::uint64_t>(sad);
+        }
+    } else {
+        for (int y = 0; y < kMacroblock; ++y) {
+            for (int x = 0; x < kMacroblock; ++x) {
+                const double p00 = pixelAt(ref, ix0 + x, iy0 + y);
+                const double p10 = pixelAt(ref, ix0 + x + 1, iy0 + y);
+                const double p01 = pixelAt(ref, ix0 + x, iy0 + y + 1);
+                const double p11 = pixelAt(ref, ix0 + x + 1, iy0 + y + 1);
+                const double pr = w.w00 * p00 + w.w10 * p10 +
+                                  w.w01 * p01 + w.w11 * p11;
+                const double c = pixelAt(cur, bx + x, by + y);
+                sad += std::abs(c - pr);
+            }
+            if (static_cast<std::uint64_t>(sad) >= limit)
+                return static_cast<std::uint64_t>(sad);
         }
     }
     return static_cast<std::uint64_t>(sad);
+}
+
+std::uint64_t
+blockSad(const workload::Frame &cur, int bx, int by,
+         const workload::Frame &ref, MotionVector mv)
+{
+    return blockSadBounded(cur, bx, by, ref, mv,
+                           std::numeric_limits<std::uint64_t>::max());
 }
 
 MotionResult
@@ -79,6 +202,12 @@ searchMotion(const workload::Frame &cur, int bx, int by,
         const auto &ref = references[static_cast<std::size_t>(r)];
 
         // Integer-pel diamond search from (0, 0), radius <= merange.
+        // Candidates are scored with the bounded SAD: a candidate that
+        // cannot beat improved_sad may return early, but one that does
+        // beat it returns its exact SAD, so accept/reject decisions —
+        // and every recorded SAD — match reference::searchMotion.
+        // work_ops stays the full-SAD pixel count: it is the cost model
+        // the knob calibrations are built on, not a time measurement.
         MotionVector center{0, 0};
         std::uint64_t center_sad = blockSad(cur, bx, by, ref, center);
         work += kSadOps;
@@ -99,8 +228,8 @@ searchMotion(const workload::Frame &cur, int bx, int by,
                         params.merange * kSubpelScale) {
                     continue;
                 }
-                const std::uint64_t sad =
-                    blockSad(cur, bx, by, ref, cand);
+                const std::uint64_t sad = blockSadBounded(
+                    cur, bx, by, ref, cand, improved_sad);
                 work += kSadOps;
                 if (sad < improved_sad) {
                     improved_sad = sad;
@@ -125,8 +254,8 @@ searchMotion(const workload::Frame &cur, int bx, int by,
             for (int d = 0; d < 8; ++d) {
                 const MotionVector cand{center.x + dx8[d] * delta,
                                         center.y + dy8[d] * delta};
-                const std::uint64_t sad =
-                    blockSad(cur, bx, by, ref, cand);
+                const std::uint64_t sad = blockSadBounded(
+                    cur, bx, by, ref, cand, improved_sad);
                 work += kSadOps;
                 if (sad < improved_sad) {
                     improved_sad = sad;
@@ -151,17 +280,74 @@ searchMotion(const workload::Frame &cur, int bx, int by,
     return best;
 }
 
+void
+predictBlockInto(const workload::Frame &ref, int bx, int by,
+                 MotionVector mv, std::vector<double> &pred)
+{
+    pred.resize(kMacroblock * kMacroblock);
+    const int ix0 = bx + (mv.x >> 2);
+    const int iy0 = by + (mv.y >> 2);
+    const int fxq = mv.x & 3;
+    const int fyq = mv.y & 3;
+
+    if (fxq == 0 && fyq == 0) {
+        if (windowInside(ref, ix0, iy0, kMacroblock, kMacroblock)) {
+            for (int y = 0; y < kMacroblock; ++y) {
+                const std::uint8_t *r =
+                    &ref.pixels[static_cast<std::size_t>(iy0 + y) *
+                                    static_cast<std::size_t>(ref.width) +
+                                static_cast<std::size_t>(ix0)];
+                double *p =
+                    &pred[static_cast<std::size_t>(y) * kMacroblock];
+                for (int x = 0; x < kMacroblock; ++x)
+                    p[x] = static_cast<double>(r[x]);
+            }
+        } else {
+            for (int y = 0; y < kMacroblock; ++y)
+                for (int x = 0; x < kMacroblock; ++x)
+                    pred[static_cast<std::size_t>(y) * kMacroblock + x] =
+                        pixelAt(ref, ix0 + x, iy0 + y);
+        }
+        return;
+    }
+
+    const BilinearWeights w(fxq, fyq);
+    if (windowInside(ref, ix0, iy0, kMacroblock + 1, kMacroblock + 1)) {
+        for (int y = 0; y < kMacroblock; ++y) {
+            const std::uint8_t *r0 =
+                &ref.pixels[static_cast<std::size_t>(iy0 + y) *
+                                static_cast<std::size_t>(ref.width) +
+                            static_cast<std::size_t>(ix0)];
+            const std::uint8_t *r1 = r0 + ref.width;
+            double *p = &pred[static_cast<std::size_t>(y) * kMacroblock];
+            for (int x = 0; x < kMacroblock; ++x) {
+                const double p00 = static_cast<double>(r0[x]);
+                const double p10 = static_cast<double>(r0[x + 1]);
+                const double p01 = static_cast<double>(r1[x]);
+                const double p11 = static_cast<double>(r1[x + 1]);
+                p[x] = w.w00 * p00 + w.w10 * p10 + w.w01 * p01 +
+                       w.w11 * p11;
+            }
+        }
+    } else {
+        for (int y = 0; y < kMacroblock; ++y) {
+            for (int x = 0; x < kMacroblock; ++x) {
+                const double p00 = pixelAt(ref, ix0 + x, iy0 + y);
+                const double p10 = pixelAt(ref, ix0 + x + 1, iy0 + y);
+                const double p01 = pixelAt(ref, ix0 + x, iy0 + y + 1);
+                const double p11 = pixelAt(ref, ix0 + x + 1, iy0 + y + 1);
+                pred[static_cast<std::size_t>(y) * kMacroblock + x] =
+                    w.w00 * p00 + w.w10 * p10 + w.w01 * p01 + w.w11 * p11;
+            }
+        }
+    }
+}
+
 std::vector<double>
 predictBlock(const workload::Frame &ref, int bx, int by, MotionVector mv)
 {
-    std::vector<double> pred(kMacroblock * kMacroblock);
-    for (int y = 0; y < kMacroblock; ++y) {
-        for (int x = 0; x < kMacroblock; ++x) {
-            pred[static_cast<std::size_t>(y) * kMacroblock + x] =
-                samplePlane(ref, (bx + x) * kSubpelScale + mv.x,
-                            (by + y) * kSubpelScale + mv.y);
-        }
-    }
+    std::vector<double> pred;
+    predictBlockInto(ref, bx, by, mv, pred);
     return pred;
 }
 

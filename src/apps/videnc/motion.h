@@ -13,6 +13,20 @@
  * x264 itself uses pattern searches rather than exhaustive search, so a
  * diamond search reproduces both the cost growth and the diminishing-
  * returns quality behaviour of the real knobs.
+ *
+ * The SAD kernel is optimized but bit-exact against the retained naive
+ * implementation (namespace reference): integer-pel candidates inside
+ * both frames take a pure uint8 path (every partial sum is an integer,
+ * exactly representable in the reference's double accumulator), and
+ * fractional candidates hoist the four bilinear weights — constant per
+ * candidate vector — out of the pixel loop without changing a single
+ * floating-point association. blockSadBounded additionally abandons a
+ * candidate once its partial SAD can no longer beat the caller's best;
+ * searchMotion's accept/reject decisions and all reported fields stay
+ * bit-identical because a rejected candidate's exact SAD is never
+ * observable. work_ops deliberately keeps counting the pixels a *full*
+ * SAD visits — it is the knob-visible cost model every calibration
+ * table and golden is built on, not a wall-clock measurement.
  */
 #ifndef POWERDIAL_APPS_VIDENC_MOTION_H
 #define POWERDIAL_APPS_VIDENC_MOTION_H
@@ -63,6 +77,17 @@ double samplePlane(const workload::Frame &ref, int qx, int qy);
 std::uint64_t blockSad(const workload::Frame &cur, int bx, int by,
                        const workload::Frame &ref, MotionVector mv);
 
+/**
+ * SAD with an early-exit threshold. Contract: when the true SAD is
+ * strictly below @p limit the exact value is returned; otherwise some
+ * value >= @p limit is returned (the evaluation may stop early). A
+ * caller that only keeps candidates with `sad < limit` therefore makes
+ * bit-identical decisions to one calling blockSad.
+ */
+std::uint64_t blockSadBounded(const workload::Frame &cur, int bx, int by,
+                              const workload::Frame &ref, MotionVector mv,
+                              std::uint64_t limit);
+
 /** Motion-search effort parameters (the encoder's control variables). */
 struct SearchParams
 {
@@ -86,6 +111,29 @@ MotionResult searchMotion(const workload::Frame &cur, int bx, int by,
  */
 std::vector<double> predictBlock(const workload::Frame &ref, int bx,
                                  int by, MotionVector mv);
+
+/**
+ * predictBlock into a caller-owned buffer (resized to 256), so a hot
+ * caller — the encoder predicts every macroblock of every frame — can
+ * reuse one allocation for a whole run.
+ */
+void predictBlockInto(const workload::Frame &ref, int bx, int by,
+                      MotionVector mv, std::vector<double> &pred);
+
+/**
+ * Retained naive kernels (motion_ref.cc): the pre-optimization SAD,
+ * search, and prediction, kept verbatim as the bit-exactness oracle
+ * for the differential tests and bench_roofline's "before" column.
+ */
+namespace reference {
+std::uint64_t blockSad(const workload::Frame &cur, int bx, int by,
+                       const workload::Frame &ref, MotionVector mv);
+MotionResult searchMotion(const workload::Frame &cur, int bx, int by,
+                          const std::vector<workload::Frame> &references,
+                          const SearchParams &params);
+std::vector<double> predictBlock(const workload::Frame &ref, int bx,
+                                 int by, MotionVector mv);
+} // namespace reference
 
 } // namespace powerdial::apps::videnc
 
